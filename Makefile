@@ -1,0 +1,21 @@
+.PHONY: all build test bench timing doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+timing:
+	dune exec bench/main.exe -- --timing
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

@@ -1,0 +1,179 @@
+(* Reproduction harness: regenerates every table and figure of
+   "The Diameter of Opportunistic Mobile Networks" (CoNEXT 2007).
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --only fig9  # one experiment
+     dune exec bench/main.exe -- --quick      # small workloads (smoke)
+     dune exec bench/main.exe -- --timing     # Bechamel micro/meso benches
+     dune exec bench/main.exe -- --list       # experiment index *)
+
+let fmt = Format.std_formatter
+
+(* --- Bechamel timing benches: the §4.4 efficiency claims --- *)
+
+let timing_tests () =
+  let open Bechamel in
+  let rng = Omn_stats.Rng.create 7 in
+  (* Synthetic workload: venue-based half-day, sized by node count. *)
+  let conference_trace n =
+    let params = Omn_mobility.Venue.conference_params ~rng ~n ~days:0.5 in
+    Omn_mobility.Venue.generate rng ~n ~name:"bench" params
+  in
+  let traces = List.map (fun n -> (n, conference_trace n)) [ 20; 40; 80 ] in
+  let trace_of n = List.assoc n traces in
+  let journey_one_source =
+    Test.make_indexed ~name:"journey/all-dest-all-times" ~fmt:"%s:%d-nodes"
+      ~args:(List.map fst traces) (fun n ->
+        Staged.stage (fun () -> ignore (Omn_core.Journey.run (trace_of n) ~source:0)))
+  in
+  let dijkstra_sweep =
+    (* The prior-art baseline: one earliest-arrival search per contact
+       boundary (x2 for midpoints) yields the same delivery functions as
+       one Journey.run. *)
+    Test.make_indexed ~name:"dijkstra/per-start-time-sweep" ~fmt:"%s:%d-nodes"
+      ~args:(List.map fst traces) (fun n ->
+        Staged.stage (fun () ->
+            ignore (Omn_baseline.Flooding.compute (trace_of n) ~source:0)))
+  in
+  let frontier_insert =
+    let points =
+      Array.init 4096 (fun _ ->
+          Omn_core.Ld_ea.make
+            ~ld:(Omn_stats.Rng.float rng *. 1000.)
+            ~ea:(Omn_stats.Rng.float rng *. 1000.))
+    in
+    Test.make ~name:"frontier/insert-4096"
+      (Staged.stage (fun () ->
+           let f = Omn_core.Frontier.create () in
+           Array.iter (fun p -> ignore (Omn_core.Frontier.insert f p)) points))
+  in
+  let delay_cdf_accumulate =
+    let trace = trace_of 40 in
+    let frontiers, _ = Omn_core.Journey.run trace ~source:0 in
+    let snapshots = Array.map Omn_core.Frontier.to_array frontiers in
+    let t_start = Omn_temporal.Trace.t_start trace
+    and t_end = Omn_temporal.Trace.t_end trace in
+    Test.make ~name:"delay-cdf/accumulate-40-dests"
+      (Staged.stage (fun () ->
+           let acc = Omn_core.Delay_cdf.create ~grid:Omn_stats.Grid.delay_default in
+           Array.iteri
+             (fun dest snap ->
+               if dest <> 0 then Omn_core.Delay_cdf.add_pair acc ~t_start ~t_end snap)
+             snapshots))
+  in
+  let discrete_flood =
+    Test.make ~name:"randnet/flood-short-n400"
+      (Staged.stage (fun () ->
+           ignore
+             (Omn_randnet.Discrete.flood rng { Omn_randnet.Discrete.n = 400; lambda = 0.5 }
+                ~source:0 ~case:Omn_randnet.Theory.Short ~t_max:40)))
+  in
+  let journey_ablation =
+    (* Ablation (DESIGN 5.1): semi-naive deltas vs full recomputation. *)
+    let trace = trace_of 40 in
+    Test.make_indexed ~name:"journey/strategy" ~fmt:"%s:%d(0=semi,1=full)" ~args:[ 0; 1 ]
+      (fun mode ->
+        let strategy =
+          if mode = 0 then Omn_core.Journey.Semi_naive else Omn_core.Journey.Full_recompute
+        in
+        Staged.stage (fun () -> ignore (Omn_core.Journey.run ~strategy trace ~source:0)))
+  in
+  let curves_domains =
+    (* Ablation: the parallel driver on a fixed mid-size workload. *)
+    let trace = trace_of 40 in
+    Test.make_indexed ~name:"delay-cdf/compute" ~fmt:"%s:%d-domains" ~args:[ 1; 2; 4 ]
+      (fun domains ->
+        Staged.stage (fun () ->
+            ignore (Omn_core.Delay_cdf.compute ~max_hops:6 ~domains trace)))
+  in
+  [
+    journey_one_source; dijkstra_sweep; frontier_insert; delay_cdf_accumulate; discrete_flood;
+    journey_ablation; curves_domains;
+  ]
+
+let run_timing () =
+  let open Bechamel in
+  let open Toolkit in
+  Format.fprintf fmt "@.Timing (Bechamel, monotonic clock; ns per run)@.@.";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.) () in
+  let instances = [ Instance.monotonic_clock ] in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+      List.iter
+        (fun (name, v) ->
+          let estimate =
+            match Analyze.OLS.estimates v with Some (e :: _) -> e | _ -> nan
+          in
+          let r2 = Option.value (Analyze.OLS.r_square v) ~default:nan in
+          Format.fprintf fmt "  %-44s %14.0f ns/run  (r2 %.3f)@." name estimate r2)
+        (List.sort compare rows))
+    (timing_tests ());
+  Format.fprintf fmt
+    "@.journey/all-dest-all-times computes optimal paths for *all* start times and@.\
+     destinations in one pass; dijkstra/per-start-time-sweep is the prior-art cost@.\
+     of the same information.@."
+
+let usage () =
+  Format.fprintf fmt
+    "usage: main.exe [--list] [--quick] [--timing] [--only NAME[,NAME...]]@.";
+  exit 2
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let timing = List.mem "--timing" args in
+  let timing_only = timing && List.for_all (fun a -> a = "--timing" || a = "--quick") args in
+  let listing = List.mem "--list" args in
+  let only =
+    let rec find = function
+      | "--only" :: v :: _ -> Some (String.split_on_char ',' v)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let known_flag a = List.mem a [ "--quick"; "--timing"; "--list"; "--only" ] in
+  List.iter
+    (fun a ->
+      if String.length a >= 2 && String.sub a 0 2 = "--" && not (known_flag a) then usage ())
+    args;
+  if listing then begin
+    Format.fprintf fmt "experiments:@.";
+    List.iter
+      (fun (e : Omn_experiments.Registry.experiment) ->
+        Format.fprintf fmt "  %-8s %s@." e.name e.description)
+      Omn_experiments.Registry.all;
+    exit 0
+  end;
+  let selected =
+    if timing_only then []
+    else begin
+      match only with
+      | None -> Omn_experiments.Registry.all
+      | Some names ->
+        List.map
+          (fun name ->
+            match Omn_experiments.Registry.find name with
+            | Some e -> e
+            | None ->
+              Format.fprintf fmt "unknown experiment %S (try --list)@." name;
+              exit 2)
+          names
+    end
+  in
+  Format.fprintf fmt
+    "The Diameter of Opportunistic Mobile Networks (CoNEXT 2007) — reproduction%s@."
+    (if quick then " [quick]" else "");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (e : Omn_experiments.Registry.experiment) ->
+      let t = Unix.gettimeofday () in
+      e.run ~quick fmt;
+      Format.fprintf fmt "@[[%s: %.1fs]@]@." e.name (Unix.gettimeofday () -. t))
+    selected;
+  if timing then run_timing ();
+  Format.fprintf fmt "@.total: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,313 @@
+(* omn — command-line frontend for the opportunistic-mobile-network
+   diameter toolkit.
+
+     omn gen --preset infocom05 -o trace.omn      synthesise a trace
+     omn stats trace.omn                          Table-1-style summary
+     omn diameter trace.omn                       (1-eps)-diameter + CDF
+     omn delivery trace.omn -s 0 -d 5             one pair's delivery fn
+     omn transform trace.omn --drop-prob 0.9 -o thinned.omn
+     omn theory --lambda 0.5                      closed-form results *)
+
+open Cmdliner
+
+let trace_arg =
+  let doc = "Input trace file (format written by `omn gen' / Trace_io)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+
+let output_arg =
+  let doc = "Output file (stdout if omitted)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc)
+
+let save_or_print trace = function
+  | Some path ->
+    Omn_temporal.Trace_io.save trace path;
+    Format.printf "wrote %s (%d contacts)@." path (Omn_temporal.Trace.n_contacts trace)
+  | None -> print_string (Omn_temporal.Trace_io.to_string trace)
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let preset =
+    let doc =
+      "Workload: one of infocom05, infocom06, hong-kong, reality-mining, waypoint, \
+       random (continuous-time random temporal network)."
+    in
+    Arg.(value & opt string "infocom05" & info [ "preset" ] ~docv:"NAME" ~doc)
+  in
+  let nodes =
+    let doc = "Node count (waypoint and random presets only)." in
+    Arg.(value & opt int 40 & info [ "nodes" ] ~docv:"N" ~doc)
+  in
+  let lambda =
+    let doc = "Contact rate per node per hour (random preset only)." in
+    Arg.(value & opt float 2. & info [ "lambda" ] ~docv:"RATE" ~doc)
+  in
+  let hours =
+    let doc = "Horizon in hours (waypoint and random presets only)." in
+    Arg.(value & opt float 6. & info [ "hours" ] ~docv:"H" ~doc)
+  in
+  let run preset seed nodes lambda hours output =
+    let rng = Omn_stats.Rng.create seed in
+    let trace =
+      match String.lowercase_ascii preset with
+      | "infocom05" -> (Omn_mobility.Presets.infocom05 ~seed ()).trace
+      | "infocom06" -> (Omn_mobility.Presets.infocom06 ~seed ()).trace
+      | "hong-kong" | "hongkong" -> (Omn_mobility.Presets.hong_kong ~seed ()).trace
+      | "reality-mining" | "reality" -> (Omn_mobility.Presets.reality_mining ~seed ()).trace
+      | "waypoint" ->
+        Omn_mobility.Random_waypoint.generate rng
+          { Omn_mobility.Random_waypoint.default with n = nodes; horizon = hours *. 3600. }
+      | "random" ->
+        Omn_randnet.Continuous.generate rng
+          { n = nodes; lambda = lambda /. 3600.; horizon = hours *. 3600. }
+      | other -> Fmt.failwith "unknown preset %S" other
+    in
+    save_or_print trace output
+  in
+  let term = Term.(const run $ preset $ seed_arg $ nodes $ lambda $ hours $ output_arg) in
+  Cmd.v (Cmd.info "gen" ~doc:"Synthesise a contact trace") term
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run path =
+    let trace = Omn_temporal.Trace_io.load path in
+    Format.printf "%a@." Omn_temporal.Trace_stats.pp_summary
+      (Omn_temporal.Trace_stats.summary trace);
+    match Omn_temporal.Trace_stats.inter_contact_times trace with
+    | None -> ()
+    | Some ict ->
+      Format.printf "inter-contact time: median %s, mean %s@."
+        (Omn_stats.Timefmt.duration (Omn_stats.Empirical.quantile ict 0.5))
+        (Omn_stats.Timefmt.duration (Omn_stats.Empirical.mean_finite ict))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Describe a trace (Table-1-style summary)")
+    Term.(const run $ trace_arg)
+
+(* --- diameter --- *)
+
+let epsilon_arg =
+  let doc = "Tolerated success-rate loss vs unlimited flooding." in
+  Arg.(value & opt float 0.01 & info [ "epsilon" ] ~docv:"E" ~doc)
+
+let max_hops_arg =
+  let doc = "Largest hop bound examined." in
+  Arg.(value & opt int 10 & info [ "max-hops" ] ~docv:"K" ~doc)
+
+let domains_arg =
+  let doc = "Parallelise over this many OCaml domains." in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc)
+
+let diameter_cmd =
+  let run path epsilon max_hops domains =
+    let trace = Omn_temporal.Trace_io.load path in
+    let span = Omn_temporal.Trace.span trace in
+    let grid =
+      Omn_stats.Grid.logarithmic ~lo:(Float.max 1. (span /. 5000.)) ~hi:span ~n:100
+    in
+    let result = Omn_core.Diameter.measure ~epsilon ~max_hops ~grid ~domains trace in
+    Format.printf "(1 - %g)-diameter: %s@." epsilon
+      (match result.diameter with Some d -> string_of_int d | None -> Printf.sprintf "> %d" max_hops);
+    Format.printf "@.delay        ";
+    List.iter (fun k -> Format.printf "%7s" (Printf.sprintf "%dh" k)) [ 1; 2; 3; 4 ];
+    Format.printf "   flood@.";
+    Array.iteri
+      (fun i d ->
+        if i mod 12 = 0 then begin
+          Format.printf "%-12s " (Omn_stats.Timefmt.axis_seconds d);
+          List.iter
+            (fun k -> Format.printf "%7.3f" result.curves.hop_success.(k - 1).(i))
+            [ 1; 2; 3; 4 ];
+          Format.printf "%8.3f@." result.curves.flood_success.(i)
+        end)
+      result.curves.grid
+  in
+  Cmd.v
+    (Cmd.info "diameter" ~doc:"Measure the (1-eps)-diameter of a trace")
+    Term.(const run $ trace_arg $ epsilon_arg $ max_hops_arg $ domains_arg)
+
+(* --- delivery --- *)
+
+let delivery_cmd =
+  let source =
+    Arg.(required & opt (some int) None & info [ "s"; "source" ] ~docv:"NODE" ~doc:"Source node.")
+  in
+  let dest =
+    Arg.(
+      required & opt (some int) None & info [ "d"; "dest" ] ~docv:"NODE" ~doc:"Destination node.")
+  in
+  let hops =
+    Arg.(value & opt (some int) None & info [ "hops" ] ~docv:"K" ~doc:"Hop bound (default none).")
+  in
+  let run path source dest hops =
+    let trace = Omn_temporal.Trace_io.load path in
+    let delivery = Omn_core.Journey.delivery_to trace ~source ~dest ?max_hops:hops () in
+    Format.printf "%d optimal path(s) from %d to %d%s@."
+      (Omn_core.Delivery.n_optimal_paths delivery)
+      source dest
+      (match hops with None -> "" | Some k -> Printf.sprintf " within %d hops" k);
+    Array.iter
+      (fun (p : Omn_core.Ld_ea.t) ->
+        Format.printf "  last departure %-12g earliest arrival %-12g@." p.ld p.ea)
+      (Omn_core.Delivery.descriptors delivery)
+  in
+  Cmd.v
+    (Cmd.info "delivery" ~doc:"Print the delivery function of one pair")
+    Term.(const run $ trace_arg $ source $ dest $ hops)
+
+(* --- transform --- *)
+
+let transform_cmd =
+  let drop_prob =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "drop-prob" ] ~docv:"P" ~doc:"Drop each contact with probability P.")
+  in
+  let min_duration =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-duration" ] ~docv:"SECONDS" ~doc:"Keep only contacts longer than this.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' float float)) None
+      & info [ "window" ] ~docv:"T0:T1" ~doc:"Crop to a time window.")
+  in
+  let run path seed drop_prob min_duration window output =
+    let trace = Omn_temporal.Trace_io.load path in
+    let trace =
+      match window with
+      | Some (t_start, t_end) -> Omn_temporal.Transform.time_window ~t_start ~t_end trace
+      | None -> trace
+    in
+    let trace =
+      match min_duration with
+      | Some threshold -> Omn_temporal.Transform.keep_longer_than threshold trace
+      | None -> trace
+    in
+    let trace =
+      match drop_prob with
+      | Some p ->
+        Omn_temporal.Transform.remove_random ~rng:(Omn_stats.Rng.create seed) ~p trace
+      | None -> trace
+    in
+    save_or_print trace output
+  in
+  Cmd.v
+    (Cmd.info "transform" ~doc:"Crop / filter / thin a trace (the paper's section 6 surgery)")
+    Term.(const run $ trace_arg $ seed_arg $ drop_prob $ min_duration $ window $ output_arg)
+
+(* --- forward --- *)
+
+let forward_cmd =
+  let messages =
+    Arg.(value & opt int 200 & info [ "messages" ] ~docv:"M" ~doc:"Random messages to send.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 86400. & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Delivery deadline.")
+  in
+  let ttl =
+    Arg.(
+      value & opt (some int) None & info [ "ttl" ] ~docv:"K" ~doc:"Epidemic hop TTL to include.")
+  in
+  let run path seed messages deadline ttl =
+    let trace = Omn_temporal.Trace_io.load path in
+    let protocols =
+      Omn_forwarding.Protocol.
+        [
+          Epidemic { ttl = None }; Epidemic { ttl };
+          Spray_and_wait { copies = 8 }; Two_hop; First_contact; Direct;
+        ]
+      |> List.sort_uniq compare
+    in
+    let stats =
+      Omn_forwarding.Sim.evaluate (Omn_stats.Rng.create seed) trace ~protocols ~messages
+        ~deadline
+    in
+    Format.printf "%-20s %-10s %-12s %-8s %s@." "protocol" "delivered" "mean delay" "tx/msg"
+      "nodes";
+    List.iter
+      (fun (s : Omn_forwarding.Sim.stats) ->
+        Format.printf "%-20s %6.1f%%    %-12s %-8.1f %.1f@."
+          (Omn_forwarding.Protocol.name s.protocol)
+          (100. *. s.delivered_ratio)
+          (if Float.is_nan s.mean_delay then "-"
+           else Omn_stats.Timefmt.duration s.mean_delay)
+          s.mean_transmissions s.mean_nodes_reached)
+      stats
+  in
+  Cmd.v
+    (Cmd.info "forward" ~doc:"Evaluate forwarding protocols on a trace")
+    Term.(const run $ trace_arg $ seed_arg $ messages $ deadline $ ttl)
+
+(* --- theory --- *)
+
+let theory_cmd =
+  let lambda =
+    Arg.(value & opt float 0.5 & info [ "lambda" ] ~docv:"RATE" ~doc:"Contact rate per node per slot.")
+  in
+  let n = Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N" ~doc:"Network size.") in
+  let run lambda n =
+    let open Omn_randnet in
+    List.iter
+      (fun (case, label) ->
+        let tau = Theory.tau_critical case ~lambda in
+        Format.printf "%s contacts:@." label;
+        if tau = 0. then
+          Format.printf "  supercritical (lambda >= 1): paths exist at any delay coefficient@."
+        else
+          Format.printf "  critical delay  tau* = %.4f  (~ %.1f slots at N = %d)@." tau
+            (Theory.expected_delay case ~lambda ~n)
+            n;
+        let k = Theory.hop_coefficient case ~lambda in
+        if k = infinity then Format.printf "  hop coefficient diverges at lambda = 1@."
+        else
+          Format.printf "  hop coefficient %.4f  (~ %.1f hops at N = %d)@." k
+            (Theory.expected_hops case ~lambda ~n)
+            n)
+      [ (Theory.Short, "short"); (Theory.Long, "long") ]
+  in
+  Cmd.v
+    (Cmd.info "theory" ~doc:"Closed-form predictions for random temporal networks (section 3)")
+    Term.(const run $ lambda $ n)
+
+(* --- experiments passthrough --- *)
+
+let experiment_cmd =
+  let exp_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Experiment id (fig1..fig12, table1, phase, fig3sim).")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Small workload.") in
+  let run name quick =
+    match Omn_experiments.Registry.find name with
+    | Some e -> e.run ~quick Format.std_formatter
+    | None ->
+      Format.eprintf "unknown experiment %S; known:@." name;
+      List.iter
+        (fun (e : Omn_experiments.Registry.experiment) -> Format.eprintf "  %s@." e.name)
+        Omn_experiments.Registry.all;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one paper experiment (same engine as bench/main.exe)")
+    Term.(const run $ exp_name $ quick)
+
+let () =
+  let doc = "The diameter of opportunistic mobile networks — toolkit" in
+  let info = Cmd.info "omn" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd; stats_cmd; diameter_cmd; delivery_cmd; transform_cmd; forward_cmd;
+            theory_cmd; experiment_cmd;
+          ]))

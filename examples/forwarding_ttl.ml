@@ -1,0 +1,53 @@
+(* Choosing a hop TTL for epidemic forwarding — the design decision the
+   paper's conclusion draws from the small diameter: "messages can be
+   discarded after a few hops without incurring more than a marginal
+   performance cost".
+
+   We generate a campus-like trace, measure its 99%-diameter, then run
+   the protocol suite from Omn_forwarding on random messages and compare
+   delivery, delay and cost.
+
+     dune exec examples/forwarding_ttl.exe *)
+
+module Rng = Omn_stats.Rng
+module Protocol = Omn_forwarding.Protocol
+
+let () =
+  let rng = Rng.create 7 in
+  let n = 40 in
+  let params = Omn_mobility.Venue.campus_params ~rng ~n ~n_groups:4 ~weeks:1 in
+  let trace = Omn_mobility.Venue.generate rng ~n ~name:"campus-week" params in
+  Format.printf "%a@.@." Omn_temporal.Trace.pp_summary trace;
+
+  let result = Omn_core.Diameter.measure ~max_hops:12 trace in
+  let diameter = Option.value result.diameter ~default:12 in
+  Format.printf "measured 99%%-diameter: %d@.@." diameter;
+
+  let protocols =
+    [
+      Protocol.Epidemic { ttl = None };
+      Protocol.Epidemic { ttl = Some (2 * diameter) };
+      Protocol.Epidemic { ttl = Some diameter };
+      Protocol.Epidemic { ttl = Some (max 1 (diameter / 2)) };
+      Protocol.Epidemic { ttl = Some 1 };
+      Protocol.Spray_and_wait { copies = 8 };
+      Protocol.Two_hop;
+    ]
+  in
+  let stats =
+    Omn_forwarding.Sim.evaluate (Rng.create 99) trace ~protocols ~messages:400
+      ~deadline:86400.
+  in
+  Format.printf "epidemic forwarding, 400 random messages, 1-day deadline:@.@.";
+  Format.printf "  %-20s %-11s %-11s %s@." "protocol" "delivered" "mean delay" "tx/msg";
+  List.iter
+    (fun (s : Omn_forwarding.Sim.stats) ->
+      Format.printf "  %-20s %6.1f%%     %-11s %.1f@."
+        (Protocol.name s.protocol)
+        (100. *. s.delivered_ratio)
+        (if Float.is_nan s.mean_delay then "-" else Omn_stats.Timefmt.duration s.mean_delay)
+        s.mean_transmissions)
+    stats;
+  Format.printf
+    "@.capping the TTL at the diameter costs almost nothing versus doubling it,@.\
+     while bounding the per-message resource consumption.@."

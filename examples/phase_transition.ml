@@ -1,0 +1,44 @@
+(* Random temporal networks (§3): where is the delay phase transition,
+   and how many hops do delay-optimal paths use?
+
+     dune exec examples/phase_transition.exe *)
+
+open Omn_randnet
+
+let () =
+  let lambda = 0.5 in
+  Format.printf "random temporal network, contact rate lambda = %.2f per node per slot@.@."
+    lambda;
+
+  (* Closed forms. *)
+  List.iter
+    (fun (case, label) ->
+      Format.printf
+        "%s contacts: critical tau* = %.3f  (optimal delay ~ %.2f ln N slots),@.\
+        \  hop coefficient %.3f (optimal path ~ %.2f ln N hops)@."
+        label
+        (Theory.tau_critical case ~lambda)
+        (Theory.tau_critical case ~lambda)
+        (Theory.hop_coefficient case ~lambda)
+        (Theory.hop_coefficient case ~lambda))
+    [ (Theory.Short, "short"); (Theory.Long, "long") ];
+
+  (* Monte-Carlo: success probability vs delay budget, N = 400. *)
+  let rng = Omn_stats.Rng.create 11 in
+  let params = { Discrete.n = 400; lambda } in
+  let tau_star = Theory.tau_critical Theory.Short ~lambda in
+  let taus = Array.map (fun f -> f *. tau_star) [| 0.5; 0.8; 1.0; 1.3; 1.8; 2.5 |] in
+  let curve = Phase.unconstrained_curve rng params ~case:Theory.Short ~taus ~runs:100 in
+  Format.printf "@.N = %d, short contacts: P(path exists within tau ln N slots)@." params.n;
+  Array.iter
+    (fun (tau, p) -> Format.printf "  tau/tau* = %.2f   %.2f@." (tau /. tau_star) p)
+    curve;
+
+  (* Monte-Carlo: hops of the delay-optimal path. *)
+  let samples = Discrete.delay_hops_sample rng params ~case:Theory.Short ~runs:50 ~t_max:200 in
+  let mean_hops =
+    List.fold_left (fun acc (_, h) -> acc +. float_of_int h) 0. samples
+    /. float_of_int (max 1 (List.length samples))
+  in
+  Format.printf "@.measured hops of delay-optimal path: %.2f (theory %.2f)@." mean_hops
+    (Theory.expected_hops Theory.Short ~lambda ~n:params.n)

@@ -1,0 +1,46 @@
+(* Quickstart: build a tiny temporal network by hand, inspect the
+   delivery function of a pair, and measure the network's diameter.
+
+     dune exec examples/quickstart.exe *)
+
+module Contact = Omn_temporal.Contact
+module Trace = Omn_temporal.Trace
+
+let () =
+  (* Five devices; times in seconds. Node 0 meets 1 early; 1 meets 2
+     later (store-and-forward); 2 and 3 overlap with 1 at various times;
+     0 meets 3 directly near the end. *)
+  let contacts =
+    [
+      Contact.make ~a:0 ~b:1 ~t_beg:0. ~t_end:120.;
+      Contact.make ~a:1 ~b:2 ~t_beg:300. ~t_end:420.;
+      Contact.make ~a:2 ~b:3 ~t_beg:360. ~t_end:600.;
+      Contact.make ~a:0 ~b:3 ~t_beg:1500. ~t_end:1560.;
+      Contact.make ~a:3 ~b:4 ~t_beg:1700. ~t_end:1800.;
+    ]
+  in
+  let trace = Trace.create ~name:"quickstart" ~n_nodes:5 ~t_start:0. ~t_end:1800. contacts in
+  Format.printf "%a@.@." Trace.pp_summary trace;
+
+  (* The delivery function from 0 to 4: every delay-optimal way of getting
+     a message across, for all creation times at once. *)
+  let delivery = Omn_core.Journey.delivery_to trace ~source:0 ~dest:4 () in
+  Format.printf "optimal paths 0 -> 4: %d@." (Omn_core.Delivery.n_optimal_paths delivery);
+  Array.iter
+    (fun (p : Omn_core.Ld_ea.t) ->
+      Format.printf "  leave 0 by %4.0fs  ->  reach 4 at %4.0fs@." p.ld p.ea)
+    (Omn_core.Delivery.descriptors delivery);
+  List.iter
+    (fun t ->
+      let d = Omn_core.Delivery.del delivery t in
+      Format.printf "created at %4.0fs: %s@." t
+        (if d = infinity then "undeliverable" else Printf.sprintf "delivered at %4.0fs" d))
+    [ 0.; 100.; 200.; 1550.; 1700. ];
+
+  (* The (1-eps)-diameter: how many hops achieve 99% of flooding at every
+     delay budget. *)
+  let result =
+    Omn_core.Diameter.measure ~grid:(Omn_stats.Grid.linear ~lo:30. ~hi:1800. ~n:60) trace
+  in
+  Format.printf "@.diameter (99%% of flooding): %s@."
+    (match result.diameter with Some d -> string_of_int d | None -> "> max_hops")

@@ -1,0 +1,34 @@
+(** Earliest-arrival journey search from one (source, start time) —
+    the generalized-Dijkstra prior art of §4.4 ([1], [7] in the paper).
+
+    Where {!Omn_core.Journey} computes optimal paths for {e all} start
+    times at once, these routines answer for a {e single} start time;
+    sweeping them over start times is the baseline the paper's algorithm
+    improves upon (see the timing bench). *)
+
+val earliest_arrival :
+  Omn_temporal.Trace.t -> source:Omn_temporal.Node.t -> t0:float -> float array
+(** [earliest_arrival trace ~source ~t0].(v) is the earliest time a
+    message created on [source] at [t0] can reach [v] ([infinity] if
+    never, [t0] for the source itself). Label-correcting search with a
+    binary heap; a contact [(u, v, [tb; te])] relaxes [v] to
+    [max arrival.(u) tb] whenever [arrival.(u) <= te]. *)
+
+val earliest_arrival_bounded :
+  Omn_temporal.Trace.t ->
+  source:Omn_temporal.Node.t ->
+  t0:float ->
+  max_hops:int ->
+  float array array
+(** Bellman–Ford-style rounds: row [k] (0 <= k <= max_hops) is the
+    earliest arrival using at most [k] contacts. Row 0 is [t0] at the
+    source and [infinity] elsewhere. *)
+
+val min_delay :
+  Omn_temporal.Trace.t ->
+  source:Omn_temporal.Node.t ->
+  dest:Omn_temporal.Node.t ->
+  t0:float ->
+  float
+(** Convenience: [earliest_arrival .(dest) -. t0] ([infinity] when
+    unreachable). *)

@@ -1,0 +1,32 @@
+module Trace = Omn_temporal.Trace
+module Contact = Omn_temporal.Contact
+open Omn_core
+
+let explore trace ~source ~max_hops visit =
+  let n = Trace.n_nodes trace in
+  if source < 0 || source >= n then invalid_arg "Enumerate: bad source";
+  (* DFS over (node, descriptor, hops). A sequence extends by any adjacent
+     contact e with EA(seq) <= t_end(e). *)
+  let rec go node (desc : Ld_ea.t) hops =
+    visit node desc hops;
+    if hops < max_hops then
+      Array.iter
+        (fun (c : Contact.t) ->
+          if desc.ea <= c.t_end then begin
+            let next = Ld_ea.make ~ld:(Float.min desc.ld c.t_end) ~ea:(Float.max desc.ea c.t_beg) in
+            go (Contact.peer c node) next (hops + 1)
+          end)
+        (Trace.node_contacts trace node)
+  in
+  go source Ld_ea.identity 0
+
+let frontiers trace ~source ~max_hops =
+  let fronts = Array.init (Trace.n_nodes trace) (fun _ -> Frontier.create ()) in
+  explore trace ~source ~max_hops (fun node desc _hops ->
+      ignore (Frontier.insert fronts.(node) desc));
+  fronts
+
+let count_sequences trace ~source ~max_hops =
+  let count = ref 0 in
+  explore trace ~source ~max_hops (fun _ _ hops -> if hops > 0 then incr count);
+  !count

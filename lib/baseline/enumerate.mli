@@ -1,0 +1,20 @@
+(** Exhaustive path enumeration — the ground truth the fast algorithm is
+    tested against.
+
+    Explores every valid sequence of at most [max_hops] contacts by
+    depth-first search (a sequence may revisit nodes and reuse contacts;
+    validity is the chronological condition Eq. (2) only). Exponential:
+    strictly for small traces in tests and pedagogy. *)
+
+val frontiers :
+  Omn_temporal.Trace.t ->
+  source:Omn_temporal.Node.t ->
+  max_hops:int ->
+  Omn_core.Frontier.t array
+(** Pareto frontier of descriptors per destination, over all sequences of
+    at most [max_hops] contacts. Index [source] holds the identity
+    descriptor, mirroring {!Omn_core.Journey.frontiers_at_hops}. *)
+
+val count_sequences :
+  Omn_temporal.Trace.t -> source:Omn_temporal.Node.t -> max_hops:int -> int
+(** Number of valid sequences explored (diagnostic; beware blow-up). *)

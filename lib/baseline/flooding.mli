@@ -1,0 +1,31 @@
+(** Flooding-based reconstruction of the delivery function — the
+    independently developed algorithm the paper cites at the end of §4.4
+    ("a packet is created for any beginning and end of contacts; a
+    discrete event simulator is used to simulate flooding; the results
+    are then merged using linear extrapolation").
+
+    Every breakpoint of a delivery function is a contact boundary:
+    last-departure values are contact ends and earliest arrivals are
+    contact begins. Flooding once per boundary therefore samples the
+    delivery function at every discontinuity, and between two consecutive
+    samples it is either constant (still waiting for the same contact) or
+    the diagonal (in direct reach). This module implements exactly that
+    reconstruction; it serves as the independent oracle against
+    {!Omn_core.Journey}'s frontier-based delivery functions. *)
+
+type t
+
+val compute : Omn_temporal.Trace.t -> source:Omn_temporal.Node.t -> t
+(** Floods from every contact boundary (plus the trace window start) and
+    from every mid-segment point — the midpoints settle whether a segment
+    is constant or diagonal, making the reconstruction exact rather than
+    extrapolated. O(#boundaries x flooding). *)
+
+val del : t -> dest:Omn_temporal.Node.t -> float -> float
+(** Delivery time for a message created at the given time; [infinity]
+    when flooding never reaches [dest]. Creation times after the trace
+    end return [infinity] unless in eternal self-reach ([dest = source]).
+*)
+
+val samples : t -> dest:Omn_temporal.Node.t -> (float * float) array
+(** The raw (creation boundary, delivery) samples, ascending. *)

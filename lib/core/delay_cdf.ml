@@ -1,0 +1,194 @@
+module Trace = Omn_temporal.Trace
+
+type t = {
+  grid_ : float array;
+  slope_diff : float array;  (* length n+1: coefficient of d on [i_lo, i_full) *)
+  const_diff : float array;  (* constant part on the same range *)
+  full_diff : float array;   (* saturated contribution from i_full on *)
+  mutable inf_mass : float;
+  mutable total : float;
+}
+
+let create ~grid =
+  let n = Array.length grid in
+  if n = 0 then invalid_arg "Delay_cdf.create: empty grid";
+  for i = 0 to n - 1 do
+    if grid.(i) < 0. || Float.is_nan grid.(i) then invalid_arg "Delay_cdf.create: negative budget";
+    if i > 0 && grid.(i) < grid.(i - 1) then invalid_arg "Delay_cdf.create: grid not ascending"
+  done;
+  {
+    grid_ = Array.copy grid;
+    slope_diff = Array.make (n + 1) 0.;
+    const_diff = Array.make (n + 1) 0.;
+    full_diff = Array.make (n + 1) 0.;
+    inf_mass = 0.;
+    total = 0.;
+  }
+
+let grid t = Array.copy t.grid_
+
+(* First grid index with grid.(i) >= x, or n. *)
+let lower t x =
+  let n = Array.length t.grid_ in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.grid_.(mid) >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* One creation-time segment (a, b] governed by arrival [ea]: success
+   measure at budget d is clamp(b - max(a, ea - d), 0, b - a) — zero up
+   to d = ea - b, then (b - ea) + d, then saturated at b - a. *)
+let add_segment t ~a ~b ~ea =
+  if b > a then begin
+    let i_lo = lower t (ea -. b) in
+    let i_full = lower t (ea -. a) in
+    if i_full > i_lo then begin
+      t.slope_diff.(i_lo) <- t.slope_diff.(i_lo) +. 1.;
+      t.slope_diff.(i_full) <- t.slope_diff.(i_full) -. 1.;
+      t.const_diff.(i_lo) <- t.const_diff.(i_lo) +. (b -. ea);
+      t.const_diff.(i_full) <- t.const_diff.(i_full) -. (b -. ea)
+    end;
+    t.full_diff.(i_full) <- t.full_diff.(i_full) +. (b -. a);
+    t.inf_mass <- t.inf_mass +. (b -. a)
+  end
+
+let add_pair t ~t_start ~t_end (descriptors : Ld_ea.t array) =
+  if t_start > t_end then invalid_arg "Delay_cdf.add_pair: reversed window";
+  t.total <- t.total +. (t_end -. t_start);
+  let prev_ld = ref neg_infinity in
+  Array.iter
+    (fun (p : Ld_ea.t) ->
+      let a = Float.max t_start !prev_ld in
+      let b = Float.min t_end p.ld in
+      add_segment t ~a ~b ~ea:p.ea;
+      prev_ld := p.ld)
+    descriptors
+
+let success t =
+  let n = Array.length t.grid_ in
+  let out = Array.make n 0. in
+  let slope = ref 0. and const = ref 0. and full = ref 0. in
+  for i = 0 to n - 1 do
+    slope := !slope +. t.slope_diff.(i);
+    const := !const +. t.const_diff.(i);
+    full := !full +. t.full_diff.(i);
+    let mass = (!slope *. t.grid_.(i)) +. !const +. !full in
+    out.(i) <- (if t.total > 0. then mass /. t.total else 0.)
+  done;
+  out
+
+let success_inf t = if t.total > 0. then t.inf_mass /. t.total else 0.
+let total_mass t = t.total
+
+let merge_into ~dst src =
+  if dst.grid_ <> src.grid_ then invalid_arg "Delay_cdf.merge_into: different grids";
+  let add a b = Array.iteri (fun i v -> a.(i) <- a.(i) +. v) b in
+  add dst.slope_diff src.slope_diff;
+  add dst.const_diff src.const_diff;
+  add dst.full_diff src.full_diff;
+  dst.inf_mass <- dst.inf_mass +. src.inf_mass;
+  dst.total <- dst.total +. src.total
+
+type curves = {
+  grid : float array;
+  hop_success : float array array;
+  hop_success_inf : float array;
+  flood_success : float array;
+  flood_success_inf : float;
+  max_rounds_used : int;
+}
+
+(* Accumulate the per-hop and flooding curves for one batch of sources.
+   Self-contained so that batches can run on separate domains: the only
+   shared value is the (frozen) trace. *)
+let compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace sources =
+  let hop_accs = Array.init max_hops (fun _ -> create ~grid:budget_grid) in
+  let flood_acc = create ~grid:budget_grid in
+  let max_rounds_used = ref 0 in
+  let add_frontiers acc source frontiers =
+    Array.iteri
+      (fun dest frontier ->
+        if dest <> source && is_dest.(dest) then begin
+          let snapshot = Frontier.to_array frontier in
+          List.iter
+            (fun (t_start, t_end) -> add_pair acc ~t_start ~t_end snapshot)
+            windows
+        end)
+      frontiers
+  in
+  List.iter
+    (fun source ->
+      let on_round (info : Journey.round_info) =
+        if info.hop <= max_hops then add_frontiers hop_accs.(info.hop - 1) source info.frontiers
+      in
+      let frontiers, rounds = Journey.run ~on_round trace ~source in
+      max_rounds_used := max !max_rounds_used rounds;
+      for k = rounds + 1 to max_hops do
+        add_frontiers hop_accs.(k - 1) source frontiers
+      done;
+      add_frontiers flood_acc source frontiers)
+    sources;
+  (hop_accs, flood_acc, !max_rounds_used)
+
+let split_batches k l =
+  let batches = Array.make k [] in
+  List.iteri (fun i x -> batches.(i mod k) <- x :: batches.(i mod k)) l;
+  Array.to_list batches |> List.filter (fun b -> b <> [])
+
+let compute ?(max_hops = 10) ?sources ?dests ?grid:(budget_grid = Omn_stats.Grid.delay_default)
+    ?(domains = 1) ?windows trace =
+  if max_hops < 1 then invalid_arg "Delay_cdf.compute: max_hops < 1";
+  if domains < 1 then invalid_arg "Delay_cdf.compute: domains < 1";
+  let windows =
+    match windows with
+    | None -> [ (Trace.t_start trace, Trace.t_end trace) ]
+    | Some [] -> invalid_arg "Delay_cdf.compute: empty window list"
+    | Some ws ->
+      List.iter (fun (a, b) -> if a > b then invalid_arg "Delay_cdf.compute: reversed window") ws;
+      ws
+  in
+  let n = Trace.n_nodes trace in
+  let sources = Option.value sources ~default:(List.init n (fun i -> i)) in
+  let is_dest =
+    match dests with
+    | None -> Array.make n true
+    | Some ds ->
+      let mask = Array.make n false in
+      List.iter (fun d -> mask.(d) <- true) ds;
+      mask
+  in
+  let results =
+    if domains = 1 || List.length sources < 2 then
+      [ compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace sources ]
+    else begin
+      (* Force the lazily built adjacency index before sharing the trace
+         across domains. *)
+      if n > 0 then ignore (Trace.node_contacts trace 0);
+      split_batches domains sources
+      |> List.map (fun batch ->
+             Domain.spawn (fun () ->
+                 compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace batch))
+      |> List.map Domain.join
+    end
+  in
+  let hop_accs, flood_acc, max_rounds_used =
+    match results with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun (hops, flood, rounds) (hops', flood', rounds') ->
+          Array.iteri (fun i acc -> merge_into ~dst:acc hops'.(i)) hops;
+          merge_into ~dst:flood flood';
+          (hops, flood, max rounds rounds'))
+        first rest
+  in
+  {
+    grid = Array.copy budget_grid;
+    hop_success = Array.map success hop_accs;
+    hop_success_inf = Array.map success_inf hop_accs;
+    flood_success = success flood_acc;
+    flood_success_inf = success_inf flood_acc;
+    max_rounds_used;
+  }

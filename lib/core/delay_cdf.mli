@@ -1,0 +1,76 @@
+(** Empirical success probability of optimal forwarding (Figs. 9–11).
+
+    The paper evaluates, for a uniformly random (source, destination,
+    message-creation time), the probability that flooding restricted to
+    [k] hops delivers within a delay budget [d]. Because creation time
+    ranges over a continuum, this is an integral, and the frontier
+    representation makes it exact: the success measure of one pair is a
+    sum of piecewise-linear-in-[d] segment contributions
+    (see {!Delivery.success_measure}). The accumulator below aggregates
+    those contributions over pairs onto a fixed budget grid in
+    O(log |grid|) per frontier descriptor, using difference arrays. *)
+
+type t
+
+val create : grid:float array -> t
+(** [grid]: ascending, non-negative delay budgets (seconds).
+    Raises [Invalid_argument] otherwise. *)
+
+val grid : t -> float array
+
+val add_pair : t -> t_start:float -> t_end:float -> Ld_ea.t array -> unit
+(** Accumulate one (source, destination) pair whose frontier snapshot is
+    given, with creation times uniform on [[t_start, t_end]]. The pair
+    contributes mass [t_end - t_start] to the denominator whether or not
+    it ever succeeds. *)
+
+val success : t -> float array
+(** [success t].(i) = empirical P(optimal delay <= grid.(i)). *)
+
+val success_inf : t -> float
+(** Empirical P(optimal delay < infinity) — the success rate of
+    unrestricted flooding with unlimited time. *)
+
+val total_mass : t -> float
+(** Denominator accumulated so far (pairs x window length). *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold another accumulator built on the {e same} grid into [dst] —
+    accumulation distributes over pair partitions, which is what makes
+    the parallel driver below possible. Raises [Invalid_argument] on
+    grid mismatch. *)
+
+(** {1 Whole-trace driver} *)
+
+type curves = {
+  grid : float array;
+  hop_success : float array array;
+      (** [hop_success.(k-1)] = success curve under hop bound [k],
+          for k = 1 .. max_hops. *)
+  hop_success_inf : float array;  (** same, at unlimited delay *)
+  flood_success : float array;    (** success curve of unrestricted flooding *)
+  flood_success_inf : float;
+  max_rounds_used : int;  (** largest fixpoint round over all sources *)
+}
+
+val compute :
+  ?max_hops:int ->
+  ?sources:Omn_temporal.Node.t list ->
+  ?dests:Omn_temporal.Node.t list ->
+  ?grid:float array ->
+  ?domains:int ->
+  ?windows:(float * float) list ->
+  Omn_temporal.Trace.t ->
+  curves
+(** Runs {!Journey.run} from every source (default: all nodes; creation
+    times uniform over the trace window; all ordered pairs with
+    [source <> dest]) and aggregates per-hop-bound success curves.
+    [dests] restricts which destinations count as observations — e.g.
+    only the experimental devices of a trace that also records external
+    ones. [max_hops] defaults to 10, [grid] to
+    {!Omn_stats.Grid.delay_default}. [domains > 1] splits the sources
+    over that many OCaml domains (sources are independent journeys);
+    results are identical up to floating-point summation order.
+    [windows] restricts message-creation times to a union of intervals
+    (e.g. day-time hours only, as in the paper's §5.3.1 aside) instead
+    of the whole trace window. *)

@@ -1,0 +1,56 @@
+type t = Ld_ea.t array
+
+let of_descriptors a =
+  for i = 1 to Array.length a - 1 do
+    if not (a.(i - 1).Ld_ea.ld < a.(i).Ld_ea.ld && a.(i - 1).Ld_ea.ea < a.(i).Ld_ea.ea) then
+      invalid_arg "Delivery.of_descriptors: not a sorted Pareto frontier"
+  done;
+  a
+
+let descriptors t = t
+
+(* First index with ld >= x, or length. *)
+let lower_ld (t : t) x =
+  let lo = ref 0 and hi = ref (Array.length t) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.(mid).Ld_ea.ld >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let del t at =
+  let i = lower_ld t at in
+  if i >= Array.length t then infinity else Float.max at t.(i).Ld_ea.ea
+
+let delay t at = del t at -. at
+let n_optimal_paths t = Array.length t
+
+let breakpoints t =
+  Array.fold_right (fun (p : Ld_ea.t) acc -> p.ld :: p.ea :: acc) t []
+  |> List.filter Float.is_finite
+  |> List.sort_uniq Float.compare
+
+let success_measure t ~t_start ~t_end ~budget =
+  if t_start > t_end then invalid_arg "Delivery.success_measure: reversed window";
+  if budget < 0. then 0.
+  else begin
+    (* Creation times split into segments (prev_ld, ld_i] on which the
+       governing descriptor is t.(i); within a segment the delay is
+       max(0, ea_i - created), so success means created >= ea_i - budget. *)
+    let acc = ref 0. in
+    let prev_ld = ref neg_infinity in
+    Array.iter
+      (fun (p : Ld_ea.t) ->
+        let a = Float.max t_start !prev_ld in
+        let b = Float.min t_end p.ld in
+        if b > a then begin
+          let earliest_ok = if budget = infinity then a else p.ea -. budget in
+          let lo = Float.max a earliest_ok in
+          if b > lo then acc := !acc +. (b -. lo)
+        end;
+        prev_ld := p.ld)
+      t;
+    !acc
+  end
+
+let plot t ~times = Array.map (fun at -> (at, del t at)) times

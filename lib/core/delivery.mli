@@ -1,0 +1,38 @@
+(** Delivery functions (Fig. 5 / Fig. 8 of the paper).
+
+    A delivery function for one (source, destination) pair maps the
+    creation time [t] of a message to the earliest time any valid contact
+    sequence can deliver it. It is determined by the pair's Pareto
+    frontier: [del t = max t ea_j] where [j] is the first descriptor with
+    [ld_j >= t], and [+inf] after the last descriptor. This module works
+    on immutable frontier snapshots ({!Frontier.to_array}). *)
+
+type t
+
+val of_descriptors : Ld_ea.t array -> t
+(** The array must be ascending in both coordinates (as produced by
+    {!Frontier.to_array}); raises [Invalid_argument] otherwise. *)
+
+val descriptors : t -> Ld_ea.t array
+
+val del : t -> float -> float
+(** Optimal delivery time for a message created at [t] (Eq. 3). *)
+
+val delay : t -> float -> float
+(** [del t -. t]; [infinity] when undeliverable. *)
+
+val n_optimal_paths : t -> int
+(** Number of descriptors = number of distinct optimal paths the paper
+    counts when discussing Fig. 8. *)
+
+val breakpoints : t -> float list
+(** Ascending creation times at which the delivery function changes
+    shape: every [ld] and every [ea]. *)
+
+val success_measure : t -> t_start:float -> t_end:float -> budget:float -> float
+(** Lebesgue measure of creation times [t] in [[t_start, t_end]] whose
+    optimal delay is [<= budget]. [budget] may be [infinity] (measures
+    all deliverable creation times). Exact — no sampling. *)
+
+val plot : t -> times:float array -> (float * float) array
+(** Sampled [(t, del t)] pairs for pretty-printing experiments. *)

@@ -1,0 +1,118 @@
+(* Growable sorted array. Both coordinates are strictly increasing: if two
+   members had equal [ld], the one with larger [ea] would be dominated;
+   same for equal [ea]. *)
+
+type t = { mutable data : Ld_ea.t array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let copy t = { data = Array.copy t.data; size = t.size }
+let size t = t.size
+let is_empty t = t.size = 0
+let get t i = if i < 0 || i >= t.size then invalid_arg "Frontier.get" else t.data.(i)
+let to_array t = Array.sub t.data 0 t.size
+
+(* First index with data.(i).ld >= x, or size. *)
+let lower_ld t x =
+  let lo = ref 0 and hi = ref t.size in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.data.(mid).Ld_ea.ld >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* First index with data.(i).ea > x, or size. *)
+let upper_ea t x =
+  let lo = ref 0 and hi = ref t.size in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.data.(mid).Ld_ea.ea > x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let mem_dominated t (p : Ld_ea.t) =
+  let i = lower_ld t p.ld in
+  i < t.size && t.data.(i).Ld_ea.ea <= p.ea
+
+let ensure_capacity t =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let fresh = Array.make (max 8 (2 * cap)) Ld_ea.identity in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end
+
+let insert t (p : Ld_ea.t) =
+  let i = lower_ld t p.ld in
+  if i < t.size && t.data.(i).Ld_ea.ea <= p.ea then false (* dominated (or equal) *)
+  else begin
+    (* Members dominated by [p] have ld <= p.ld and ea >= p.ea. Those with
+       ld < p.ld sit at indices < i; by ea-monotonicity they form the tail
+       run [j, i). A member at [i] with ld = p.ld (and ea > p.ea, else we
+       returned above) is dominated too. *)
+    let j =
+      let lo = ref 0 and hi = ref i in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.data.(mid).Ld_ea.ea >= p.ea then hi := mid else lo := mid + 1
+      done;
+      !lo
+    in
+    let k = if i < t.size && t.data.(i).Ld_ea.ld = p.ld then i + 1 else i in
+    (* Replace slots [j, k) by [p]. *)
+    let removed = k - j in
+    if removed = 0 then begin
+      ensure_capacity t;
+      Array.blit t.data j t.data (j + 1) (t.size - j);
+      t.data.(j) <- p;
+      t.size <- t.size + 1
+    end
+    else begin
+      t.data.(j) <- p;
+      if removed > 1 then begin
+        Array.blit t.data k t.data (j + 1) (t.size - k);
+        t.size <- t.size - removed + 1
+      end
+    end;
+    true
+  end
+
+let first_ld_geq t x =
+  let i = lower_ld t x in
+  if i < t.size then Some t.data.(i) else None
+
+let last_ea_leq t x =
+  let i = upper_ea t x in
+  if i = 0 then None else Some t.data.(i - 1)
+
+let iter_ea_in t ~lo ~hi f =
+  let i0 = upper_ea t lo in
+  let i = ref i0 in
+  while !i < t.size && t.data.(!i).Ld_ea.ea <= hi do
+    f t.data.(!i);
+    incr i
+  done
+
+let delivery t at =
+  match first_ld_geq t at with
+  | None -> infinity
+  | Some p -> Float.max at p.Ld_ea.ea
+
+let equal t1 t2 =
+  t1.size = t2.size
+  &&
+  let rec go i = i = t1.size || (Ld_ea.equal t1.data.(i) t2.data.(i) && go (i + 1)) in
+  go 0
+
+let check_invariant t =
+  for i = 1 to t.size - 1 do
+    assert (t.data.(i - 1).Ld_ea.ld < t.data.(i).Ld_ea.ld);
+    assert (t.data.(i - 1).Ld_ea.ea < t.data.(i).Ld_ea.ea)
+  done
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>{";
+  for i = 0 to t.size - 1 do
+    if i > 0 then Format.fprintf fmt ";@ ";
+    Ld_ea.pp fmt t.data.(i)
+  done;
+  Format.fprintf fmt "}@]"

@@ -1,0 +1,56 @@
+(** Pareto frontiers of {!Ld_ea} descriptors.
+
+    This is the paper's "minimum amount of information" representation of
+    all delay-optimal paths between one (source, destination) pair
+    (condition (4) in §4.4): the set of descriptors none of which
+    dominates another, kept sorted by strictly increasing [ld] — and,
+    because the set is an antichain, strictly increasing [ea] as well.
+    The delivery function of the pair reads directly off this list. *)
+
+type t
+
+val create : unit -> t
+(** Empty frontier. *)
+
+val copy : t -> t
+
+val insert : t -> Ld_ea.t -> bool
+(** [insert t p] adds [p] unless an existing descriptor dominates it;
+    descriptors that [p] dominates are removed. Returns [true] iff the
+    frontier changed (i.e. [p] is now a member). Duplicate of an existing
+    point returns [false]. O(size) worst case (array shift), O(log size)
+    search. *)
+
+val size : t -> int
+val is_empty : t -> bool
+
+val to_array : t -> Ld_ea.t array
+(** Fresh array, ascending in both coordinates. *)
+
+val get : t -> int -> Ld_ea.t
+
+val mem_dominated : t -> Ld_ea.t -> bool
+(** Would [insert] reject this point (some member dominates it, or it is
+    already present)? Does not modify the frontier. *)
+
+val first_ld_geq : t -> float -> Ld_ea.t option
+(** Member with the smallest [ld >= t] — because [ea] is co-sorted this
+    is also the best arrival among sequences still usable at time [t]. *)
+
+val last_ea_leq : t -> float -> Ld_ea.t option
+(** Member with the largest [ea <= x]. *)
+
+val iter_ea_in : t -> lo:float -> hi:float -> (Ld_ea.t -> unit) -> unit
+(** Visit members with [lo < ea <= hi], in ascending order. *)
+
+val delivery : t -> float -> float
+(** Optimal delivery time of a message created at [t] over all
+    descriptors: Eq. (3) of the paper. [infinity] when no sequence
+    remains usable. *)
+
+val equal : t -> t -> bool
+
+val check_invariant : t -> unit
+(** Assert strict bi-monotonicity; for tests. Raises [Assert_failure]. *)
+
+val pp : Format.formatter -> t -> unit

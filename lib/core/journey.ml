@@ -1,0 +1,133 @@
+module Trace = Omn_temporal.Trace
+module Contact = Omn_temporal.Contact
+
+type round_info = { hop : int; frontiers : Frontier.t array; changed : int }
+
+(* First index of [d] with ld >= x, or length. [d] is ascending in both
+   coordinates (a sorted Pareto antichain). *)
+let lower_ld (d : Ld_ea.t array) x =
+  let lo = ref 0 and hi = ref (Array.length d) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if d.(mid).Ld_ea.ld >= x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* First index of [d] with ea > x, or length. *)
+let upper_ea (d : Ld_ea.t array) x =
+  let lo = ref 0 and hi = ref (Array.length d) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if d.(mid).Ld_ea.ea > x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* Undominated candidates from extending descriptors of [d] by a contact
+   with interval [tb, te] (see .mli header for the case analysis). *)
+let candidates (d : Ld_ea.t array) ~tb ~te emit =
+  let len = Array.length d in
+  let i = lower_ld d te in
+  if i < len && d.(i).Ld_ea.ea <= te then
+    emit (Ld_ea.make ~ld:te ~ea:(Float.max d.(i).Ld_ea.ea tb));
+  let j = upper_ea d tb - 1 in
+  if j >= 0 && d.(j).Ld_ea.ld < te then emit (Ld_ea.make ~ld:d.(j).Ld_ea.ld ~ea:tb);
+  let hi = min (upper_ea d te) i in
+  for k = j + 1 to hi - 1 do
+    emit d.(k)
+  done
+
+type strategy = Semi_naive | Full_recompute
+
+let run_internal ?(max_rounds = 1024) ?(strategy = Semi_naive) ?on_round ?stop_after trace
+    ~source =
+  let n = Trace.n_nodes trace in
+  if source < 0 || source >= n then invalid_arg "Journey.run: bad source";
+  let frontiers = Array.init n (fun _ -> Frontier.create ()) in
+  let _ = Frontier.insert frontiers.(source) Ld_ea.identity in
+  let delta = Array.make n [||] in
+  delta.(source) <- [| Ld_ea.identity |];
+  let contacts = Trace.contacts trace in
+  let fresh = Array.make n [] in
+  let touched = ref [ source ] in
+  let do_round () =
+    let changed = ref 0 in
+    let next_touched = ref [] in
+    let extend from_node to_node ~tb ~te =
+      let d = delta.(from_node) in
+      if Array.length d > 0 then
+        candidates d ~tb ~te (fun p ->
+            if Frontier.insert frontiers.(to_node) p then begin
+              if fresh.(to_node) = [] then next_touched := to_node :: !next_touched;
+              fresh.(to_node) <- p :: fresh.(to_node);
+              incr changed
+            end)
+    in
+    Array.iter
+      (fun (c : Contact.t) ->
+        extend c.a c.b ~tb:c.t_beg ~te:c.t_end;
+        extend c.b c.a ~tb:c.t_beg ~te:c.t_end)
+      contacts;
+    (match strategy with
+    | Semi_naive ->
+      (* Reset old deltas, then Pareto-prune this round's insertions into
+         bi-sorted arrays for the next round. *)
+      List.iter (fun v -> delta.(v) <- [||]) !touched;
+      List.iter
+        (fun v ->
+          let acc = Frontier.create () in
+          List.iter (fun p -> ignore (Frontier.insert acc p)) fresh.(v);
+          delta.(v) <- Frontier.to_array acc;
+          fresh.(v) <- [])
+        !next_touched;
+      touched := !next_touched
+    | Full_recompute ->
+      (* Ablation: re-extend every frontier point each round instead of
+         only the new ones. Same results, no convergence shortcut. *)
+      List.iter (fun v -> fresh.(v) <- []) !next_touched;
+      let all = ref [] in
+      Array.iteri
+        (fun v f ->
+          if Frontier.is_empty f then delta.(v) <- [||]
+          else begin
+            delta.(v) <- Frontier.to_array f;
+            all := v :: !all
+          end)
+        frontiers;
+      touched := !all);
+    !changed
+  in
+  let rec loop round =
+    if round > max_rounds then failwith "Journey.run: no fixpoint within max_rounds";
+    let changed = do_round () in
+    if changed = 0 then round - 1
+    else begin
+      (match on_round with
+      | Some f -> f { hop = round; frontiers; changed }
+      | None -> ());
+      match stop_after with
+      | Some k when round >= k -> round
+      | _ -> loop (round + 1)
+    end
+  in
+  let rounds = loop 1 in
+  (frontiers, rounds)
+
+let run ?max_rounds ?strategy ?on_round trace ~source =
+  run_internal ?max_rounds ?strategy ?on_round trace ~source
+
+let frontiers_at_hops trace ~source ~max_hops =
+  if max_hops < 0 then invalid_arg "Journey.frontiers_at_hops: negative bound";
+  if max_hops = 0 then begin
+    let frontiers = Array.init (Trace.n_nodes trace) (fun _ -> Frontier.create ()) in
+    let _ = Frontier.insert frontiers.(source) Ld_ea.identity in
+    frontiers
+  end
+  else fst (run_internal ~stop_after:max_hops trace ~source)
+
+let delivery_to trace ~source ~dest ?max_hops () =
+  let frontiers =
+    match max_hops with
+    | None -> fst (run trace ~source)
+    | Some k -> frontiers_at_hops trace ~source ~max_hops:k
+  in
+  Delivery.of_descriptors (Frontier.to_array frontiers.(dest))

@@ -1,0 +1,47 @@
+(* Memoised dataset instances shared by the experiments, so one bench run
+   generates each preset once. [quick] variants are shorter (smoke tests). *)
+
+module Presets = Omn_mobility.Presets
+
+let memo f =
+  let full = lazy (f ~quick:false) in
+  let small = lazy (f ~quick:true) in
+  fun ~quick -> Lazy.force (if quick then small else full)
+
+let infocom05 =
+  memo (fun ~quick -> Presets.infocom05 ~days:(if quick then 1. else 3.) ())
+
+let infocom06 =
+  memo (fun ~quick -> Presets.infocom06 ~days:(if quick then 1.5 else 4.) ())
+
+let hong_kong = memo (fun ~quick -> Presets.hong_kong ~days:(if quick then 2. else 5.) ())
+let reality_mining = memo (fun ~quick -> Presets.reality_mining ~weeks:(if quick then 2 else 8) ())
+
+let all ~quick =
+  [
+    ("Infocom05", infocom05 ~quick);
+    ("Infocom06", infocom06 ~quick);
+    ("Hong-Kong", hong_kong ~quick);
+    ("Reality-Mining", reality_mining ~quick);
+  ]
+
+(* The trace §6 mutates: second day of Infocom06. *)
+let infocom06_day2 ~quick =
+  let info = infocom06 ~quick in
+  let day = 86400. in
+  let window =
+    if quick then Omn_temporal.Transform.time_window ~t_start:0. ~t_end:day info.trace
+    else Omn_temporal.Transform.time_window ~t_start:day ~t_end:(2. *. day) info.trace
+  in
+  { info with trace = window }
+
+(* Memoised curves for the §6 experiments that share them. *)
+let curves_cache : (string, Omn_core.Delay_cdf.curves) Hashtbl.t = Hashtbl.create 8
+
+let cached_curves key compute =
+  match Hashtbl.find_opt curves_cache key with
+  | Some curves -> curves
+  | None ->
+    let curves = compute () in
+    Hashtbl.add curves_cache key curves;
+    curves

@@ -1,0 +1,33 @@
+(* Figure 1: phase-transition exponent, short-contact case.
+   Curves γ ↦ γ ln λ + h(γ) for λ ∈ {0.5, 1.0, 1.5}; each has maximum
+   M = ln(1+λ) attained at γ* = λ/(1+λ). *)
+
+open Omn_randnet
+
+let name = "fig1"
+let description = "Phase transition exponent, short contacts (gamma ln lambda + h(gamma))"
+
+let lambdas = [ 0.5; 1.0; 1.5 ]
+
+let run ?quick:_ fmt =
+  Format.fprintf fmt "@.Figure 1 — %s@.@." description;
+  let gammas = Omn_stats.Grid.linear ~lo:0. ~hi:1. ~n:21 in
+  let header = "gamma" :: List.map (fun l -> Printf.sprintf "lambda=%.1f" l) lambdas in
+  let rows =
+    Array.to_list gammas
+    |> List.map (fun gamma ->
+           Printf.sprintf "%.2f" gamma
+           :: List.map
+                (fun lambda ->
+                  Printf.sprintf "%+.4f" (Theory.exponent Short ~lambda ~gamma))
+                lambdas)
+  in
+  Exp_common.table fmt ~header ~rows;
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun lambda ->
+      Format.fprintf fmt "lambda=%.1f: max M = ln(1+lambda) = %.4f at gamma* = %.4f@."
+        lambda
+        (Theory.exponent_max Short ~lambda)
+        (Theory.gamma_star Short ~lambda))
+    lambdas

@@ -1,0 +1,71 @@
+(* Figure 10: random contact removal (§6.1). Each contact of the second
+   day of Infocom06 is dropped independently with probability p ∈
+   {0, 0.9, 0.99}; curves are averaged over 5 independent removals as in
+   the paper. Expected shape: delays degrade badly at small timescales,
+   yet the diameter stays small. *)
+
+let name = "fig10"
+let description = "Effect of random contact removal (Infocom06 day 2)"
+
+let removal_curves ~quick ~p ~runs info =
+  let (info : Omn_mobility.Presets.info) = info in
+  let endpoints = List.init info.internal_nodes (fun i -> i) in
+  if p = 0. then [ Exp_common.trace_curves ~max_hops:14 ~endpoints info.trace ]
+  else begin
+    let rng = Omn_stats.Rng.create (0xF16 + int_of_float (1000. *. p)) in
+    List.init runs (fun _ ->
+        let stream = Omn_stats.Rng.split rng in
+        let thinned = Omn_temporal.Transform.remove_random ~rng:stream ~p info.trace in
+        Exp_common.trace_curves ~max_hops:14 ~endpoints thinned)
+    |> fun l -> if quick then [ List.hd l ] else l
+  end
+
+let avg curves_list extract delay =
+  let vals = List.map (fun c -> Exp_common.success_at c (extract c) delay) curves_list in
+  List.fold_left ( +. ) 0. vals /. float_of_int (List.length vals)
+
+let avg_diameter curves_list =
+  let ds = List.filter_map Omn_core.Diameter.of_curves curves_list in
+  if List.length ds <> List.length curves_list then None
+  else Some (List.fold_left ( + ) 0 ds / List.length ds)
+
+let print_case fmt label curves_list =
+  let hop_bounds = [ 1; 2; 3; 5 ] in
+  let header =
+    "delay"
+    :: (List.map (fun k -> Printf.sprintf "%d hops" k) hop_bounds @ [ "unlimited" ])
+  in
+  let delays = List.filter (fun (_, d) -> d <= 86400.) Exp_common.named_delays in
+  let rows =
+    List.map
+      (fun (delay_label, delay) ->
+        delay_label
+        :: (List.map
+              (fun k ->
+                Printf.sprintf "%.4f" (avg curves_list (fun c -> Exp_common.hop_row c k) delay))
+              hop_bounds
+           @ [
+               Printf.sprintf "%.4f"
+                 (avg curves_list (fun (c : Omn_core.Delay_cdf.curves) -> c.flood_success) delay);
+             ]))
+      delays
+  in
+  Format.fprintf fmt "@.(%s)  99%%-diameter = %a@.@." label Exp_common.pp_diameter
+    (avg_diameter curves_list);
+  Exp_common.table fmt ~header ~rows
+
+let run ?(quick = false) fmt =
+  Format.fprintf fmt "@.Figure 10 — %s@." description;
+  let info = Data.infocom06_day2 ~quick in
+  let runs = if quick then 1 else 5 in
+  print_case fmt "original" (removal_curves ~quick ~p:0. ~runs info);
+  print_case fmt "10% of contacts remaining"
+    (removal_curves ~quick ~p:0.9 ~runs info);
+  print_case fmt "1% of contacts remaining"
+    (removal_curves ~quick ~p:0.99 ~runs info);
+  Format.fprintf fmt
+    "@.Paper: success within 10 min collapses (35%% -> 0.2%%) and within 6 h drops@.\
+     (90%% -> 5%%) at 99%% removal, while the diameter stays small; in our synthetic@.\
+     trace the heaviest degradation also hits small timescales, with an@.\
+     intermediate-removal bump in the diameter (the connected-but-no-shortcuts@.\
+     regime the paper describes under Fig. 12).@."

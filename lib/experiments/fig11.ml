@@ -1,0 +1,65 @@
+(* Figure 11: duration-threshold removal (§6.2). Contacts shorter than
+   {2, 10, 30} minutes are removed from Infocom06 day 2. Expected shape:
+   long contacts preserve more small-delay paths than random removal of a
+   comparable volume, but the diameter increases — short contacts are
+   what keeps it small. *)
+
+let name = "fig11"
+let description = "Effect of removing short contacts (Infocom06 day 2)"
+
+let thresholds = [ ("2 min", 120.); ("10 min", 600.); ("30 min", 1800.) ]
+
+let cache : (string, float * Omn_core.Delay_cdf.curves) Hashtbl.t = Hashtbl.create 8
+
+let curves_for ~quick threshold =
+  let key = Printf.sprintf "%g-%b" threshold quick in
+  match Hashtbl.find_opt cache key with
+  | Some result -> result
+  | None ->
+    let info = Data.infocom06_day2 ~quick in
+    let endpoints = List.init info.internal_nodes (fun i -> i) in
+    let filtered = Omn_temporal.Transform.keep_longer_than threshold info.trace in
+    let removed =
+      1.
+      -. float_of_int (Omn_temporal.Trace.n_contacts filtered)
+         /. float_of_int (max 1 (Omn_temporal.Trace.n_contacts info.trace))
+    in
+    let result = (removed, Exp_common.trace_curves ~max_hops:12 ~endpoints filtered) in
+    Hashtbl.add cache key result;
+    result
+
+let print_case fmt label removed (curves : Omn_core.Delay_cdf.curves) =
+  let hop_bounds = [ 1; 2; 3; 5; 7 ] in
+  let header =
+    "delay" :: (List.map (fun k -> Printf.sprintf "%d hops" k) hop_bounds @ [ "unlimited" ])
+  in
+  let delays = List.filter (fun (_, d) -> d <= 86400.) Exp_common.named_delays in
+  let rows =
+    List.map
+      (fun (delay_label, delay) ->
+        delay_label
+        :: (List.map
+              (fun k ->
+                Printf.sprintf "%.4f"
+                  (Exp_common.success_at curves (Exp_common.hop_row curves k) delay))
+              hop_bounds
+           @ [ Printf.sprintf "%.4f" (Exp_common.success_at curves curves.flood_success delay) ]
+           ))
+      delays
+  in
+  Format.fprintf fmt "@.(contacts > %s: %.0f%% removed)  99%%-diameter = %a@.@." label
+    (100. *. removed) Exp_common.pp_diameter
+    (Omn_core.Diameter.of_curves curves);
+  Exp_common.table fmt ~header ~rows
+
+let run ?(quick = false) fmt =
+  Format.fprintf fmt "@.Figure 11 — %s@." description;
+  List.iter
+    (fun (label, threshold) ->
+      let removed, curves = curves_for ~quick threshold in
+      print_case fmt label removed curves)
+    thresholds;
+  Format.fprintf fmt
+    "@.Paper: keeping only long contacts preserves more small-delay paths than random@.\
+     removal of comparable volume, but the diameter rises (7 hops at the 10 min cut) —@.\
+     short contacts keep the diameter small.@."

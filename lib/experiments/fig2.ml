@@ -1,0 +1,37 @@
+(* Figure 2: phase-transition exponent, long-contact case.
+   γ ↦ γ ln λ + g(γ); for λ < 1 the maximum is −ln(1−λ) at λ/(1−λ), for
+   λ >= 1 the curve is increasing and unbounded. *)
+
+open Omn_randnet
+
+let name = "fig2"
+let description = "Phase transition exponent, long contacts (gamma ln lambda + g(gamma))"
+
+let lambdas = [ 0.5; 1.0; 1.5 ]
+
+let run ?quick:_ fmt =
+  Format.fprintf fmt "@.Figure 2 — %s@.@." description;
+  let gammas = Omn_stats.Grid.linear ~lo:0. ~hi:1.5 ~n:16 in
+  let header = "gamma" :: List.map (fun l -> Printf.sprintf "lambda=%.1f" l) lambdas in
+  let rows =
+    Array.to_list gammas
+    |> List.map (fun gamma ->
+           Printf.sprintf "%.2f" gamma
+           :: List.map
+                (fun lambda ->
+                  Printf.sprintf "%+.4f" (Theory.exponent Long ~lambda ~gamma))
+                lambdas)
+  in
+  Exp_common.table fmt ~header ~rows;
+  Format.fprintf fmt "@.";
+  List.iter
+    (fun lambda ->
+      if lambda < 1. then
+        Format.fprintf fmt
+          "lambda=%.1f: max M = -ln(1-lambda) = %.4f at gamma* = %.4f@." lambda
+          (Theory.exponent_max Long ~lambda)
+          (Theory.gamma_star Long ~lambda)
+      else
+        Format.fprintf fmt "lambda=%.1f: unbounded (network almost-simultaneously connected)@."
+          lambda)
+    lambdas

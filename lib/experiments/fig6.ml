@@ -1,0 +1,77 @@
+(* Figure 6: time of the next contact with any other device, for six
+   representative participants (two each from Hong-Kong, Reality-Mining
+   and Infocom05). The paper plots the staircase (departure, next
+   arrival); here we print its summary shape: the fraction of time spent
+   in contact, the distribution of waits, and the longest disconnection —
+   the facts §5.2 reads off the plot (long disconnections in Hong-Kong
+   and Reality-Mining, near-continuous contact in Infocom05 outside
+   nights). *)
+
+let name = "fig6"
+let description = "Next-contact profile of six representative participants"
+
+let wait_stats trace node =
+  let steps = Omn_temporal.Trace_stats.next_contact_steps trace node in
+  let span = Omn_temporal.Trace.span trace in
+  let t_end = Omn_temporal.Trace.t_end trace in
+  (* A node never seen again waits until the end of the window. *)
+  let steps = List.map (fun (t, a) -> (t, Float.min a t_end)) steps in
+  (* Integrate the wait (arrival - departure) over departure time. *)
+  let rec go acc_contact longest = function
+    | (t0, a0) :: (((t1, _) :: _) as rest) ->
+      let wait = a0 -. t0 in
+      let seg = t1 -. t0 in
+      if wait <= 0. then go (acc_contact +. seg) longest rest
+      else go acc_contact (Float.max longest wait) rest
+    | [ (t0, a0) ] ->
+      let wait = a0 -. t0 in
+      if wait <= 0. then (acc_contact +. (t_end -. t0), longest)
+      else (acc_contact, Float.max longest wait)
+    | [] -> (acc_contact, longest)
+  in
+  let in_contact, longest_wait = go 0. 0. steps in
+  (in_contact /. span, longest_wait, List.length steps)
+
+let pick_nodes (info : Omn_mobility.Presets.info) =
+  (* Two active internal nodes: the best- and median-connected by degree. *)
+  let degrees =
+    List.init info.internal_nodes (fun u -> (Omn_temporal.Trace.degree info.trace u, u))
+    |> List.sort compare |> List.rev
+  in
+  match degrees with
+  | (_, top) :: rest ->
+    let median = List.nth degrees (List.length degrees / 2) in
+    [ top; (if snd median = top then (match rest with (_, u) :: _ -> u | [] -> top) else snd median) ]
+  | [] -> []
+
+let run ?(quick = false) fmt =
+  Format.fprintf fmt "@.Figure 6 — %s@.@." description;
+  let datasets =
+    [
+      ("Hong-Kong", Data.hong_kong ~quick);
+      ("Reality-Mining", Data.reality_mining ~quick);
+      ("Infocom05", Data.infocom05 ~quick);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (label, (info : Omn_mobility.Presets.info)) ->
+        List.map
+          (fun node ->
+            let frac, longest, periods = wait_stats info.trace node in
+            [
+              label;
+              Printf.sprintf "n%d" node;
+              Printf.sprintf "%.1f%%" (100. *. frac);
+              Omn_stats.Timefmt.axis_seconds longest;
+              string_of_int periods;
+            ])
+          (pick_nodes info))
+      datasets
+  in
+  Exp_common.table fmt
+    ~header:[ "dataset"; "node"; "time in contact"; "longest disconnection"; "breakpoints" ]
+    ~rows;
+  Format.fprintf fmt
+    "@.Hong-Kong and Reality-Mining nodes sit through day-scale disconnections while@.\
+     Infocom05 participants are in near-continuous reach outside nights (5.2).@."

@@ -1,0 +1,76 @@
+(* Figure 8: the delivery function of one Hong-Kong source-destination
+   pair under hop bounds 1..4 and infinity. The paper's example pair has
+   no path at all below 3 hops, gains several optimal paths at 3, and
+   nothing improves past 4 — we search the trace for a pair with that
+   profile and print its frontiers. *)
+
+open Omn_core
+
+let name = "fig8"
+let description = "Delivery function of one pair under increasing hop bounds"
+
+let frontier_snapshots trace ~source ~max_k =
+  (* One journey run; snapshot every destination frontier at each round. *)
+  let n = Omn_temporal.Trace.n_nodes trace in
+  let snaps = Array.make_matrix (max_k + 1) n [||] in
+  let on_round (info : Journey.round_info) =
+    if info.hop <= max_k then
+      Array.iteri (fun dest f -> snaps.(info.hop).(dest) <- Frontier.to_array f) info.frontiers
+  in
+  let frontiers, rounds = Journey.run ~on_round trace ~source in
+  for k = min rounds max_k + 1 to max_k do
+    snaps.(k) <- Array.map Frontier.to_array frontiers
+  done;
+  (snaps, Array.map Frontier.to_array frontiers)
+
+let find_example trace ~internal =
+  (* A pair unreachable directly, reachable at 3 hops, with several
+     optimal paths at the fixpoint. *)
+  let best = ref None in
+  (try
+     for source = 0 to internal - 1 do
+       let snaps, fix = frontier_snapshots trace ~source ~max_k:4 in
+       for dest = 0 to internal - 1 do
+         if dest <> source then begin
+           let at k = snaps.(k).(dest) in
+           if
+             Array.length (at 1) = 0
+             && Array.length (at 3) > Array.length (at 2)
+             && Array.length fix.(dest) >= 3
+           then begin
+             best := Some (source, dest, snaps, fix.(dest));
+             raise Exit
+           end
+         end
+       done
+     done
+   with Exit -> ());
+  !best
+
+let pp_frontier fmt t0 descriptors =
+  if Array.length descriptors = 0 then Format.fprintf fmt "(no path)"
+  else
+    Array.iter
+      (fun (p : Ld_ea.t) ->
+        Format.fprintf fmt "(LD=%s, EA=%s) "
+          (Omn_stats.Timefmt.axis_seconds (p.ld -. t0))
+          (Omn_stats.Timefmt.axis_seconds (p.ea -. t0)))
+      descriptors
+
+let run ?(quick = false) fmt =
+  Format.fprintf fmt "@.Figure 8 — %s@.@." description;
+  let info = Data.hong_kong ~quick in
+  match find_example info.trace ~internal:info.internal_nodes with
+  | None -> Format.fprintf fmt "no pair with the paper's profile found in this instance@."
+  | Some (source, dest, snaps, fix) ->
+    let t0 = Omn_temporal.Trace.t_start info.trace in
+    Format.fprintf fmt "pair: n%d -> n%d (times relative to trace start)@.@." source dest;
+    for k = 1 to 4 do
+      Format.fprintf fmt "  max hops %d:   %a@." k (fun f -> pp_frontier f t0) snaps.(k).(dest)
+    done;
+    Format.fprintf fmt "  max hops inf: %a@." (fun f -> pp_frontier f t0) fix;
+    let fixpoint_equals_4 = fix = snaps.(4).(dest) in
+    Format.fprintf fmt
+      "@.optimal paths: %d; unreachable with 1 hop; frontier at 4 hops %s the unbounded one@."
+      (Array.length fix)
+      (if fixpoint_equals_4 then "already equals" else "still differs from")

@@ -1,0 +1,45 @@
+(* Figure 9: CDF of the optimal delay over all (source, destination,
+   start time) for Infocom05, Reality-Mining and Hong-Kong, under hop
+   bounds 1, 2, 3, ..., and unbounded; plus the 99%-diameter printed
+   under each sub-figure as in the paper. *)
+
+let name = "fig9"
+let description = "CDF of optimal delay per hop bound; 99% diameters"
+
+let print_dataset fmt ~quick label (info : Omn_mobility.Presets.info) =
+  let curves =
+    Data.cached_curves
+      (Printf.sprintf "curves12-%s-%b" label quick)
+      (fun () -> Exp_common.preset_curves ~max_hops:12 info)
+  in
+  let diameter = Omn_core.Diameter.of_curves curves in
+  let hop_bounds = [ 1; 2; 3; 4; 6 ] in
+  let header =
+    "delay"
+    :: (List.map (fun k -> Printf.sprintf "%d hop%s" k (if k > 1 then "s" else "")) hop_bounds
+       @ [ "unlimited" ])
+  in
+  let rows =
+    List.map
+      (fun (delay_label, delay) ->
+        delay_label
+        :: (List.map
+              (fun k ->
+                Printf.sprintf "%.3f"
+                  (Exp_common.success_at curves (Exp_common.hop_row curves k) delay))
+              hop_bounds
+           @ [ Printf.sprintf "%.3f" (Exp_common.success_at curves curves.flood_success delay) ]
+           ))
+      Exp_common.named_delays
+  in
+  Format.fprintf fmt "@.(%s)  99%%-diameter = %a@.@." label Exp_common.pp_diameter diameter;
+  Exp_common.table fmt ~header ~rows
+
+let run ?(quick = false) fmt =
+  Format.fprintf fmt "@.Figure 9 — %s@." description;
+  print_dataset fmt ~quick "Infocom05" (Data.infocom05 ~quick);
+  print_dataset fmt ~quick "Reality-Mining" (Data.reality_mining ~quick);
+  print_dataset fmt ~quick "Hong-Kong" (Data.hong_kong ~quick);
+  Format.fprintf fmt
+    "@.Paper: diameters 5 / 4 / 6; 4-6 hops sit within 1%% of unlimited flooding at@.\
+     every timescale, and Infocom05 is by far the best connected at small delays.@."

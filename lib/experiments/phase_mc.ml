@@ -1,0 +1,37 @@
+(* Phase transition (extension of §3.2, Corollary 1): empirical probability
+   that a path exists under the logarithmic delay budget τ ln N, swept
+   over τ around the critical value τ* = 1/ln(1+λ). As N grows the curve
+   steepens into a step at τ*. *)
+
+open Omn_randnet
+
+let name = "phase"
+let description = "Monte-Carlo phase transition around tau* (short contacts, lambda = 0.5)"
+
+let run ?(quick = false) fmt =
+  Format.fprintf fmt "@.Phase transition — %s@.@." description;
+  let lambda = 0.5 in
+  let tau_star = Theory.tau_critical Short ~lambda in
+  let ns = if quick then [ 50; 100 ] else [ 100; 400; 1600 ] in
+  let runs = if quick then 40 else 200 in
+  let taus = Array.of_list (List.map (fun f -> f *. tau_star) [ 0.4; 0.6; 0.8; 1.0; 1.2; 1.5; 2.0; 3.0 ]) in
+  let rng = Omn_stats.Rng.create 99 in
+  let curves =
+    List.map
+      (fun n ->
+        let params = { Discrete.n; lambda } in
+        (n, Phase.unconstrained_curve rng params ~case:Theory.Short ~taus ~runs))
+      ns
+  in
+  let header = "tau/tau*" :: List.map (fun n -> Printf.sprintf "N=%d" n) ns in
+  let rows =
+    Array.to_list (Array.mapi (fun i tau -> (i, tau)) taus)
+    |> List.map (fun (i, tau) ->
+           Printf.sprintf "%.2f" (tau /. tau_star)
+           :: List.map (fun (_, curve) -> Printf.sprintf "%.2f" (snd curve.(i))) curves)
+  in
+  Exp_common.table fmt ~header ~rows;
+  Format.fprintf fmt
+    "@.tau* = 1/ln(1+lambda) = %.3f: success probability swings from ~0 to ~1 around@.\
+     tau/tau* = 1, and the swing sharpens as N grows (Corollary 1).@."
+    tau_star

@@ -1,0 +1,40 @@
+type experiment = {
+  name : string;
+  description : string;
+  run : ?quick:bool -> Format.formatter -> unit;
+}
+
+let all =
+  [
+    { name = Fig1.name; description = Fig1.description; run = Fig1.run };
+    { name = Fig2.name; description = Fig2.description; run = Fig2.run };
+    { name = Fig3.name; description = Fig3.description; run = Fig3.run };
+    { name = Fig3sim.name; description = Fig3sim.description; run = Fig3sim.run };
+    { name = Phase_mc.name; description = Phase_mc.description; run = Phase_mc.run };
+    { name = Table1.name; description = Table1.description; run = Table1.run };
+    { name = Fig6.name; description = Fig6.description; run = Fig6.run };
+    { name = Fig7.name; description = Fig7.description; run = Fig7.run };
+    { name = Fig8.name; description = Fig8.description; run = Fig8.run };
+    { name = Fig9.name; description = Fig9.description; run = Fig9.run };
+    { name = Fig10.name; description = Fig10.description; run = Fig10.run };
+    { name = Fig11.name; description = Fig11.description; run = Fig11.run };
+    { name = Fig12.name; description = Fig12.description; run = Fig12.run };
+    { name = Lemma1_exp.name; description = Lemma1_exp.description; run = Lemma1_exp.run };
+    { name = Renewal_exp.name; description = Renewal_exp.description; run = Renewal_exp.run };
+    {
+      name = Forwarding_exp.name;
+      description = Forwarding_exp.description;
+      run = Forwarding_exp.run;
+    };
+    { name = Ict_exp.name; description = Ict_exp.description; run = Ict_exp.run };
+    { name = Wlan_exp.name; description = Wlan_exp.description; run = Wlan_exp.run };
+    { name = Daytime_exp.name; description = Daytime_exp.description; run = Daytime_exp.run };
+    { name = Epsilon_exp.name; description = Epsilon_exp.description; run = Epsilon_exp.run };
+    {
+      name = Transitivity_exp.name;
+      description = Transitivity_exp.description;
+      run = Transitivity_exp.run;
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all

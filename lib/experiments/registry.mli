@@ -1,0 +1,15 @@
+(** The experiment registry: one entry per table / figure of the paper,
+    plus the extensions. [bench/main.exe] iterates it. *)
+
+type experiment = {
+  name : string;  (** id used by [--only] (e.g. ["fig9"]) *)
+  description : string;
+  run : ?quick:bool -> Format.formatter -> unit;
+}
+
+val all : experiment list
+(** In the paper's order: fig1 fig2 fig3 fig3sim phase table1 fig6 fig7
+    fig8 fig9 fig10 fig11 fig12, then the extensions lemma1 renewal
+    forwarding ict. *)
+
+val find : string -> experiment option

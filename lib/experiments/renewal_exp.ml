@@ -1,0 +1,49 @@
+(* Renewal inter-contact laws (extension of §3.4): the paper expects
+   general finite-variance renewal processes to change the *delay* of
+   optimal paths a lot and their *hop count* little. We compare optimal
+   source-destination paths under four inter-contact laws with the same
+   mean (same contact rate). *)
+
+open Omn_randnet
+
+let name = "renewal"
+let description = "Inter-contact law changes path delay, barely path hop count (3.4)"
+
+let laws =
+  [
+    ("exponential", Renewal.Exponential);
+    ("uniform", Renewal.Uniform);
+    ("log-normal(1.5)", Renewal.Log_normal 1.5);
+    ("pareto(1.5)", Renewal.Pareto 1.5);
+  ]
+
+let run ?(quick = false) fmt =
+  Format.fprintf fmt "@.Renewal — %s@.@." description;
+  let n = if quick then 25 else 60 in
+  let runs = if quick then 10 else 40 in
+  let lambda = 0.5 (* contacts per node per unit time *) in
+  let horizon = 30. *. log (float_of_int n) /. lambda in
+  let rng = Omn_stats.Rng.create 31337 in
+  let rows =
+    List.map
+      (fun (label, law) ->
+        let stats =
+          Renewal.optimal_path_stats rng { n; lambda; horizon; law } ~runs
+        in
+        [
+          label;
+          Printf.sprintf "%.1f" stats.delay_mean;
+          Printf.sprintf "%.1f" stats.delay_p90;
+          Printf.sprintf "%.2f" stats.hops_mean;
+          Printf.sprintf "%d/%d" stats.runs_delivered stats.runs_total;
+        ])
+      laws
+  in
+  Exp_common.table fmt
+    ~header:[ "inter-contact law"; "mean delay"; "p90 delay"; "mean hops"; "delivered" ]
+    ~rows;
+  Format.fprintf fmt
+    "@.Same contact rate everywhere: the delay statistics move with the gap law@.\
+     (bursty heavy-tailed gaps shorten typical delays but widen their spread),@.\
+     while the hop count of the delay-optimal path stays within a fraction of a@.\
+     hop — the insensitivity 3.4 conjectures.@."

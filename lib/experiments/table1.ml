@@ -1,0 +1,34 @@
+(* Table 1: characteristics of the four data sets. Our traces are
+   synthetic stand-ins calibrated to the published values (see DESIGN.md);
+   this experiment regenerates the table from the traces themselves. *)
+
+let name = "table1"
+let description = "Characteristics of the four experimental data sets"
+
+let run ?(quick = false) fmt =
+  Format.fprintf fmt "@.Table 1 — %s@.@." description;
+  let infos = Data.all ~quick in
+  let stat f = List.map (fun (_, info) -> f info) infos in
+  let rows =
+    [
+      "Duration (days)"
+      :: stat (fun (i : Omn_mobility.Presets.info) ->
+             Printf.sprintf "%.1f" (Omn_temporal.Trace.span i.trace /. 86400.));
+      "Granularity (seconds)"
+      :: stat (fun i -> Printf.sprintf "%.0f" i.granularity);
+      "Experimental devices" :: stat (fun i -> string_of_int i.internal_nodes);
+      "External devices"
+      :: stat (fun i ->
+             let ext = Omn_temporal.Trace.n_nodes i.trace - i.internal_nodes in
+             if ext = 0 then "-" else string_of_int ext);
+      "Contacts" :: stat (fun i -> string_of_int (Omn_temporal.Trace.n_contacts i.trace));
+      "Contact rate (/node/day)"
+      :: stat (fun i ->
+             Printf.sprintf "%.1f" (Omn_temporal.Trace.contact_rate i.trace *. 86400.));
+      "Median contact duration"
+      :: stat (fun i ->
+             let s = Omn_temporal.Trace_stats.summary i.trace in
+             Omn_stats.Timefmt.axis_seconds s.median_duration);
+    ]
+  in
+  Exp_common.table fmt ~header:("" :: List.map fst infos) ~rows

@@ -1,0 +1,61 @@
+(* Ablation: why the mobility substrate needs co-location structure.
+
+   Real contacts are transitive — while A-B and B-C are in range, A-C
+   usually is too — so the instantaneous contact graph is a union of
+   near-cliques and instant multi-hop paths are short. Independent
+   pairwise point processes (module Gen) destroy that closure: at any
+   instant their contact graph is an Erdos-Renyi sprinkle whose sparse
+   giant component has long paths, which inflates the measured diameter.
+   This experiment quantifies the effect by measuring the same conference
+   population both ways at a comparable contact rate. *)
+
+let name = "transitivity"
+let description = "Ablation: venue co-location vs independent pairwise contacts"
+
+let independent_conference ~quick ~seed ~n ~days =
+  let day = 86400. in
+  let rng = Omn_stats.Rng.create seed in
+  let spec =
+    {
+      Omn_mobility.Gen.name = "independent-pairs-conference";
+      community = Omn_mobility.Community.uniform ~n ~rate:(66. /. day);
+      modulation = Omn_mobility.Diurnal.conference_sessions ();
+      duration = Omn_mobility.Duration.conference;
+      t_start = 0.;
+      t_end = days *. day;
+    }
+  in
+  let ground = Omn_mobility.Gen.generate rng spec in
+  ignore quick;
+  Omn_mobility.Scanner.detect rng Omn_mobility.Scanner.default ground
+
+let describe fmt label trace =
+  let diameter =
+    Omn_core.Diameter.measure ~max_hops:14 trace
+  in
+  let curves = diameter.curves in
+  let at row delay = Exp_common.success_at curves row delay in
+  Format.fprintf fmt "  %-22s %6d contacts, rate %5.0f/day -> diameter %a@."
+    label
+    (Omn_temporal.Trace.n_contacts trace)
+    (Omn_temporal.Trace.contact_rate trace *. 86400.)
+    Exp_common.pp_diameter diameter.diameter;
+  Format.fprintf fmt "  %-22s 10-min flood %.3f (5 hops: %.3f); 6-h flood %.3f@." ""
+    (at curves.flood_success 600.)
+    (at (Exp_common.hop_row curves 5) 600.)
+    (at curves.flood_success (6. *. 3600.))
+
+let run ?(quick = false) fmt =
+  Format.fprintf fmt "@.Transitivity ablation — %s@.@." description;
+  let n = 41 in
+  let days = if quick then 1. else 3. in
+  let venue = Data.infocom05 ~quick in
+  let independent = independent_conference ~quick ~seed:7919 ~n ~days in
+  describe fmt "venue (co-location)" venue.trace;
+  describe fmt "independent pairs" independent;
+  Format.fprintf fmt
+    "@.Same population and comparable contact volume: destroying co-location@.\
+     transitivity inflates the diameter by several hops, because instant@.\
+     multi-hop chains through a sparse random graph replace the near-clique@.\
+     neighbourhoods of a real room. This is why the presets use the venue@.\
+     model (DESIGN.md, 'Co-location structure').@."

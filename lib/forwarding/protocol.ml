@@ -1,0 +1,28 @@
+type t =
+  | Epidemic of { ttl : int option }
+  | Direct
+  | Two_hop
+  | Spray_and_wait of { copies : int }
+  | First_contact
+  | Last_encounter
+
+let name = function
+  | Epidemic { ttl = None } -> "epidemic"
+  | Epidemic { ttl = Some k } -> Printf.sprintf "epidemic(ttl=%d)" k
+  | Direct -> "direct"
+  | Two_hop -> "two-hop"
+  | Spray_and_wait { copies } -> Printf.sprintf "spray&wait(%d)" copies
+  | First_contact -> "first-contact"
+  | Last_encounter -> "last-encounter"
+
+let hop_bound = function
+  | Epidemic { ttl } -> ttl
+  | Direct -> Some 1
+  | Two_hop -> Some 2
+  | Spray_and_wait { copies } ->
+    (* binary spraying halves the copy budget per hop, plus the final
+       wait-and-deliver hop *)
+    let rec depth c acc = if c <= 1 then acc else depth (c / 2) (acc + 1) in
+    Some (depth copies 0 + 1)
+  | First_contact -> None
+  | Last_encounter -> None

@@ -1,0 +1,42 @@
+(** Opportunistic forwarding protocols.
+
+    The paper's stated purpose is not to design a forwarding algorithm
+    but to bound what any of them can do with respect to hops and delay —
+    and its conclusion turns the small diameter into a design rule:
+    "messages can be discarded after a few hops without incurring more
+    than a marginal performance cost". This module provides the classic
+    protocol family so that rule can be exercised quantitatively
+    ({!Sim}, experiment [forwarding], example [forwarding_ttl]). *)
+
+type t =
+  | Epidemic of { ttl : int option }
+      (** flood every contact; [ttl] bounds the hop count of any copy
+          ([None] = unlimited). [Epidemic (Some diameter)] is the paper's
+          recommendation. *)
+  | Direct
+      (** source holds the message until it meets the destination
+          (1-hop; the "1 hop" curves of Fig. 9). *)
+  | Two_hop
+      (** Grossglauser–Tse relaying: the source copies to every node it
+          meets; relays hand over only to the destination (<= 2 hops). *)
+  | Spray_and_wait of { copies : int }
+      (** binary spray: a holder of [c > 1] logical copies transfers
+          [c / 2] to an uninfected node it meets; holders of one copy
+          deliver only to the destination. *)
+  | First_contact
+      (** single-copy random walk: the (unique) copy moves across the
+          first available contact opportunity, whatever the peer (never
+          straight back to the node it came from, and at most one move
+          per instant — the walk advances on contact-begin events and on
+          receptions). *)
+  | Last_encounter
+      (** single-copy greedy routing on local information — the paper's
+          open problem ("whether these paths can be found efficiently by
+          a distributed algorithm using local information"): the copy
+          moves to a met node iff that node has seen the destination more
+          recently than the current holder (and always to the destination
+          itself). Each node only remembers when it last met each peer. *)
+
+val name : t -> string
+val hop_bound : t -> int option
+(** Static hop bound implied by the protocol, when one exists. *)

@@ -1,0 +1,55 @@
+module Rng = Omn_stats.Rng
+
+type t = {
+  size : int;
+  rate : int -> int -> float;
+  communities : int array option;
+  max_rate : float;
+}
+
+let uniform ~n ~rate =
+  if n < 1 then invalid_arg "Community.uniform: n < 1";
+  if rate < 0. then invalid_arg "Community.uniform: negative rate";
+  { size = n; rate = (fun i j -> if i = j then 0. else rate); communities = None; max_rate = rate }
+
+let planted ~rng ~n ~n_communities ~within_rate ~across_rate =
+  if n < 1 || n_communities < 1 then invalid_arg "Community.planted: bad sizes";
+  if within_rate < 0. || across_rate < 0. then invalid_arg "Community.planted: negative rate";
+  let assignment = Array.init n (fun i -> i mod n_communities) in
+  Rng.shuffle rng assignment;
+  {
+    size = n;
+    rate =
+      (fun i j ->
+        if i = j then 0.
+        else if assignment.(i) = assignment.(j) then within_rate
+        else across_rate);
+    communities = Some assignment;
+    max_rate = Float.max within_rate across_rate;
+  }
+
+let heterogeneous ~rng ~base ~sociability_sigma =
+  if sociability_sigma < 0. then invalid_arg "Community.heterogeneous: negative sigma";
+  let factors = Array.init base.size (fun _ -> Rng.log_normal rng 0. sociability_sigma) in
+  let max_factor = Array.fold_left Float.max 0. factors in
+  {
+    size = base.size;
+    rate = (fun i j -> base.rate i j *. sqrt (factors.(i) *. factors.(j)));
+    communities = base.communities;
+    max_rate = base.max_rate *. max_factor;
+  }
+
+let n t = t.size
+
+let pair_rate t i j =
+  if i < 0 || j < 0 || i >= t.size || j >= t.size then invalid_arg "Community.pair_rate: range";
+  t.rate i j
+
+let community_of t i =
+  match t.communities with
+  | None -> None
+  | Some a ->
+    if i < 0 || i >= t.size then invalid_arg "Community.community_of: range";
+    Some a.(i)
+
+let max_rate t = t.max_rate

@@ -1,0 +1,36 @@
+(** Block-model contact-rate structure.
+
+    §3.4: "people tend to come close to each other according to their
+    habits and the communities of interest that they share" — the
+    homogeneity assumption of the random model that real traces violate.
+    This module builds per-pair base rates with planted communities. *)
+
+type t
+
+val uniform : n:int -> rate:float -> t
+(** Every pair meets at the same base rate (contacts per pair per
+    second) — the homogeneous case of §3. *)
+
+val planted :
+  rng:Omn_stats.Rng.t ->
+  n:int ->
+  n_communities:int ->
+  within_rate:float ->
+  across_rate:float ->
+  t
+(** Nodes assigned to [n_communities] balanced communities (random
+    assignment); pairs inside a community meet at [within_rate], others
+    at [across_rate]. *)
+
+val heterogeneous : rng:Omn_stats.Rng.t -> base:t -> sociability_sigma:float -> t
+(** Multiply each node's rates by a log-normal "sociability" factor
+    (median 1): some people simply meet more people. *)
+
+val n : t -> int
+val pair_rate : t -> int -> int -> float
+(** Base rate for a pair; symmetric; 0 on the diagonal. *)
+
+val community_of : t -> int -> int option
+(** Community index if the structure has one. *)
+
+val max_rate : t -> float

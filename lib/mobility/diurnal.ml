@@ -1,0 +1,56 @@
+type t = float -> float
+
+let hour = 3600.
+let day = 86400.
+
+let constant level =
+  if not (0. <= level && level <= 1.) then invalid_arg "Diurnal.constant: outside [0,1]";
+  fun _ -> level
+
+let time_of_day t =
+  let x = Float.rem t day in
+  if x < 0. then x +. day else x
+
+let day_night ?(day_start = 8. *. hour) ?(day_end = 20. *. hour) ~night_level () =
+  if not (0. <= night_level && night_level <= 1.) then
+    invalid_arg "Diurnal.day_night: night_level outside [0,1]";
+  fun t ->
+    let x = time_of_day t in
+    if day_start <= x && x < day_end then 1. else night_level
+
+let conference_sessions () =
+  fun t ->
+    let x = time_of_day t /. hour in
+    if x < 7. then 0.02 (* night *)
+    else if x < 9. then 0.55 (* registration, breakfast *)
+    else if x < 10.5 then 0.8 (* morning session *)
+    else if x < 11. then 1.0 (* coffee break crush *)
+    else if x < 12.5 then 0.8 (* late morning session *)
+    else if x < 14. then 0.95 (* lunch *)
+    else if x < 15.5 then 0.75 (* afternoon session *)
+    else if x < 16. then 1.0 (* coffee break *)
+    else if x < 18. then 0.7 (* last session *)
+    else if x < 23. then 0.35 (* evening socialising *)
+    else 0.02
+
+let weekly ~weekend_level profile =
+  if not (0. <= weekend_level && weekend_level <= 1.) then
+    invalid_arg "Diurnal.weekly: weekend_level outside [0,1]";
+  fun t ->
+    let day_index = int_of_float (Float.floor (t /. day)) mod 7 in
+    let day_index = if day_index < 0 then day_index + 7 else day_index in
+    let base = profile t in
+    if day_index >= 5 then base *. weekend_level else base
+
+let scale factor profile =
+  if not (0. <= factor && factor <= 1.) then invalid_arg "Diurnal.scale: outside [0,1]";
+  fun t -> factor *. profile t
+
+let max_over_day profile =
+  let best = ref 0. in
+  let step = 60. in
+  let steps = int_of_float (7. *. day /. step) in
+  for i = 0 to steps do
+    best := Float.max !best (profile (float_of_int i *. step))
+  done;
+  !best

@@ -1,0 +1,32 @@
+(** Time-varying activity profiles (rate modulation in [0, 1]).
+
+    §3.4 of the paper lists non-stationarity — diurnal cycles — among the
+    properties real traces have and the random model lacks; the preset
+    generators use these profiles to put it back. A profile maps absolute
+    time (seconds) to a rate multiplier; generators consume it by
+    thinning a homogeneous Poisson process, so only the ratio to the
+    profile's maximum matters. *)
+
+type t = float -> float
+
+val constant : float -> t
+(** Requires the level to be in [0, 1]. *)
+
+val day_night : ?day_start:float -> ?day_end:float -> night_level:float -> unit -> t
+(** 1.0 between [day_start] and [day_end] (seconds past local midnight,
+    defaults 8 h and 20 h), [night_level] otherwise. Periodic daily. *)
+
+val conference_sessions : unit -> t
+(** Conference rhythm: high during morning/afternoon sessions, spikes at
+    coffee breaks and lunch, near-dead at night. Periodic daily. *)
+
+val weekly : weekend_level:float -> t -> t
+(** Scales the given profile by [weekend_level] on days 5 and 6 of each
+    week (time 0 is a Monday 00:00). *)
+
+val scale : float -> t -> t
+(** Pointwise product with a constant in [0, 1]. *)
+
+val max_over_day : t -> float
+(** Numerical maximum over one week (1-minute sampling) — the thinning
+    envelope generators need. *)

@@ -1,0 +1,78 @@
+module Rng = Omn_stats.Rng
+
+type t =
+  | Exponential of float
+  | Log_normal of float * float  (* mu, sigma *)
+  | Pareto of float * float
+  | Constant of float
+  | Mixture of (float * t) array  (* cumulative weights in [0,1] *)
+
+let exponential ~mean =
+  if mean <= 0. then invalid_arg "Duration.exponential: mean <= 0";
+  Exponential mean
+
+let log_normal ~median ~sigma =
+  if median <= 0. || sigma < 0. then invalid_arg "Duration.log_normal: bad parameters";
+  Log_normal (log median, sigma)
+
+let pareto ~alpha ~x_min =
+  if alpha <= 0. || x_min <= 0. then invalid_arg "Duration.pareto: bad parameters";
+  Pareto (alpha, x_min)
+
+let constant d =
+  if d <= 0. then invalid_arg "Duration.constant: non-positive";
+  Constant d
+
+let mixture components =
+  if components = [] then invalid_arg "Duration.mixture: empty";
+  List.iter (fun (w, _) -> if w <= 0. then invalid_arg "Duration.mixture: non-positive weight")
+    components;
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. components in
+  let acc = ref 0. in
+  let cumulative =
+    List.map
+      (fun (w, c) ->
+        acc := !acc +. (w /. total);
+        (!acc, c))
+      components
+  in
+  Mixture (Array.of_list cumulative)
+
+let conference =
+  mixture
+    [
+      (0.93, exponential ~mean:30.);                 (* single-scan bulk *)
+      (0.058, log_normal ~median:260. ~sigma:0.6);   (* a few slots *)
+      (0.012, log_normal ~median:2400. ~sigma:1.0);  (* sessions; tail past 1 h *)
+    ]
+
+let campus =
+  mixture
+    [
+      (0.45, exponential ~mean:120.);
+      (0.45, log_normal ~median:900. ~sigma:1.0);
+      (0.10, log_normal ~median:5400. ~sigma:0.9);
+    ]
+
+let rec sample rng t =
+  let raw =
+    match t with
+    | Exponential mean -> Rng.exponential rng (1. /. mean)
+    | Log_normal (mu, sigma) -> Rng.log_normal rng mu sigma
+    | Pareto (alpha, x_min) -> Rng.pareto rng alpha x_min
+    | Constant d -> d
+    | Mixture components ->
+      let u = Rng.float rng in
+      let chosen = ref (snd components.(Array.length components - 1)) in
+      (try
+         Array.iter
+           (fun (cum, c) ->
+             if u <= cum then begin
+               chosen := c;
+               raise Exit
+             end)
+           components
+       with Exit -> ());
+      sample rng !chosen
+  in
+  Float.max 1. raw

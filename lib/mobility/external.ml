@@ -1,0 +1,60 @@
+module Rng = Omn_stats.Rng
+module Trace = Omn_temporal.Trace
+module Contact = Omn_temporal.Contact
+
+type params = {
+  n_external : int;
+  sightings_per_internal_per_day : float;
+  duration : Duration.t;
+  zipf_exponent : float;
+}
+
+(* Sample from Zipf(s) over 1..n via inverse transform on precomputed
+   cumulative weights. *)
+let zipf_sampler s n =
+  if n < 1 then invalid_arg "External: n_external < 1";
+  let weights = Array.init n (fun i -> (float_of_int (i + 1)) ** -.s) in
+  let cum = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cum.(i) <- !acc)
+    weights;
+  let total = !acc in
+  fun rng ->
+    let u = Rng.float rng *. total in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+let add rng p trace =
+  if p.n_external < 1 then invalid_arg "External.add: n_external < 1";
+  if p.sightings_per_internal_per_day < 0. then invalid_arg "External.add: negative rate";
+  if p.zipf_exponent < 0. then invalid_arg "External.add: negative zipf exponent";
+  let n_internal = Trace.n_nodes trace in
+  let t0 = Trace.t_start trace and t1 = Trace.t_end trace in
+  let pick_external = zipf_sampler p.zipf_exponent p.n_external in
+  let rate = p.sightings_per_internal_per_day /. 86400. in
+  let contacts = ref (Trace.fold (fun acc c -> c :: acc) [] trace) in
+  for internal = 0 to n_internal - 1 do
+    if rate > 0. then begin
+      let t = ref t0 in
+      let continue = ref true in
+      while !continue do
+        t := !t +. Rng.exponential rng rate;
+        if !t >= t1 then continue := false
+        else begin
+          let ext = n_internal + pick_external rng in
+          let d = Duration.sample rng p.duration in
+          contacts :=
+            Contact.make ~a:internal ~b:ext ~t_beg:!t ~t_end:(Float.min t1 (!t +. d)) :: !contacts
+        end
+      done
+    end
+  done;
+  Trace.create ~name:(Trace.name trace) ~n_nodes:(n_internal + p.n_external) ~t_start:t0
+    ~t_end:t1 !contacts

@@ -1,0 +1,22 @@
+(** External Bluetooth devices (§5.1).
+
+    The Haggle experiments also log sightings of non-experimental
+    devices (phones, PDAs). Externals never log anything themselves, so
+    external–external contacts are invisible (the paper notes this
+    explicitly); they still matter as relays between internal devices —
+    in Hong-Kong they are what keeps the network connected at all. *)
+
+type params = {
+  n_external : int;
+  sightings_per_internal_per_day : float;
+      (** rate at which one internal device sights {e some} external *)
+  duration : Duration.t;
+  zipf_exponent : float;
+      (** popularity skew of externals: which external is sighted follows
+          a Zipf(s) law — a few regulars, a long tail seen once *)
+}
+
+val add :
+  Omn_stats.Rng.t -> params -> Omn_temporal.Trace.t -> Omn_temporal.Trace.t
+(** Returns a trace over [n_internal + n_external] nodes (externals get
+    the ids after the internals) with external sightings added. *)

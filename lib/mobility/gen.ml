@@ -1,0 +1,72 @@
+module Rng = Omn_stats.Rng
+module Trace = Omn_temporal.Trace
+module Contact = Omn_temporal.Contact
+
+type spec = {
+  name : string;
+  community : Community.t;
+  modulation : Diurnal.t;
+  duration : Duration.t;
+  t_start : float;
+  t_end : float;
+}
+
+let check spec =
+  if spec.t_start >= spec.t_end then invalid_arg "Gen: empty window";
+  if Community.n spec.community < 1 then invalid_arg "Gen: no nodes"
+
+(* Thinning: candidate arrivals at the envelope rate (base x profile max),
+   each kept with probability profile(t) / max. *)
+let pair_arrivals rng spec ~base_rate =
+  let envelope = Diurnal.max_over_day spec.modulation in
+  let max_rate = base_rate *. envelope in
+  if max_rate <= 0. then []
+  else begin
+    let arrivals = ref [] in
+    let t = ref spec.t_start in
+    let continue = ref true in
+    while !continue do
+      t := !t +. Rng.exponential rng max_rate;
+      if !t >= spec.t_end then continue := false
+      else if Rng.float rng < spec.modulation !t /. envelope then arrivals := !t :: !arrivals
+    done;
+    List.rev !arrivals
+  end
+
+let generate rng spec =
+  check spec;
+  let n = Community.n spec.community in
+  let contacts = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let base = Community.pair_rate spec.community i j in
+      if base > 0. then
+        List.iter
+          (fun t_beg ->
+            let d = Duration.sample rng spec.duration in
+            let t_end = Float.min spec.t_end (t_beg +. d) in
+            contacts := Contact.make ~a:i ~b:j ~t_beg ~t_end :: !contacts)
+          (pair_arrivals rng spec ~base_rate:base)
+    done
+  done;
+  Trace.create ~name:spec.name ~n_nodes:n ~t_start:spec.t_start ~t_end:spec.t_end !contacts
+
+let expected_contacts spec =
+  check spec;
+  let n = Community.n spec.community in
+  let rate_sum = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      rate_sum := !rate_sum +. Community.pair_rate spec.community i j
+    done
+  done;
+  (* Quadrature of the modulation over the window. *)
+  let step = 60. in
+  let steps = int_of_float (Float.ceil ((spec.t_end -. spec.t_start) /. step)) in
+  let integral = ref 0. in
+  for k = 0 to steps - 1 do
+    let t0 = spec.t_start +. (float_of_int k *. step) in
+    let t1 = Float.min spec.t_end (t0 +. step) in
+    integral := !integral +. ((t1 -. t0) *. spec.modulation (0.5 *. (t0 +. t1)))
+  done;
+  !rate_sum *. !integral

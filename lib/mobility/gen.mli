@@ -1,0 +1,25 @@
+(** The synthetic contact-trace generator.
+
+    Contacts of each pair arrive as an inhomogeneous Poisson process —
+    base rate from a {!Community} structure, modulated by a {!Diurnal}
+    profile — sampled exactly by thinning. Each arrival gets a duration
+    from a {!Duration} model (clipped to the trace window). This is the
+    renewal-process generalisation §3.4 alludes to, with the paper's two
+    missing ingredients (heterogeneity, non-stationarity) put back. *)
+
+type spec = {
+  name : string;
+  community : Community.t;
+  modulation : Diurnal.t;
+  duration : Duration.t;
+  t_start : float;
+  t_end : float;
+}
+
+val generate : Omn_stats.Rng.t -> spec -> Omn_temporal.Trace.t
+(** Exact sampling; cost O(#pairs + #contacts / max modulation). *)
+
+val expected_contacts : spec -> float
+(** Mean number of contacts the spec will generate (integral of the
+    modulated rate over the window and pairs, 1-minute quadrature) —
+    used to calibrate presets against Table 1. *)

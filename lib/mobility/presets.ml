@@ -1,0 +1,109 @@
+module Rng = Omn_stats.Rng
+module Trace = Omn_temporal.Trace
+
+type info = {
+  trace : Omn_temporal.Trace.t;
+  internal_nodes : int;
+  granularity : float;
+  description : string;
+}
+
+let day = 86400.
+
+(* Venue-based presets: co-location ground truth split by radio quality,
+   scanned with strong detection for same-zone pairs (seat neighbours)
+   and weak detection for adjacent-zone pairs (edge of Bluetooth range in
+   a crowd) — the weak class fragments into the single-slot bulk of
+   Fig. 7, the strong class provides its hours-long tail. *)
+let scan_classified rng ~granularity ~near_q ~far_q ~name (classes : Venue.classified) =
+  let near = Scanner.detect_mixture rng ~granularity ~qualities:near_q classes.near in
+  let far = Scanner.detect_mixture rng ~granularity ~qualities:far_q classes.far in
+  Trace.with_name (Omn_temporal.Transform.merge near far) name
+
+let conference ~name ~seed ~n ~days ~description =
+  let rng = Rng.create seed in
+  let classes = Venue.generate_classified rng ~n ~name (Venue.conference_params ~rng ~n ~days) in
+  let scanned =
+    scan_classified rng ~granularity:120. ~name classes
+      ~near_q:[ (0.5, 0.97); (0.5, 0.55) ]
+      ~far_q:[ (1.0, 0.16) ]
+  in
+  { trace = scanned; internal_nodes = n; granularity = 120.; description }
+
+let infocom05 ?(seed = 1) ?(days = 3.) () =
+  conference ~name:"Infocom05" ~seed:(seed * 7919) ~n:41 ~days
+    ~description:"conference, 41 iMotes, dense daytime contacts"
+
+let infocom06 ?(seed = 1) ?(days = 4.) () =
+  conference ~name:"Infocom06" ~seed:(seed * 104729) ~n:78 ~days
+    ~description:"conference, 78 iMotes, largest experiment"
+
+let hong_kong ?(seed = 1) ?(days = 5.) () =
+  let rng = Rng.create (seed * 15485863) in
+  let n_internal = 37 in
+  let spec =
+    {
+      Gen.name = "Hong-Kong";
+      (* Strangers: very low uniform internal rate. *)
+      community = Community.uniform ~n:n_internal ~rate:(0.1 /. day);
+      modulation = Diurnal.day_night ~night_level:0.05 ();
+      duration = Duration.campus;
+      t_start = 0.;
+      t_end = days *. day;
+    }
+  in
+  let internal = Gen.generate rng spec in
+  let with_external =
+    External.add rng
+      {
+        External.n_external = 820;
+        sightings_per_internal_per_day = 7.;
+        duration = Duration.conference;
+        zipf_exponent = 0.9;
+      }
+      internal
+  in
+  let scanned = Scanner.detect rng Scanner.default with_external in
+  {
+    trace = scanned;
+    internal_nodes = n_internal;
+    granularity = 120.;
+    description = "unacquainted people roaming a city; external devices as relays";
+  }
+
+let reality_mining ?(seed = 1) ?(weeks = 8) () =
+  let rng = Rng.create (seed * 32452843) in
+  let n = 97 in
+  let params = Venue.campus_params ~rng ~n ~n_groups:10 ~weeks in
+  let classes = Venue.generate_classified rng ~n ~name:"Reality-Mining" params in
+  let scanned =
+    scan_classified rng ~granularity:300. ~name:"Reality-Mining" classes
+      ~near_q:[ (0.4, 0.93); (0.6, 0.3) ]
+      ~far_q:[ (1.0, 0.09) ]
+  in
+  {
+    trace = scanned;
+    internal_nodes = n;
+    granularity = 300.;
+    description = "campus phones over months (scaled), communities + weekly cycles";
+  }
+
+let wlan_campus ?(seed = 1) ?(weeks = 2) () =
+  let rng = Rng.create (seed * 49979687) in
+  let n = 120 in
+  let params = Venue.wlan_campus_params ~rng ~n ~weeks in
+  let trace = Venue.generate rng ~n ~name:"Campus-WLAN" params in
+  {
+    trace;
+    internal_nodes = n;
+    granularity = 1.;
+    description = "campus WLAN association trace (Dartmouth/UCSD style)";
+  }
+
+let all ?(seed = 1) () =
+  [
+    ("Infocom05", infocom05 ~seed ());
+    ("Infocom06", infocom06 ~seed ());
+    ("Hong-Kong", hong_kong ~seed ());
+    ("Reality-Mining", reality_mining ~seed ());
+  ]

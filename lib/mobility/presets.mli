@@ -1,0 +1,47 @@
+(** Synthetic stand-ins for the paper's four data sets (Table 1).
+
+    The real traces (Haggle iMote experiments, MIT Reality Mining) are
+    not redistributable here, so each preset is a generator calibrated to
+    the published characteristics the diameter analysis depends on:
+    node count, duration, scan granularity, contact volume and rate, the
+    duration CCDF shape (Fig. 7), activity rhythm (Fig. 6), and the
+    sparse-vs-dense regime. See DESIGN.md for the substitution rationale
+    and EXPERIMENTS.md for measured-vs-paper numbers. *)
+
+type info = {
+  trace : Omn_temporal.Trace.t;
+  internal_nodes : int;
+      (** experimental devices — ids [0 .. internal_nodes-1]; sources and
+          destinations for diameter measurements *)
+  granularity : float;  (** scan period, seconds *)
+  description : string;
+}
+
+val infocom05 : ?seed:int -> ?days:float -> unit -> info
+(** 41 devices at a 3-day conference: dense, strong session rhythm,
+    ~22 k scanned internal contacts, 120 s granularity. *)
+
+val infocom06 : ?seed:int -> ?days:float -> unit -> info
+(** 78 devices, 4 days, ~82 k scanned internal contacts — the trace §6
+    mutates (its second day is extracted with
+    {!Omn_temporal.Transform.time_window}). *)
+
+val hong_kong : ?seed:int -> ?days:float -> unit -> info
+(** 37 unacquainted people carrying iMotes around Hong-Kong for 5 days:
+    very few internal contacts, ~800 external devices sighted (Zipf
+    popularity), long disconnections. [trace] covers
+    internal + external ids; measure endpoints over internals only. *)
+
+val reality_mining : ?seed:int -> ?weeks:int -> unit -> info
+(** ~100 campus phones; the paper's 9 months are scaled to [weeks]
+    (default 8) with the per-day contact rate preserved, 300 s
+    granularity, planted communities, weekday/weekend cycles. *)
+
+val wlan_campus : ?seed:int -> ?weeks:int -> unit -> info
+(** Campus-WLAN association trace (the Dartmouth/UCSD data sets the paper
+    says its results were also confirmed on): 120 students over [weeks]
+    (default 2) weeks; contact = same access point. Exact association
+    intervals, so [granularity] is 1 s. *)
+
+val all : ?seed:int -> unit -> (string * info) list
+(** The four presets in the paper's Table-1 order. *)

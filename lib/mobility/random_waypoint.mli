@@ -1,0 +1,33 @@
+(** Random-waypoint mobility with range-based contact extraction.
+
+    The one generator family whose contacts come from actual simulated
+    motion rather than a point process: [n] nodes move in an
+    [area x area] square, each repeatedly picking a uniform waypoint, a
+    uniform speed in [[v_min, v_max]] and an exponential pause; two nodes
+    are in (ground-truth) contact while their distance is at most
+    [range]. Positions are sampled every [dt] seconds and proximity runs
+    are merged into contact intervals. Feed the result through
+    {!Scanner.detect} to model what Bluetooth devices would log. *)
+
+type params = {
+  n : int;
+  area : float;        (** side of the square, metres *)
+  v_min : float;       (** m/s *)
+  v_max : float;
+  mean_pause : float;  (** seconds *)
+  range : float;       (** radio range, metres *)
+  horizon : float;     (** seconds *)
+  dt : float;          (** sampling step, seconds *)
+}
+
+val default : params
+(** 40 pedestrians in 500 m x 500 m, 0.5–1.5 m/s, 60 s mean pause, 30 m
+    range, 6 h horizon, 1 s sampling. *)
+
+val generate : Omn_stats.Rng.t -> params -> Omn_temporal.Trace.t
+
+val positions_at :
+  Omn_stats.Rng.t -> params -> times:float array -> (float * float) array array
+(** [positions_at ... ~times].(k).(v): position of node [v] at
+    [times.(k)] — same trajectories as {!generate} for the same RNG
+    state; exposed for tests that re-derive contacts from geometry. *)

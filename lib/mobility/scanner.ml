@@ -1,0 +1,64 @@
+module Rng = Omn_stats.Rng
+module Trace = Omn_temporal.Trace
+module Contact = Omn_temporal.Contact
+
+type params = { granularity : float; detection_prob : float }
+
+let default = { granularity = 120.; detection_prob = 0.9 }
+
+let detect_general rng ~granularity ~episode_prob trace =
+  if granularity <= 0. then invalid_arg "Scanner: granularity <= 0";
+  let t0 = Trace.t_start trace and t1 = Trace.t_end trace in
+  let detected = ref [] in
+  Trace.iter
+    (fun (c : Contact.t) ->
+      let prob = episode_prob () in
+      (* Scan indices whose instant falls inside [t_beg, t_end]. *)
+      let first = int_of_float (Float.ceil ((c.t_beg -. t0) /. granularity)) in
+      let last = int_of_float (Float.floor ((c.t_end -. t0) /. granularity)) in
+      (* Runs of consecutive successful detections. *)
+      let run_start = ref (-1) in
+      let flush k_end =
+        if !run_start >= 0 then begin
+          let t_beg = t0 +. (float_of_int !run_start *. granularity) in
+          let t_end = Float.min t1 (t0 +. (float_of_int (k_end + 1) *. granularity)) in
+          detected := Contact.make ~a:c.a ~b:c.b ~t_beg ~t_end :: !detected;
+          run_start := -1
+        end
+      in
+      for k = first to last do
+        if Rng.bernoulli rng prob then begin
+          if !run_start < 0 then run_start := k
+        end
+        else flush (k - 1)
+      done;
+      flush last)
+    trace;
+  Trace.create
+    ~name:(Trace.name trace ^ "+scanned")
+    ~n_nodes:(Trace.n_nodes trace) ~t_start:t0 ~t_end:t1 !detected
+
+let detect rng p trace =
+  if not (0. < p.detection_prob && p.detection_prob <= 1.) then
+    invalid_arg "Scanner.detect: detection_prob outside (0,1]";
+  detect_general rng ~granularity:p.granularity ~episode_prob:(fun () -> p.detection_prob) trace
+
+let detect_mixture rng ~granularity ~qualities trace =
+  if qualities = [] then invalid_arg "Scanner.detect_mixture: empty mixture";
+  List.iter
+    (fun (w, prob) ->
+      if w <= 0. then invalid_arg "Scanner.detect_mixture: non-positive weight";
+      if not (0. <= prob && prob <= 1.) then
+        invalid_arg "Scanner.detect_mixture: detection_prob outside [0,1]")
+    qualities;
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. qualities in
+  let episode_prob () =
+    let u = Rng.float rng *. total in
+    let rec pick acc = function
+      | [] -> assert false
+      | [ (_, prob) ] -> prob
+      | (w, prob) :: rest -> if u <= acc +. w then prob else pick (acc +. w) rest
+    in
+    pick 0. qualities
+  in
+  detect_general rng ~granularity ~episode_prob trace

@@ -1,0 +1,84 @@
+(** Venue (co-location) mobility model.
+
+    Contacts in the real traces come from people sharing a physical
+    space, which makes concurrent contacts {e transitive}: while A–B and
+    B–C are in range, A–C usually is too, so the contemporaneous contact
+    graph is a union of overlapping neighbourhoods and multi-hop paths
+    through a crowd are short. Independent pairwise point processes
+    (module {!Gen}) lack this closure and overstate hop counts at small
+    delays; this model restores it.
+
+    Each node follows a continuous-time jump process over
+    (place, zone) states: a set of {e places} (conference hall, coffee
+    area, hotel, office building, ...), each subdivided into a
+    [width x height] grid of radio-range-sized {e zones}; a time-varying
+    {e schedule} gives each node its attraction to each place (sessions,
+    meals, nights at the hotel); nodes change place at a time-varying
+    rate and re-draw their zone within the place at another. Two nodes
+    are in ground-truth radio contact while they are in the same place
+    with zones at Chebyshev distance at most 1 — {e near} when the zone
+    is the same (adjacent seats: strong radio), {e far} otherwise
+    (marginal radio). Feed the two classes to {!Scanner.detect} with
+    different detection probabilities to model what iMotes log: crowded
+    rooms at the edge of Bluetooth range yield the fragmented, mostly
+    single-slot contacts of Fig. 7, while seat neighbours yield its
+    hours-long tail. *)
+
+type place = { name : string; width : int; height : int; isolated : bool }
+(** A [width x height] zone grid; [width, height >= 1]. When [isolated]
+    is false, radio reaches zones at Chebyshev distance <= 1, so keep the
+    grid diameter small (a real room rarely spans more than ~3 radio
+    ranges); [isolated] places (hotel rooms along a floor, open-air
+    expanses, private homes) only connect people inside the same zone. *)
+
+type params = {
+  places : place array;
+  schedule : node:int -> float -> float array;
+      (** attraction weight per place (any non-negative scale) at an
+          absolute time; re-read at each jump *)
+  home_zone : node:int -> place:int -> int option;
+      (** fixed zone (hotel room, office desk) a node gravitates to in a
+          place; [None] = always a uniform draw *)
+  home_bias : float;
+      (** probability a zone draw lands on the home zone when one exists
+          (otherwise uniform) *)
+  move_rate : float -> float;  (** place-change rate (per second) at time t *)
+  move_rate_max : float;       (** envelope for thinning; >= sup move_rate *)
+  zone_rate : float -> float;  (** zone re-draw rate within the place *)
+  zone_rate_max : float;
+  t_start : float;
+  t_end : float;
+  min_overlap : float;  (** discard co-presences shorter than this (s) *)
+}
+
+type classified = {
+  near : Omn_temporal.Trace.t;  (** same-zone proximity intervals *)
+  far : Omn_temporal.Trace.t;   (** adjacent-zone proximity intervals *)
+}
+
+val generate_classified :
+  Omn_stats.Rng.t -> n:int -> name:string -> params -> classified
+(** Ground-truth proximity, split by radio quality. Per-pair touching
+    intervals are merged within each class.
+    Cost: O(jumps + contacts x place occupancy). *)
+
+val generate : Omn_stats.Rng.t -> n:int -> name:string -> params -> Omn_temporal.Trace.t
+(** Union of both classes (merged per pair). *)
+
+val conference_params : rng:Omn_stats.Rng.t -> n:int -> days:float -> params
+(** Calibrated conference venue: hall / coffee / corridor / restaurant /
+    hotel, session-break-lunch schedule, long sitting during sessions,
+    churn during breaks. *)
+
+val campus_params :
+  rng:Omn_stats.Rng.t -> n:int -> n_groups:int -> weeks:int -> params
+(** Calibrated campus for the Reality-Mining preset: one building per
+    group (random balanced assignment), shared cafeteria, home at night
+    and on weekends. *)
+
+val wlan_campus_params : rng:Omn_stats.Rng.t -> n:int -> weeks:int -> params
+(** Campus WLAN model (the Dartmouth/UCSD validation data sets): isolated
+    access-point zones — contact means association to the same AP — with
+    per-student major/minor buildings, library evenings and dorm nights.
+    Use the ground-truth trace directly (association logs are exact; no
+    scanner pass). *)

@@ -1,0 +1,49 @@
+module Rng = Omn_stats.Rng
+module Trace = Omn_temporal.Trace
+module Contact = Omn_temporal.Contact
+
+type params = { n : int; lambda : float; horizon : float }
+
+let check params =
+  if params.n < 2 then invalid_arg "Continuous: n < 2";
+  if params.lambda <= 0. then invalid_arg "Continuous: lambda <= 0";
+  if params.horizon <= 0. then invalid_arg "Continuous: horizon <= 0"
+
+let generate rng params =
+  check params;
+  (* Superposition of all pair processes: a single Poisson process of
+     total rate n*lambda/2, each event assigned a uniform random pair. *)
+  let total_rate = float_of_int params.n *. params.lambda /. 2. in
+  let count = Rng.poisson rng (total_rate *. params.horizon) in
+  let contacts = ref [] in
+  for _ = 1 to count do
+    let t = Rng.float_range rng 0. params.horizon in
+    let a = Rng.int rng params.n in
+    let b =
+      let x = Rng.int rng (params.n - 1) in
+      if x >= a then x + 1 else x
+    in
+    contacts := Contact.make ~a ~b ~t_beg:t ~t_end:t :: !contacts
+  done;
+  Trace.create ~name:"continuous-random-temporal" ~n_nodes:params.n ~t_start:0.
+    ~t_end:params.horizon !contacts
+
+let flood rng params ~source =
+  let trace = generate rng params in
+  Omn_baseline.Dijkstra.earliest_arrival trace ~source ~t0:0.
+
+let mean_delay_estimate rng params ~runs =
+  check params;
+  if runs < 1 then invalid_arg "Continuous.mean_delay_estimate: runs < 1";
+  let samples =
+    List.init runs (fun _ ->
+        let stream = Rng.split rng in
+        let arrival = flood stream params ~source:0 in
+        Float.min arrival.(1) params.horizon)
+  in
+  let n = float_of_int runs in
+  let mean = List.fold_left ( +. ) 0. samples /. n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. samples /. Float.max 1. (n -. 1.)
+  in
+  (mean, sqrt (var /. n))

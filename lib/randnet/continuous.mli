@@ -1,0 +1,30 @@
+(** Continuous-time random temporal networks (§3.1.2).
+
+    Each pair of nodes meets at the instants of an independent Poisson
+    process; a node's total contact rate is [lambda], so each of its
+    [n-1] pair processes has rate [lambda / (n-1)]. Contacts are
+    instantaneous (the §3.1.3 "negligible duration" case); simultaneous
+    events have probability zero, so the short/long distinction vanishes
+    and paths simply use contacts at non-decreasing times. *)
+
+type params = { n : int; lambda : float; horizon : float }
+(** [n >= 2] nodes, rate [lambda > 0] per node per unit time, window
+    [[0, horizon]]. *)
+
+val generate : Omn_stats.Rng.t -> params -> Omn_temporal.Trace.t
+(** Sample a trace of point contacts. The total number of contacts is
+    Poisson with mean [lambda * n * horizon / 2]. *)
+
+val flood :
+  Omn_stats.Rng.t -> params -> source:Omn_temporal.Node.t -> float array
+(** Earliest arrival at every node for a message created at time 0 on
+    [source], on a freshly sampled network ([infinity] = not reached
+    within the horizon). *)
+
+val mean_delay_estimate :
+  Omn_stats.Rng.t -> params -> runs:int -> float * float
+(** Monte-Carlo (mean, std error) of the source→destination optimal
+    delay over [runs] fresh networks (failures at the horizon are
+    counted as the horizon — report with a horizon comfortably above
+    the expected delay). Used to check the [ln n / ln (1+λ)]-type
+    growth laws in continuous time. *)

@@ -1,0 +1,70 @@
+(** Discrete-time random temporal networks (§3.1.1) and flooding on them.
+
+    One slot = one independent uniform random graph G(n, λ/n). Floods are
+    exact simulations of the two §3.1.3 semantics:
+
+    - {e short contacts}: a message crosses at most one edge per slot
+      (a node informed during slot [t] forwards from slot [t+1]);
+    - {e long contacts}: any number of edges per slot — the whole
+      connected component of an informed node learns the message within
+      the slot (hop counts via intra-slot BFS).
+
+    Slot edges are sampled in O(#edges) by geometric skipping over the
+    [n (n-1) / 2] pair indices, so a flood costs O(slots x λ n). *)
+
+type params = { n : int; lambda : float }
+(** [n >= 2] nodes, contact rate [lambda > 0] per node per slot
+    (edge probability λ/n, so [lambda < n] is required). *)
+
+val slot_edges : Omn_stats.Rng.t -> params -> (int * int) list
+(** One slot's edge set: each pair present independently with
+    probability λ/n. *)
+
+val relax_slot : case:Theory.contact_case -> int array -> (int * int) list -> unit
+(** One slot of the reachability DP: [reach.(v)] is the minimum hop count
+    over paths delivering to [v] within the slots processed so far
+    ([max_int] = unreached); [relax_slot] folds one more slot's edge set
+    in, with the chosen contact-case semantics. Exposed so tests (and
+    custom schedules) can drive the DP with explicit edge sets. *)
+
+type flood = {
+  arrival : int array;  (** slot of first arrival; [max_int] = never *)
+  hops : int array;
+      (** minimum hop count among paths achieving that first arrival;
+          [max_int] = never, 0 at the source *)
+}
+
+val flood :
+  Omn_stats.Rng.t -> params -> source:int -> case:Theory.contact_case -> t_max:int -> flood
+(** Flood from [source] starting at slot boundary 0 through slots
+    [1 .. t_max]. *)
+
+val min_hops_within :
+  Omn_stats.Rng.t ->
+  params ->
+  source:int ->
+  case:Theory.contact_case ->
+  deadline:int ->
+  int array
+(** [min_hops_within ... ~deadline].(v): the fewest hops of any path
+    reaching [v] within [deadline] slots ([max_int] = unreachable) —
+    what the §3.2 constrained-path probability needs, since the
+    delay-optimal path may use more hops than necessary. *)
+
+val delay_hops_sample :
+  Omn_stats.Rng.t ->
+  params ->
+  case:Theory.contact_case ->
+  runs:int ->
+  t_max:int ->
+  (int * int) list
+(** [runs] independent experiments; each floods from node 0 and records
+    (first-arrival slot, hops at first arrival) for the fixed destination
+    node 1, skipping runs where the deadline [t_max] is hit. Feeds the
+    Fig. 3 empirical check. *)
+
+val to_trace : Omn_stats.Rng.t -> params -> slots:int -> Omn_temporal.Trace.t
+(** Materialise [slots] slots as a contact trace: the slot-[t] edge set
+    becomes point contacts at time [t] (simultaneous point contacts chain,
+    which is exactly the long-contact semantics). Cross-validates the
+    simulator against {!Omn_core.Journey} in the tests. *)

@@ -1,0 +1,60 @@
+module Rng = Omn_stats.Rng
+
+(* cnt.(h).(v) = number of valid paths from the source reaching v with
+   exactly h hops, within the slots processed so far. Short contacts:
+   extensions only from the pre-slot table (slots strictly increase).
+   Long contacts: also from counts created within the same slot
+   (non-decreasing slots) — relax hop levels in increasing order, which
+   terminates because each within-slot extension consumes a hop. *)
+let count_paths rng params ~case ~deadline ~max_hops =
+  if deadline < 0 || max_hops < 0 then invalid_arg "Path_count: negative budget";
+  let n = params.Discrete.n in
+  let cnt = Array.make_matrix (max_hops + 1) n 0. in
+  cnt.(0).(0) <- 1.;
+  for _slot = 1 to deadline do
+    let edges = Discrete.slot_edges rng params in
+    match (case : Theory.contact_case) with
+    | Theory.Short ->
+      let prev = Array.map Array.copy cnt in
+      for h = 1 to max_hops do
+        List.iter
+          (fun (u, v) ->
+            cnt.(h).(v) <- cnt.(h).(v) +. prev.(h - 1).(u);
+            cnt.(h).(u) <- cnt.(h).(u) +. prev.(h - 1).(v))
+          edges
+      done
+    | Theory.Long ->
+      (* Processing hop levels bottom-up lets level h see extensions made
+         at level h-1 in this same slot. Within one level, an edge can be
+         used once per path step; iterating the edge list once per level
+         is exact because a within-slot path visits strictly increasing
+         hop levels. *)
+      for h = 1 to max_hops do
+        let snapshot = Array.copy cnt.(h - 1) in
+        List.iter
+          (fun (u, v) ->
+            cnt.(h).(v) <- cnt.(h).(v) +. snapshot.(u);
+            cnt.(h).(u) <- cnt.(h).(u) +. snapshot.(v))
+          edges
+      done
+  done;
+  let total = ref 0. in
+  for h = 1 to max_hops do
+    total := !total +. cnt.(h).(1)
+  done;
+  !total
+
+let mean_count rng params ~case ~tau ~gamma ~runs =
+  if runs < 1 then invalid_arg "Path_count.mean_count: runs < 1";
+  if tau <= 0. || gamma <= 0. then invalid_arg "Path_count.mean_count: bad budgets";
+  let log_n = log (float_of_int params.Discrete.n) in
+  let deadline = max 1 (int_of_float (Float.ceil (tau *. log_n))) in
+  let max_hops = max 1 (int_of_float (Float.floor (gamma *. tau *. log_n))) in
+  let total = ref 0. in
+  for _ = 1 to runs do
+    let stream = Rng.split rng in
+    total := !total +. count_paths stream params ~case ~deadline ~max_hops
+  done;
+  !total /. float_of_int runs
+
+let predicted_exponent = Theory.expected_paths_exponent

@@ -1,0 +1,40 @@
+(** Exact counting of constrained paths — a direct check of Lemma 1.
+
+    Lemma 1 states that the expected number [E Π_N] of source–destination
+    paths with delay at most [τ ln N] slots and at most [γ τ ln N] hops
+    behaves as [Θ(N^(-1 + τ (γ ln λ + F γ)))] — vanishing in the
+    sub-critical regime and diverging in the super-critical one. This
+    module counts those paths {e exactly} on sampled discrete-time
+    networks (a dynamic program over slots and hop counts; counts are
+    floats since they grow polynomially in N), so the bench can fit the
+    measured growth rate against the predicted exponent
+    (experiment [lemma1]). *)
+
+val count_paths :
+  Omn_stats.Rng.t ->
+  Discrete.params ->
+  case:Theory.contact_case ->
+  deadline:int ->
+  max_hops:int ->
+  float
+(** Number of valid paths from node 0 to node 1 using at most [max_hops]
+    contacts within [deadline] slots, on one sampled network. A path is a
+    chronological sequence of (edge, slot) steps: slots strictly increase
+    in the short-contact case and are non-decreasing in the long-contact
+    case (matching §3.1.3). Vertices may repeat, as in the Lemma. *)
+
+val mean_count :
+  Omn_stats.Rng.t ->
+  Discrete.params ->
+  case:Theory.contact_case ->
+  tau:float ->
+  gamma:float ->
+  runs:int ->
+  float
+(** Monte-Carlo estimate of [E Π_N] under the Lemma's logarithmic
+    budgets: deadline [ceil (τ ln n)], hops [max 1 (floor (γ τ ln n))]. *)
+
+val predicted_exponent :
+  Theory.contact_case -> lambda:float -> tau:float -> gamma:float -> float
+(** Alias of {!Theory.expected_paths_exponent}: the growth exponent the
+    measurement should match. *)

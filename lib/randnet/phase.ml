@@ -1,0 +1,36 @@
+module Rng = Omn_stats.Rng
+
+let budgets params ~tau ~gamma =
+  let log_n = log (float_of_int params.Discrete.n) in
+  let deadline = int_of_float (Float.ceil (tau *. log_n)) in
+  let hop_budget = max 1 (int_of_float (Float.floor (gamma *. tau *. log_n))) in
+  (max 1 deadline, hop_budget)
+
+let success_probability rng params ~case ~tau ~gamma ~runs =
+  if runs < 1 then invalid_arg "Phase.success_probability: runs < 1";
+  if tau <= 0. || gamma <= 0. then invalid_arg "Phase.success_probability: bad budgets";
+  let deadline, hop_budget = budgets params ~tau ~gamma in
+  let hits = ref 0 in
+  for _ = 1 to runs do
+    let stream = Rng.split rng in
+    let reach = Discrete.min_hops_within stream params ~source:0 ~case ~deadline in
+    if reach.(1) <= hop_budget then incr hits
+  done;
+  float_of_int !hits /. float_of_int runs
+
+let transition_curve rng params ~case ~gamma ~taus ~runs =
+  Array.map (fun tau -> (tau, success_probability rng params ~case ~tau ~gamma ~runs)) taus
+
+let unconstrained_success rng params ~case ~tau ~runs =
+  let log_n = log (float_of_int params.Discrete.n) in
+  let deadline = max 1 (int_of_float (Float.ceil (tau *. log_n))) in
+  let hits = ref 0 in
+  for _ = 1 to runs do
+    let stream = Rng.split rng in
+    let reach = Discrete.min_hops_within stream params ~source:0 ~case ~deadline in
+    if reach.(1) <> max_int then incr hits
+  done;
+  float_of_int !hits /. float_of_int runs
+
+let unconstrained_curve rng params ~case ~taus ~runs =
+  Array.map (fun tau -> (tau, unconstrained_success rng params ~case ~tau ~runs)) taus

@@ -1,0 +1,40 @@
+(** Monte-Carlo exhibition of the §3.2 phase transition.
+
+    Corollary 1: with delay budget [τ ln n] and hop budget [γ τ ln n],
+    constrained paths almost surely do not exist when
+    [1/τ > γ ln λ + F γ] and abound when [1/τ < γ ln λ + F γ]. These
+    estimators measure the empirical success probability so the bench can
+    show it swinging from ~0 to ~1 around [τ* = tau_critical] as [n]
+    grows. *)
+
+val success_probability :
+  Omn_stats.Rng.t ->
+  Discrete.params ->
+  case:Theory.contact_case ->
+  tau:float ->
+  gamma:float ->
+  runs:int ->
+  float
+(** Fraction of [runs] fresh networks in which a path exists from node 0
+    to node 1 with delay at most [ceil (τ ln n)] slots and at most
+    [floor (γ τ ln n)] hops (at least 1 hop allowed). *)
+
+val transition_curve :
+  Omn_stats.Rng.t ->
+  Discrete.params ->
+  case:Theory.contact_case ->
+  gamma:float ->
+  taus:float array ->
+  runs:int ->
+  (float * float) array
+(** [(τ, success probability)] for each τ. *)
+
+val unconstrained_curve :
+  Omn_stats.Rng.t ->
+  Discrete.params ->
+  case:Theory.contact_case ->
+  taus:float array ->
+  runs:int ->
+  (float * float) array
+(** Same but with no hop budget (γ = ∞): locates the delay-only
+    transition at [τ* = tau_critical]. *)

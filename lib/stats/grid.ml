@@ -1,0 +1,30 @@
+let linear ~lo ~hi ~n =
+  if n < 2 then invalid_arg "Grid.linear: n < 2";
+  if lo > hi then invalid_arg "Grid.linear: lo > hi";
+  Array.init n (fun i -> lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+
+let logarithmic ~lo ~hi ~n =
+  if n < 2 then invalid_arg "Grid.logarithmic: n < 2";
+  if not (0. < lo && lo <= hi) then invalid_arg "Grid.logarithmic: need 0 < lo <= hi";
+  let llo = log lo and lhi = log hi in
+  Array.init n (fun i ->
+      exp (llo +. ((lhi -. llo) *. float_of_int i /. float_of_int (n - 1))))
+
+let minute = 60.
+let hour = 3600.
+let day = 86400.
+let week = 7. *. day
+
+let delay_default = logarithmic ~lo:(2. *. minute) ~hi:week ~n:120
+
+let delay_named =
+  [
+    ("2 min", 2. *. minute);
+    ("10 min", 10. *. minute);
+    ("1 hour", hour);
+    ("3 h", 3. *. hour);
+    ("6 h", 6. *. hour);
+    ("1 day", day);
+    ("2 d", 2. *. day);
+    ("1 week", week);
+  ]

@@ -1,0 +1,17 @@
+(** Evaluation grids for curves and CDFs. *)
+
+val linear : lo:float -> hi:float -> n:int -> float array
+(** [n] evenly spaced points from [lo] to [hi] inclusive. Requires
+    [n >= 2] and [lo <= hi]. *)
+
+val logarithmic : lo:float -> hi:float -> n:int -> float array
+(** [n] log-spaced points from [lo] to [hi] inclusive. Requires
+    [0 < lo <= hi] and [n >= 2]. *)
+
+val delay_default : float array
+(** The paper's delay axis for Figs. 9–11: log-spaced from 2 minutes to
+    one week (in seconds). *)
+
+val delay_named : (string * float) list
+(** Landmark delays with the labels the paper prints under its x-axes:
+    2 min, 10 min, 1 hour, 3 h, 6 h, 1 day, 2 d, 1 week. *)

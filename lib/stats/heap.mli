@@ -1,0 +1,19 @@
+(** Imperative binary min-heap, used by the event-driven flooding baseline
+    and the temporal Dijkstra search. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [cmp] (minimum at the top). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum. *)
+
+val peek : 'a t -> 'a option
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+(** Heapify in O(n). *)

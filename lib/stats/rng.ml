@@ -1,0 +1,160 @@
+(* xoshiro256** with splitmix64 seeding, after the public-domain reference
+   implementations by Blackman & Vigna. OCaml's boxed int64 arithmetic is
+   fast enough here: sampling is never the bottleneck of an experiment. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let int64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Seed a fresh stream from two outputs of [t]; splitmix64 decorrelates. *)
+  let state = ref (int64 t) in
+  let _ = splitmix64 state in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let float t =
+  (* Top 53 bits, scaled to [0, 1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_range t a b =
+  assert (a <= b);
+  a +. ((b -. a) *. float t)
+
+let int t n =
+  assert (n > 0);
+  if n = 1 then 0
+  else begin
+    (* Rejection sampling to avoid modulo bias. *)
+    let n64 = Int64.of_int n in
+    let limit = Int64.sub (Int64.div Int64.max_int n64) 1L in
+    let bound = Int64.mul limit n64 in
+    let rec draw () =
+      let v = Int64.shift_right_logical (int64 t) 1 in
+      if v >= bound && bound > 0L then draw () else Int64.to_int (Int64.rem v n64)
+    in
+    draw ()
+  end
+
+let bool t = Int64.compare (Int64.logand (int64 t) 1L) 0L <> 0
+let bernoulli t p = float t < p
+
+let exponential t rate =
+  assert (rate > 0.);
+  let u = 1. -. float t in
+  -.log u /. rate
+
+let normal t mu sigma =
+  (* Box–Muller; both uniforms drawn every call so the stream position does
+     not depend on parity of the number of calls. *)
+  let u1 = 1. -. float t in
+  let u2 = float t in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let log_normal t mu sigma = exp (normal t mu sigma)
+
+let pareto t alpha x_min =
+  assert (alpha > 0. && x_min > 0.);
+  let u = 1. -. float t in
+  x_min /. (u ** (1. /. alpha))
+
+let poisson t mean =
+  assert (mean >= 0.);
+  if mean = 0. then 0
+  else if mean < 30. then begin
+    (* Knuth's product method. *)
+    let limit = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. float t in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.
+  end
+  else begin
+    (* Split the mean: Poisson(a + b) = Poisson(a) + Poisson(b). *)
+    let half = mean /. 2. in
+    let rec go m acc =
+      if m < 30. then
+        let limit = exp (-.m) in
+        let rec loop k p =
+          let p = p *. float t in
+          if p <= limit then k else loop (k + 1) p
+        in
+        acc + loop 0 1.
+      else go (m /. 2.) (go (m /. 2.) acc)
+    in
+    go half (go half 0)
+  end
+
+let geometric t p =
+  assert (p > 0. && p <= 1.);
+  if p = 1. then 0
+  else
+    let u = 1. -. float t in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  assert (0 <= k && k <= n);
+  if k = 0 then [||]
+  else if 2 * k >= n then begin
+    let a = Array.init n (fun i -> i) in
+    shuffle t a;
+    Array.sub a 0 k
+  end
+  else begin
+    (* Floyd's algorithm: k draws, O(k) memory. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let idx = ref 0 in
+    for j = n - k to n - 1 do
+      let r = int t (j + 1) in
+      let v = if Hashtbl.mem seen r then j else r in
+      Hashtbl.replace seen v ();
+      out.(!idx) <- v;
+      incr idx
+    done;
+    shuffle t out;
+    out
+  end

@@ -1,0 +1,64 @@
+let units = [ ("wk", 604800.); ("d", 86400.); ("h", 3600.); ("min", 60.); ("s", 1.) ]
+
+let duration s =
+  if s = infinity then "inf"
+  else if s < 0. then "-" ^ string_of_float (-.s)
+  else if s = 0. then "0 s"
+  else begin
+    let rec pick = function
+      | [] -> ("s", 1.)
+      | (name, scale) :: rest -> if s >= scale then (name, scale) else pick rest
+    in
+    let name, scale = pick units in
+    let v = s /. scale in
+    if scale = 1. && Float.is_integer v then Printf.sprintf "%.0f s" v
+    else Printf.sprintf "%.1f %s" v name
+  end
+
+let pp_duration fmt s = Format.pp_print_string fmt (duration s)
+
+let parse_duration str =
+  let str = String.trim (String.lowercase_ascii str) in
+  if str = "inf" || str = "infinity" then Some infinity
+  else begin
+    let is_unit_char c = (c >= 'a' && c <= 'z') in
+    let n = String.length str in
+    let split = ref n in
+    (* First alphabetic character begins the unit suffix. *)
+    (try
+       for i = 0 to n - 1 do
+         if is_unit_char str.[i] then begin
+           split := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let num = String.trim (String.sub str 0 !split) in
+    let unit = String.trim (String.sub str !split (n - !split)) in
+    match float_of_string_opt num with
+    | None -> None
+    | Some v ->
+      let scale =
+        match unit with
+        | "" | "s" | "sec" | "secs" | "second" | "seconds" -> Some 1.
+        | "min" | "m" | "mn" | "minute" | "minutes" -> Some 60.
+        | "h" | "hr" | "hour" | "hours" -> Some 3600.
+        | "d" | "day" | "days" -> Some 86400.
+        | "wk" | "w" | "week" | "weeks" -> Some 604800.
+        | _ -> None
+      in
+      Option.map (fun sc -> v *. sc) scale
+  end
+
+let axis_seconds s =
+  if s = infinity then "inf"
+  else begin
+    let rec pick = function
+      | [] -> ("s", 1.)
+      | (name, scale) :: rest -> if s >= scale then (name, scale) else pick rest
+    in
+    let name, scale = pick units in
+    let v = s /. scale in
+    if Float.is_integer v then Printf.sprintf "%.0f%s" v name
+    else Printf.sprintf "%.1f%s" v name
+  end

@@ -1,0 +1,16 @@
+(** Human-readable formatting of durations and instants (seconds). *)
+
+val duration : float -> string
+(** Compact rendering: ["90 s"], ["2.0 min"], ["1.5 h"], ["3.0 d"],
+    ["2.0 wk"], ["inf"]. Chooses the largest unit keeping the mantissa
+    >= 1. *)
+
+val pp_duration : Format.formatter -> float -> unit
+
+val parse_duration : string -> float option
+(** Inverse-ish of {!duration}: accepts ["<number><unit>"] with unit in
+    s, min, h, d, wk (case-insensitive, optional space), plus ["inf"]. *)
+
+val axis_seconds : float -> string
+(** Short axis-label form used in experiment printouts: ["2min"],
+    ["1h"], ["6h"], ["1d"], ["1wk"]. *)

@@ -1,0 +1,37 @@
+type t = { a : Node.t; b : Node.t; t_beg : float; t_end : float }
+
+let make ~a ~b ~t_beg ~t_end =
+  if a = b then invalid_arg "Contact.make: self-contact";
+  if a < 0 || b < 0 then invalid_arg "Contact.make: negative node id";
+  if not (Float.is_finite t_beg && Float.is_finite t_end) then
+    invalid_arg "Contact.make: non-finite bound";
+  if t_beg > t_end then invalid_arg "Contact.make: reversed interval";
+  let a, b = if a < b then (a, b) else (b, a) in
+  { a; b; t_beg; t_end }
+
+let duration c = c.t_end -. c.t_beg
+let involves c u = c.a = u || c.b = u
+
+let peer c u =
+  if c.a = u then c.b
+  else if c.b = u then c.a
+  else invalid_arg "Contact.peer: node not an endpoint"
+
+let overlaps c1 c2 = c1.t_beg <= c2.t_end && c2.t_beg <= c1.t_end
+
+let compare_by_start c1 c2 =
+  let by_beg = Float.compare c1.t_beg c2.t_beg in
+  if by_beg <> 0 then by_beg
+  else begin
+    let by_end = Float.compare c1.t_end c2.t_end in
+    if by_end <> 0 then by_end
+    else begin
+      let by_a = Int.compare c1.a c2.a in
+      if by_a <> 0 then by_a else Int.compare c1.b c2.b
+    end
+  end
+
+let equal c1 c2 = compare_by_start c1 c2 = 0
+
+let pp fmt c =
+  Format.fprintf fmt "%a-%a@[%g;%g@]" Node.pp c.a Node.pp c.b c.t_beg c.t_end

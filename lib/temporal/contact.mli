@@ -1,0 +1,32 @@
+(** Contacts: labelled edges of a temporal network.
+
+    A contact [(a, b, [t_beg; t_end])] records that devices [a] and [b]
+    were within range during the whole closed interval. Contacts are
+    undirected (Bluetooth sightings are symmetric once merged); a trace
+    may hold several contacts between the same pair, including
+    overlapping ones (they came from different scans). *)
+
+type t = private { a : Node.t; b : Node.t; t_beg : float; t_end : float }
+
+val make : a:Node.t -> b:Node.t -> t_beg:float -> t_end:float -> t
+(** Canonicalises so that [a < b]. Raises [Invalid_argument] if
+    [a = b], ids are negative, the interval is reversed, or a bound is
+    not finite. Zero-duration (point) contacts are allowed: the
+    continuous-time model of §3.1.2 uses them. *)
+
+val duration : t -> float
+
+val involves : t -> Node.t -> bool
+
+val peer : t -> Node.t -> Node.t
+(** [peer c u] is the other endpoint. Raises [Invalid_argument] if [u]
+    is not an endpoint of [c]. *)
+
+val overlaps : t -> t -> bool
+(** Do the two time intervals intersect (closed intervals)? *)
+
+val compare_by_start : t -> t -> int
+(** Orders by [t_beg], then [t_end], then endpoints — a total order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+type t = {
+  label : string;
+  n_nodes : int;
+  t_start : float;
+  t_end : float;
+  contacts : Contact.t array;
+  mutable adjacency : Contact.t array array option; (* built lazily *)
+}
+
+let create ?(name = "trace") ~n_nodes ~t_start ~t_end contact_list =
+  if n_nodes < 0 then invalid_arg "Trace.create: n_nodes < 0";
+  if t_start > t_end then invalid_arg "Trace.create: reversed window";
+  let contacts = Array.of_list contact_list in
+  Array.iter
+    (fun (c : Contact.t) ->
+      if c.b >= n_nodes then invalid_arg "Trace.create: node id out of range";
+      if c.t_beg < t_start || c.t_end > t_end then
+        invalid_arg "Trace.create: contact outside window")
+    contacts;
+  Array.sort Contact.compare_by_start contacts;
+  { label = name; n_nodes; t_start; t_end; contacts; adjacency = None }
+
+let name t = t.label
+let with_name t label = { t with label; adjacency = None }
+let n_nodes t = t.n_nodes
+let t_start t = t.t_start
+let t_end t = t.t_end
+let span t = t.t_end -. t.t_start
+let n_contacts t = Array.length t.contacts
+let contacts t = t.contacts
+let contact t i = t.contacts.(i)
+let iter f t = Array.iter f t.contacts
+let fold f init t = Array.fold_left f init t.contacts
+
+let build_adjacency t =
+  (* Walk the sorted contacts right-to-left so per-node lists come out in
+     ascending start order. *)
+  let lists = Array.make t.n_nodes [] in
+  for i = Array.length t.contacts - 1 downto 0 do
+    let c = t.contacts.(i) in
+    lists.(c.a) <- c :: lists.(c.a);
+    lists.(c.b) <- c :: lists.(c.b)
+  done;
+  Array.map Array.of_list lists
+
+let adjacency t =
+  match t.adjacency with
+  | Some adj -> adj
+  | None ->
+    let adj = build_adjacency t in
+    t.adjacency <- Some adj;
+    adj
+
+let node_contacts t u =
+  if u < 0 || u >= t.n_nodes then invalid_arg "Trace.node_contacts: bad node";
+  (adjacency t).(u)
+
+let pair_contacts t u v =
+  let u, v = if u < v then (u, v) else (v, u) in
+  let among = node_contacts t u in
+  Array.fold_right
+    (fun (c : Contact.t) acc -> if c.a = u && c.b = v then c :: acc else acc)
+    among []
+
+let degree t u = Array.length (node_contacts t u)
+
+let contact_rate t =
+  let duration = span t in
+  if t.n_nodes = 0 || duration <= 0. then 0.
+  else 2. *. float_of_int (n_contacts t) /. (float_of_int t.n_nodes *. duration)
+
+let active_nodes t =
+  let seen = Array.make t.n_nodes false in
+  Array.iter
+    (fun (c : Contact.t) ->
+      seen.(c.a) <- true;
+      seen.(c.b) <- true)
+    t.contacts;
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen
+
+let pp_summary fmt t =
+  Format.fprintf fmt "@[<h>%s: %d nodes, %d contacts, window [%g; %g] (%s), rate %.3g/node/day@]"
+    t.label t.n_nodes (n_contacts t) t.t_start t.t_end
+    (Omn_stats.Timefmt.duration (span t))
+    (contact_rate t *. 86400.)

@@ -1,0 +1,53 @@
+(** Contact traces: the temporal-network representation of §4.2.
+
+    A trace is a static node set [0 .. n_nodes - 1], an observation window
+    [(t_start, t_end)], and a multiset of {!Contact.t} within the window,
+    stored sorted by start time. This is the input type of every path
+    computation and every experiment in this repository. *)
+
+type t
+
+val create : ?name:string -> n_nodes:int -> t_start:float -> t_end:float -> Contact.t list -> t
+(** Validates that every contact fits the window and node range, then
+    sorts. Raises [Invalid_argument] otherwise, or if
+    [t_start > t_end] or [n_nodes < 0]. *)
+
+val name : t -> string
+(** Dataset label (defaults to ["trace"]). *)
+
+val with_name : t -> string -> t
+val n_nodes : t -> int
+val t_start : t -> float
+val t_end : t -> float
+
+val span : t -> float
+(** [t_end - t_start]. *)
+
+val n_contacts : t -> int
+
+val contacts : t -> Contact.t array
+(** Sorted by {!Contact.compare_by_start}. The array is owned by the
+    trace; do not mutate it. *)
+
+val contact : t -> int -> Contact.t
+val iter : (Contact.t -> unit) -> t -> unit
+val fold : ('acc -> Contact.t -> 'acc) -> 'acc -> t -> 'acc
+
+val node_contacts : t -> Node.t -> Contact.t array
+(** Contacts involving a node, sorted by start time. O(1) after the first
+    call on any node (the adjacency index is built lazily, once). *)
+
+val pair_contacts : t -> Node.t -> Node.t -> Contact.t list
+(** Contacts between an unordered pair, sorted by start time. *)
+
+val degree : t -> Node.t -> int
+(** Number of contacts involving the node. *)
+
+val contact_rate : t -> float
+(** Average number of contacts made by a node per unit of time — the λ of
+    §3.1: [2 * n_contacts / (n_nodes * span)]. 0 on degenerate traces. *)
+
+val active_nodes : t -> int
+(** Number of nodes with at least one contact. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+let output oc trace =
+  Printf.fprintf oc "# omn-trace 1\n";
+  Printf.fprintf oc "# name %s\n" (Trace.name trace);
+  Printf.fprintf oc "# nodes %d\n" (Trace.n_nodes trace);
+  Printf.fprintf oc "# window %.17g %.17g\n" (Trace.t_start trace) (Trace.t_end trace);
+  Trace.iter
+    (fun (c : Contact.t) -> Printf.fprintf oc "%d %d %.17g %.17g\n" c.a c.b c.t_beg c.t_end)
+    trace
+
+let to_string trace =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# omn-trace 1\n# name %s\n# nodes %d\n# window %.17g %.17g\n"
+    (Trace.name trace) (Trace.n_nodes trace) (Trace.t_start trace) (Trace.t_end trace));
+  Trace.iter
+    (fun (c : Contact.t) ->
+      Buffer.add_string buf (Printf.sprintf "%d %d %.17g %.17g\n" c.a c.b c.t_beg c.t_end))
+    trace;
+  Buffer.contents buf
+
+type header = {
+  mutable name : string option;
+  mutable nodes : int option;
+  mutable window : (float * float) option;
+}
+
+let parse_lines lines =
+  let header = { name = None; nodes = None; window = None } in
+  let contacts = ref [] in
+  let max_node = ref (-1) in
+  let min_t = ref infinity and max_t = ref neg_infinity in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let fail msg = failwith (Printf.sprintf "Trace_io: line %d: %s" lineno msg) in
+      let line = String.trim line in
+      if line = "" then ()
+      else if String.length line > 0 && line.[0] = '#' then begin
+        let body = String.trim (String.sub line 1 (String.length line - 1)) in
+        match String.split_on_char ' ' body with
+        | "name" :: rest -> header.name <- Some (String.concat " " rest)
+        | [ "nodes"; n ] -> (
+          match int_of_string_opt n with
+          | Some n -> header.nodes <- Some n
+          | None -> fail "bad node count")
+        | [ "window"; a; b ] -> (
+          match (float_of_string_opt a, float_of_string_opt b) with
+          | Some a, Some b -> header.window <- Some (a, b)
+          | _ -> fail "bad window")
+        | _ -> () (* free comment *)
+      end
+      else begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ a; b; t_beg; t_end ] -> (
+          match
+            (int_of_string_opt a, int_of_string_opt b, float_of_string_opt t_beg,
+             float_of_string_opt t_end)
+          with
+          | Some a, Some b, Some t_beg, Some t_end ->
+            let c =
+              try Contact.make ~a ~b ~t_beg ~t_end
+              with Invalid_argument msg -> fail msg
+            in
+            contacts := c :: !contacts;
+            max_node := max !max_node (max a b);
+            min_t := Float.min !min_t t_beg;
+            max_t := Float.max !max_t t_end
+          | _ -> fail "bad field")
+        | _ -> fail "expected 4 fields: a b t_beg t_end"
+      end)
+    lines;
+  let name = Option.value header.name ~default:"trace" in
+  let n_nodes = Option.value header.nodes ~default:(!max_node + 1) in
+  let t_start, t_end =
+    match header.window with
+    | Some w -> w
+    | None -> if !contacts = [] then (0., 0.) else (!min_t, !max_t)
+  in
+  Trace.create ~name ~n_nodes ~t_start ~t_end !contacts
+
+let of_string s = parse_lines (String.split_on_char '\n' s)
+
+let input ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  parse_lines (List.rev !lines)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> input ic)
+
+let save trace path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output oc trace)

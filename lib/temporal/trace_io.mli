@@ -1,0 +1,27 @@
+(** Plain-text trace serialisation.
+
+    Format (one record per line, [#] comments allowed):
+    {v
+    # omn-trace 1
+    # name <label>
+    # nodes <n>
+    # window <t_start> <t_end>
+    <a> <b> <t_beg> <t_end>
+    ...
+    v}
+    Times are seconds (floats). The header lines are written by
+    {!save}; {!load} accepts files without them by inferring the node
+    count and window from the records. *)
+
+val save : Trace.t -> string -> unit
+(** Write to a file path. Raises [Sys_error] on IO failure. *)
+
+val load : string -> Trace.t
+(** Read from a file path. Raises [Failure] with a line-numbered message
+    on malformed input; [Sys_error] on IO failure. *)
+
+val output : out_channel -> Trace.t -> unit
+val input : in_channel -> Trace.t
+
+val to_string : Trace.t -> string
+val of_string : string -> Trace.t

@@ -1,0 +1,133 @@
+module Empirical = Omn_stats.Empirical
+
+type summary = {
+  label : string;
+  duration_days : float;
+  n_nodes : int;
+  active_nodes : int;
+  n_contacts : int;
+  contact_rate_per_day : float;
+  median_duration : float;
+  mean_duration : float;
+}
+
+let durations trace =
+  Array.map Contact.duration (Trace.contacts trace)
+
+let duration_distribution trace =
+  let d = durations trace in
+  if Array.length d = 0 then invalid_arg "Trace_stats.duration_distribution: empty trace";
+  Empirical.of_array d
+
+let summary trace =
+  let n = Trace.n_contacts trace in
+  let median_duration, mean_duration =
+    if n = 0 then (nan, nan)
+    else begin
+      let dist = duration_distribution trace in
+      (Empirical.quantile dist 0.5, Empirical.mean_finite dist)
+    end
+  in
+  {
+    label = Trace.name trace;
+    duration_days = Trace.span trace /. 86400.;
+    n_nodes = Trace.n_nodes trace;
+    active_nodes = Trace.active_nodes trace;
+    n_contacts = n;
+    contact_rate_per_day = Trace.contact_rate trace *. 86400.;
+    median_duration;
+    mean_duration;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "@[<v>%s:@,\
+    \  duration          %.2f days@,\
+    \  devices           %d (%d active)@,\
+    \  contacts          %d@,\
+    \  contact rate      %.3f /node/day@,\
+    \  contact duration  median %s, mean %s@]"
+    s.label s.duration_days s.n_nodes s.active_nodes s.n_contacts s.contact_rate_per_day
+    (Omn_stats.Timefmt.duration s.median_duration)
+    (Omn_stats.Timefmt.duration s.mean_duration)
+
+let duration_ccdf trace grid =
+  let dist = duration_distribution trace in
+  Array.map (fun g -> Empirical.ccdf dist g) grid
+
+let fraction_duration_leq trace threshold =
+  let n = Trace.n_contacts trace in
+  if n = 0 then 0.
+  else begin
+    let k = Trace.fold (fun acc c -> if Contact.duration c <= threshold then acc + 1 else acc) 0 trace in
+    float_of_int k /. float_of_int n
+  end
+
+let inter_contact_times trace =
+  (* Group per unordered pair, then diff successive intervals. *)
+  let table : (int * int, Contact.t list) Hashtbl.t = Hashtbl.create 256 in
+  Trace.iter
+    (fun (c : Contact.t) ->
+      let key = (c.a, c.b) in
+      let prev = Option.value (Hashtbl.find_opt table key) ~default:[] in
+      Hashtbl.replace table key (c :: prev))
+    trace;
+  let gaps = ref [] in
+  Hashtbl.iter
+    (fun _ cs ->
+      let cs = List.sort Contact.compare_by_start cs in
+      let rec walk = function
+        | (c1 : Contact.t) :: ((c2 : Contact.t) :: _ as rest) ->
+          gaps := Float.max 0. (c2.t_beg -. c1.t_end) :: !gaps;
+          walk rest
+        | _ -> ()
+      in
+      walk cs)
+    table;
+  match !gaps with
+  | [] -> None
+  | gaps -> Some (Empirical.of_array (Array.of_list gaps))
+
+let next_contact_steps trace u =
+  (* Union the node's contact intervals, then emit the staircase. *)
+  let intervals =
+    Array.to_list (Trace.node_contacts trace u)
+    |> List.map (fun (c : Contact.t) -> (c.t_beg, c.t_end))
+    |> List.sort compare
+  in
+  let merged =
+    List.fold_left
+      (fun acc (b, e) ->
+        match acc with
+        | (b', e') :: rest when b <= e' -> (b', Float.max e e') :: rest
+        | _ -> (b, e) :: acc)
+      [] intervals
+    |> List.rev
+  in
+  let t_stop = Trace.t_end trace in
+  let rec emit t = function
+    | [] -> if t <= t_stop then [ (t, infinity) ] else []
+    | (b, e) :: rest ->
+      if t < b then (t, b) :: (b, b) :: emit b ((b, e) :: rest)
+      else (* inside the interval: the diagonal until e *)
+        (e, e) :: emit (Float.succ e) rest
+  in
+  match merged with
+  | [] -> [ (Trace.t_start trace, infinity) ]
+  | (b, _) :: _ ->
+    let head = if Trace.t_start trace < b then [ (Trace.t_start trace, b) ] else [] in
+    head @ emit b merged
+
+let contacts_per_window trace ~window =
+  if window <= 0. then invalid_arg "Trace_stats.contacts_per_window: window <= 0";
+  let t0 = Trace.t_start trace in
+  let n_windows = int_of_float (Float.ceil (Trace.span trace /. window)) in
+  let n_windows = max n_windows 1 in
+  let counts = Array.make n_windows 0 in
+  Trace.iter
+    (fun (c : Contact.t) ->
+      let idx = int_of_float ((c.t_beg -. t0) /. window) in
+      let idx = min (n_windows - 1) (max 0 idx) in
+      counts.(idx) <- counts.(idx) + 1)
+    trace;
+  Array.mapi (fun i k -> (t0 +. (float_of_int i *. window), k)) counts

@@ -1,0 +1,44 @@
+(** Descriptive statistics of a contact trace — everything Table 1 and
+    Figs. 6–7 of the paper report. *)
+
+type summary = {
+  label : string;
+  duration_days : float;
+  n_nodes : int;
+  active_nodes : int;
+  n_contacts : int;
+  contact_rate_per_day : float;  (** contacts made by a node per day (λ of §3) *)
+  median_duration : float;       (** seconds *)
+  mean_duration : float;         (** seconds *)
+}
+
+val summary : Trace.t -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val duration_distribution : Trace.t -> Omn_stats.Empirical.t
+(** Distribution of contact durations (Fig. 7 plots its CCDF). *)
+
+val duration_ccdf : Trace.t -> float array -> float array
+(** CCDF of contact duration on a given grid of durations. *)
+
+val fraction_duration_leq : Trace.t -> float -> float
+(** Fraction of contacts with duration <= threshold (e.g. one scan slot:
+    the paper reports 75 % for Infocom06 at 120 s). 0 on empty traces. *)
+
+val inter_contact_times : Trace.t -> Omn_stats.Empirical.t option
+(** Distribution of gaps between successive contacts of the same pair
+    (gap = next [t_beg] - previous [t_end], clamped at 0 for overlapping
+    records). [None] when no pair meets twice. *)
+
+val next_contact_steps : Trace.t -> Node.t -> (float * float) list
+(** Fig. 6's curve for one node: sample points [(departure, arrival)]
+    where [arrival] is the first instant >= [departure] at which the node
+    is in contact with anyone ([infinity] if never again). The list
+    contains one point per breakpoint of this staircase, in ascending
+    departure order: within a contact period arrival = departure (the
+    diagonal); in a disconnection period arrival is the constant next
+    contact start. *)
+
+val contacts_per_window : Trace.t -> window:float -> (float * int) array
+(** Activity profile: number of contacts beginning in each successive
+    window of the given width (pairs of window start time and count). *)

@@ -1,0 +1,88 @@
+let rebuild ?name base contacts =
+  let name = Option.value name ~default:(Trace.name base) in
+  Trace.create ~name ~n_nodes:(Trace.n_nodes base) ~t_start:(Trace.t_start base)
+    ~t_end:(Trace.t_end base) contacts
+
+let filter keep base =
+  rebuild base (Trace.fold (fun acc c -> if keep c then c :: acc else acc) [] base)
+
+let remove_random ~rng ~p trace =
+  if not (0. <= p && p <= 1.) then invalid_arg "Transform.remove_random: bad p";
+  filter (fun _ -> not (Omn_stats.Rng.bernoulli rng p)) trace
+
+let keep_longer_than threshold trace =
+  filter (fun c -> Contact.duration c > threshold) trace
+
+let keep_shorter_than threshold trace =
+  filter (fun c -> Contact.duration c <= threshold) trace
+
+let time_window ~t_start ~t_end trace =
+  if t_start > t_end then invalid_arg "Transform.time_window: reversed";
+  let clipped =
+    Trace.fold
+      (fun acc (c : Contact.t) ->
+        if c.t_end < t_start || c.t_beg > t_end then acc
+        else
+          Contact.make ~a:c.a ~b:c.b ~t_beg:(Float.max c.t_beg t_start)
+            ~t_end:(Float.min c.t_end t_end)
+          :: acc)
+      [] trace
+  in
+  Trace.create ~name:(Trace.name trace) ~n_nodes:(Trace.n_nodes trace) ~t_start ~t_end clipped
+
+let restrict_nodes ~keep trace =
+  let n = Trace.n_nodes trace in
+  let remap = Array.make n (-1) in
+  let next = ref 0 in
+  for u = 0 to n - 1 do
+    if keep u then begin
+      remap.(u) <- !next;
+      incr next
+    end
+  done;
+  let contacts =
+    Trace.fold
+      (fun acc (c : Contact.t) ->
+        if remap.(c.a) >= 0 && remap.(c.b) >= 0 then
+          Contact.make ~a:remap.(c.a) ~b:remap.(c.b) ~t_beg:c.t_beg ~t_end:c.t_end :: acc
+        else acc)
+      [] trace
+  in
+  let back = Array.make !next (-1) in
+  Array.iteri (fun old fresh -> if fresh >= 0 then back.(fresh) <- old) remap;
+  ( Trace.create ~name:(Trace.name trace) ~n_nodes:!next ~t_start:(Trace.t_start trace)
+      ~t_end:(Trace.t_end trace) contacts,
+    back )
+
+let quantize ~granularity trace =
+  if granularity <= 0. then invalid_arg "Transform.quantize: granularity <= 0";
+  let t0 = Trace.t_start trace and t1 = Trace.t_end trace in
+  let snap_down t = t0 +. (Float.floor ((t -. t0) /. granularity) *. granularity) in
+  let snap_up t = t0 +. (Float.ceil ((t -. t0) /. granularity) *. granularity) in
+  let contacts =
+    Trace.fold
+      (fun acc (c : Contact.t) ->
+        let t_beg = Float.max t0 (snap_down c.t_beg) in
+        let t_end = Float.min t1 (snap_up c.t_end) in
+        Contact.make ~a:c.a ~b:c.b ~t_beg ~t_end :: acc)
+      [] trace
+  in
+  rebuild trace contacts
+
+let shift delta trace =
+  let contacts =
+    Trace.fold
+      (fun acc (c : Contact.t) ->
+        Contact.make ~a:c.a ~b:c.b ~t_beg:(c.t_beg +. delta) ~t_end:(c.t_end +. delta) :: acc)
+      [] trace
+  in
+  Trace.create ~name:(Trace.name trace) ~n_nodes:(Trace.n_nodes trace)
+    ~t_start:(Trace.t_start trace +. delta) ~t_end:(Trace.t_end trace +. delta) contacts
+
+let merge t1 t2 =
+  if Trace.n_nodes t1 <> Trace.n_nodes t2 then invalid_arg "Transform.merge: node counts differ";
+  let contacts = Trace.fold (fun acc c -> c :: acc) (Trace.fold (fun acc c -> c :: acc) [] t1) t2 in
+  Trace.create ~name:(Trace.name t1) ~n_nodes:(Trace.n_nodes t1)
+    ~t_start:(Float.min (Trace.t_start t1) (Trace.t_start t2))
+    ~t_end:(Float.max (Trace.t_end t1) (Trace.t_end t2))
+    contacts

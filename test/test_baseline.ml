@@ -1,0 +1,105 @@
+module Rng = Omn_stats.Rng
+module Trace = Omn_temporal.Trace
+open Omn_baseline
+
+(* --- Enumerate --- *)
+
+let enumerate_counts () =
+  (* Two contacts 0-1 then 1-2 in order: sequences from 0 within 2 hops:
+     [c1], [c1; c2] -> 2. Reusing c1 twice (0->1->0) is also valid:
+     [c1; c1]. Total = 3. *)
+  let trace = Util.trace_of_contacts [ (0, 1, 0., 1.); (1, 2, 2., 3.) ] in
+  Alcotest.(check int) "sequences" 3
+    (Enumerate.count_sequences trace ~source:0 ~max_hops:2)
+
+let enumerate_respects_chronology () =
+  let trace = Util.trace_of_contacts [ (0, 1, 5., 6.); (1, 2, 0., 1.) ] in
+  let fronts = Enumerate.frontiers trace ~source:0 ~max_hops:5 in
+  Alcotest.(check bool) "0 cannot reach 2" true (Omn_core.Frontier.is_empty fronts.(2))
+
+(* --- Dijkstra --- *)
+
+let dijkstra_simple () =
+  let trace = Util.trace_of_contacts [ (0, 1, 0., 1.); (1, 2, 5., 6.); (0, 2, 8., 9.) ] in
+  let arrival = Dijkstra.earliest_arrival trace ~source:0 ~t0:0. in
+  Util.check_float "self" 0. arrival.(0);
+  Util.check_float "direct neighbour" 0. arrival.(1);
+  Util.check_float "via relay" 5. arrival.(2);
+  let late = Dijkstra.earliest_arrival trace ~source:0 ~t0:2. in
+  Util.check_float "missed first contact" 8. late.(2);
+  Util.check_float "node 1 unreachable now" infinity late.(1)
+
+let dijkstra_inside_contact () =
+  let trace = Util.trace_of_contacts [ (0, 1, 0., 10.) ] in
+  let arrival = Dijkstra.earliest_arrival trace ~source:0 ~t0:4. in
+  Util.check_float "mid-contact start" 4. arrival.(1)
+
+let bounded_rows_monotone =
+  QCheck2.Test.make ~count:150 ~name:"bounded rows non-increasing in hop budget"
+    QCheck2.Gen.(pair int (int_range 1 25))
+    (fun (seed, m) ->
+      let rng = Rng.create seed in
+      let trace = Util.random_trace rng ~n:5 ~m ~horizon:30 in
+      let t0 = Rng.float_range rng 0. 30. in
+      let rows = Dijkstra.earliest_arrival_bounded trace ~source:0 ~t0 ~max_hops:5 in
+      let ok = ref true in
+      for k = 1 to 5 do
+        for v = 0 to 4 do
+          if rows.(k).(v) > rows.(k - 1).(v) then ok := false
+        done
+      done;
+      !ok)
+
+let bounded_converges_to_dijkstra =
+  QCheck2.Test.make ~count:150 ~name:"bounded with many hops = unbounded dijkstra"
+    QCheck2.Gen.(pair int (int_range 1 20))
+    (fun (seed, m) ->
+      let rng = Rng.create seed in
+      let trace = Util.random_trace rng ~n:5 ~m ~horizon:30 in
+      let t0 = Rng.float_range rng 0. 30. in
+      let rows = Dijkstra.earliest_arrival_bounded trace ~source:0 ~t0 ~max_hops:(m + 1) in
+      let exact = Dijkstra.earliest_arrival trace ~source:0 ~t0 in
+      Array.for_all2 (fun a b -> a = b) rows.(m + 1) exact)
+
+let min_delay_consistent () =
+  let trace = Util.trace_of_contacts [ (0, 1, 3., 4.) ] in
+  Util.check_float "delay" 3. (Dijkstra.min_delay trace ~source:0 ~dest:1 ~t0:0.);
+  Util.check_float "unreachable" infinity (Dijkstra.min_delay trace ~source:0 ~dest:1 ~t0:5.)
+
+(* --- Flooding --- *)
+
+let flooding_monotone =
+  QCheck2.Test.make ~count:100 ~name:"flooding delivery non-decreasing in creation time"
+    QCheck2.Gen.(pair int (int_range 1 20))
+    (fun (seed, m) ->
+      let rng = Rng.create seed in
+      let trace = Util.random_trace rng ~n:5 ~m ~horizon:30 in
+      let oracle = Flooding.compute trace ~source:0 in
+      let ok = ref true in
+      for dest = 1 to 4 do
+        let prev = ref neg_infinity in
+        for i = 0 to 60 do
+          let t = float_of_int i /. 2. in
+          let d = Flooding.del oracle ~dest t in
+          if d < !prev then ok := false;
+          prev := d
+        done
+      done;
+      !ok)
+
+let flooding_self () =
+  let trace = Util.trace_of_contacts [ (0, 1, 0., 1.) ] in
+  let oracle = Flooding.compute trace ~source:0 in
+  Util.check_float "self-delivery is immediate" 7. (Flooding.del oracle ~dest:0 7.)
+
+let suite =
+  [
+    Alcotest.test_case "enumerate counts sequences" `Quick enumerate_counts;
+    Alcotest.test_case "enumerate respects chronology" `Quick enumerate_respects_chronology;
+    Alcotest.test_case "dijkstra on a relay chain" `Quick dijkstra_simple;
+    Alcotest.test_case "dijkstra mid-contact start" `Quick dijkstra_inside_contact;
+    Alcotest.test_case "min_delay" `Quick min_delay_consistent;
+    Alcotest.test_case "flooding self delivery" `Quick flooding_self;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ bounded_rows_monotone; bounded_converges_to_dijkstra; flooding_monotone ]

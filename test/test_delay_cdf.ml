@@ -1,0 +1,173 @@
+open Omn_core
+module Rng = Omn_stats.Rng
+module Trace = Omn_temporal.Trace
+
+let frontier_gen =
+  QCheck2.Gen.(
+    let* points =
+      list_size (int_range 0 12)
+        (map2 (fun ld ea -> Ld_ea.make ~ld:(float_of_int ld) ~ea:(float_of_int ea))
+           (int_range 0 40) (int_range 0 40))
+    in
+    let f = Frontier.create () in
+    List.iter (fun p -> ignore (Frontier.insert f p)) points;
+    return (Frontier.to_array f))
+
+let grid = [| 0.; 1.; 2.; 5.; 10.; 20.; 50. |]
+
+(* The accumulator must agree with per-pair exact measures. *)
+let accumulator_matches_measures =
+  QCheck2.Test.make ~count:300 ~name:"Delay_cdf = sum of Delivery.success_measure"
+    QCheck2.Gen.(list_size (int_range 1 6) frontier_gen)
+    (fun snapshots ->
+      let t_start = 0. and t_end = 45. in
+      let acc = Delay_cdf.create ~grid in
+      List.iter (fun s -> Delay_cdf.add_pair acc ~t_start ~t_end s) snapshots;
+      let total = float_of_int (List.length snapshots) *. (t_end -. t_start) in
+      let success = Delay_cdf.success acc in
+      let ok = ref (Float.abs (Delay_cdf.total_mass acc -. total) < 1e-9) in
+      Array.iteri
+        (fun i budget ->
+          let expected =
+            List.fold_left
+              (fun s snapshot ->
+                s
+                +. Delivery.success_measure (Delivery.of_descriptors snapshot) ~t_start ~t_end
+                     ~budget)
+              0. snapshots
+            /. total
+          in
+          if Float.abs (success.(i) -. expected) > 1e-9 then ok := false)
+        grid;
+      let expected_inf =
+        List.fold_left
+          (fun s snapshot ->
+            s
+            +. Delivery.success_measure (Delivery.of_descriptors snapshot) ~t_start ~t_end
+                 ~budget:infinity)
+          0. snapshots
+        /. total
+      in
+      !ok && Float.abs (Delay_cdf.success_inf acc -. expected_inf) < 1e-9)
+
+let success_monotone_in_budget =
+  QCheck2.Test.make ~count:300 ~name:"success curve non-decreasing"
+    QCheck2.Gen.(list_size (int_range 1 6) frontier_gen)
+    (fun snapshots ->
+      let acc = Delay_cdf.create ~grid in
+      List.iter (fun s -> Delay_cdf.add_pair acc ~t_start:0. ~t_end:45. s) snapshots;
+      let success = Delay_cdf.success acc in
+      let ok = ref true in
+      for i = 1 to Array.length success - 1 do
+        if success.(i) < success.(i - 1) -. 1e-12 then ok := false
+      done;
+      !ok && Delay_cdf.success_inf acc >= success.(Array.length success - 1) -. 1e-12)
+
+let rejects_bad_grid () =
+  (match Delay_cdf.create ~grid:[| 1.; 0.5 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "descending grid accepted");
+  match Delay_cdf.create ~grid:[| -1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative budget accepted"
+
+(* End-to-end: curves on random traces are coherent. *)
+let trace_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 6 in
+    let* m = int_range 1 20 in
+    let* seed = int in
+    return (Util.random_trace (Rng.create seed) ~n ~m ~horizon:30))
+
+let curves_coherent =
+  QCheck2.Test.make ~count:60 ~name:"hop curves nest: cdf_k <= cdf_{k+1} <= flood"
+    trace_gen (fun trace ->
+      let curves =
+        Delay_cdf.compute ~max_hops:5 ~grid:[| 1.; 3.; 10.; 30. |] trace
+      in
+      let ok = ref true in
+      let n_grid = Array.length curves.grid in
+      for i = 0 to n_grid - 1 do
+        for k = 1 to 4 do
+          if curves.hop_success.(k - 1).(i) > curves.hop_success.(k).(i) +. 1e-12 then ok := false
+        done;
+        if curves.hop_success.(4).(i) > curves.flood_success.(i) +. 1e-12 then ok := false
+      done;
+      for k = 1 to 4 do
+        if curves.hop_success_inf.(k - 1) > curves.hop_success_inf.(k) +. 1e-12 then ok := false
+      done;
+      !ok && curves.hop_success_inf.(4) <= curves.flood_success_inf +. 1e-12)
+
+(* Cross-check one grid point of compute against direct per-pair journeys. *)
+let compute_matches_journeys =
+  QCheck2.Test.make ~count:40 ~name:"compute = per-pair journey measures" trace_gen
+    (fun trace ->
+      let budget_grid = [| 2.; 8.; 25. |] in
+      let curves = Delay_cdf.compute ~max_hops:4 ~grid:budget_grid trace in
+      let n = Trace.n_nodes trace in
+      let t_start = Trace.t_start trace and t_end = Trace.t_end trace in
+      let total = float_of_int (n * (n - 1)) *. (t_end -. t_start) in
+      let ok = ref true in
+      (* hop bound 2 checked exhaustively *)
+      let mass = Array.make (Array.length budget_grid) 0. in
+      for source = 0 to n - 1 do
+        let frontiers = Journey.frontiers_at_hops trace ~source ~max_hops:2 in
+        for dest = 0 to n - 1 do
+          if dest <> source then begin
+            let delivery = Delivery.of_descriptors (Frontier.to_array frontiers.(dest)) in
+            Array.iteri
+              (fun i budget ->
+                mass.(i) <-
+                  mass.(i) +. Delivery.success_measure delivery ~t_start ~t_end ~budget)
+              budget_grid
+          end
+        done
+      done;
+      Array.iteri
+        (fun i m ->
+          if Float.abs ((m /. total) -. curves.hop_success.(1).(i)) > 1e-9 then ok := false)
+        mass;
+      !ok)
+
+let parallel_matches_sequential =
+  QCheck2.Test.make ~count:20 ~name:"domains=3 gives the sequential curves" trace_gen
+    (fun trace ->
+      let grid = [| 1.; 3.; 10.; 30. |] in
+      let seq = Delay_cdf.compute ~max_hops:4 ~grid trace in
+      let par = Delay_cdf.compute ~max_hops:4 ~grid ~domains:3 trace in
+      let close a b = Float.abs (a -. b) < 1e-9 in
+      let rows_close a b =
+        Array.for_all2 (fun r1 r2 -> Array.for_all2 close r1 r2) a b
+      in
+      rows_close seq.hop_success par.hop_success
+      && Array.for_all2 close seq.flood_success par.flood_success
+      && close seq.flood_success_inf par.flood_success_inf
+      && seq.max_rounds_used = par.max_rounds_used)
+
+let merge_distributes () =
+  let grid = [| 1.; 5.; 20. |] in
+  let snapshot ld ea = [| Omn_core.Ld_ea.make ~ld ~ea |] in
+  let a = Delay_cdf.create ~grid and b = Delay_cdf.create ~grid in
+  let whole = Delay_cdf.create ~grid in
+  Delay_cdf.add_pair a ~t_start:0. ~t_end:30. (snapshot 10. 4.);
+  Delay_cdf.add_pair b ~t_start:0. ~t_end:30. (snapshot 25. 28.);
+  Delay_cdf.add_pair whole ~t_start:0. ~t_end:30. (snapshot 10. 4.);
+  Delay_cdf.add_pair whole ~t_start:0. ~t_end:30. (snapshot 25. 28.);
+  Delay_cdf.merge_into ~dst:a b;
+  Alcotest.(check (array (float 1e-12))) "merged curve" (Delay_cdf.success whole)
+    (Delay_cdf.success a);
+  Util.check_float "merged inf" (Delay_cdf.success_inf whole) (Delay_cdf.success_inf a);
+  match Delay_cdf.merge_into ~dst:a (Delay_cdf.create ~grid:[| 2. |]) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "grid mismatch accepted"
+
+let suite =
+  [
+    Alcotest.test_case "rejects bad grids" `Quick rejects_bad_grid;
+    Alcotest.test_case "merge distributes over pairs" `Quick merge_distributes;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        accumulator_matches_measures; success_monotone_in_budget; curves_coherent;
+        compute_matches_journeys; parallel_matches_sequential;
+      ]

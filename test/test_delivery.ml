@@ -1,0 +1,100 @@
+open Omn_core
+module Rng = Omn_stats.Rng
+
+(* Random bi-sorted Pareto frontier snapshot. *)
+let frontier_gen =
+  QCheck2.Gen.(
+    let* points =
+      list_size (int_range 0 15)
+        (map2 (fun ld ea -> Ld_ea.make ~ld:(float_of_int ld) ~ea:(float_of_int ea))
+           (int_range 0 40) (int_range 0 40))
+    in
+    let f = Frontier.create () in
+    List.iter (fun p -> ignore (Frontier.insert f p)) points;
+    return (Frontier.to_array f))
+
+let delivery_matches_definition =
+  QCheck2.Test.make ~count:500 ~name:"del t = min over descriptors of delivery"
+    QCheck2.Gen.(pair frontier_gen (float_range (-5.) 45.))
+    (fun (snapshot, t) ->
+      let d = Delivery.of_descriptors snapshot in
+      let expected =
+        Array.fold_left (fun acc p -> Float.min acc (Ld_ea.delivery p t)) infinity snapshot
+      in
+      Delivery.del d t = expected)
+
+let delay_nonnegative =
+  QCheck2.Test.make ~count:500 ~name:"delay >= 0"
+    QCheck2.Gen.(pair frontier_gen (float_range (-5.) 45.))
+    (fun (snapshot, t) ->
+      let d = Delivery.of_descriptors snapshot in
+      Delivery.delay d t >= 0.)
+
+let del_monotone =
+  QCheck2.Test.make ~count:500 ~name:"del is non-decreasing in creation time"
+    QCheck2.Gen.(triple frontier_gen (float_range (-5.) 45.) (float_range 0. 10.))
+    (fun (snapshot, t, dt) ->
+      let d = Delivery.of_descriptors snapshot in
+      Delivery.del d t <= Delivery.del d (t +. dt))
+
+(* Exact Lebesgue success measure vs Riemann sampling. *)
+let success_measure_vs_sampling =
+  QCheck2.Test.make ~count:300 ~name:"success_measure = sampled measure"
+    QCheck2.Gen.(triple frontier_gen (float_range 0. 30.) (float_range 0. 20.))
+    (fun (snapshot, t_start_raw, budget) ->
+      let d = Delivery.of_descriptors snapshot in
+      let t_start = Float.min t_start_raw 20. in
+      let t_end = t_start +. 15. in
+      let exact = Delivery.success_measure d ~t_start ~t_end ~budget in
+      let samples = 30_000 in
+      let step = (t_end -. t_start) /. float_of_int samples in
+      let hits = ref 0 in
+      for i = 0 to samples - 1 do
+        let t = t_start +. ((float_of_int i +. 0.5) *. step) in
+        if Delivery.delay d t <= budget then incr hits
+      done;
+      let sampled = float_of_int !hits *. step in
+      Float.abs (exact -. sampled) <= 4. *. step +. 1e-9)
+
+let success_measure_monotone_budget =
+  QCheck2.Test.make ~count:300 ~name:"success_measure non-decreasing in budget"
+    QCheck2.Gen.(triple frontier_gen (float_range 0. 20.) (float_range 0. 10.))
+    (fun (snapshot, b1, extra) ->
+      let d = Delivery.of_descriptors snapshot in
+      Delivery.success_measure d ~t_start:0. ~t_end:40. ~budget:b1
+      <= Delivery.success_measure d ~t_start:0. ~t_end:40. ~budget:(b1 +. extra) +. 1e-9)
+
+let success_measure_infinity () =
+  let d =
+    Delivery.of_descriptors [| Ld_ea.make ~ld:10. ~ea:5.; Ld_ea.make ~ld:20. ~ea:30. |]
+  in
+  (* With unlimited budget: all creation times up to the last LD succeed. *)
+  Util.check_float "measure" 20. (Delivery.success_measure d ~t_start:0. ~t_end:40. ~budget:infinity)
+
+let breakpoints_sorted =
+  QCheck2.Test.make ~count:300 ~name:"breakpoints ascending and finite" frontier_gen
+    (fun snapshot ->
+      let bps = Delivery.breakpoints (Delivery.of_descriptors snapshot) in
+      List.for_all Float.is_finite bps
+      &&
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a < b && sorted rest
+        | _ -> true
+      in
+      sorted bps)
+
+let rejects_unsorted () =
+  match Delivery.of_descriptors [| Ld_ea.make ~ld:5. ~ea:5.; Ld_ea.make ~ld:4. ~ea:6. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-frontier accepted"
+
+let suite =
+  [
+    Alcotest.test_case "unbounded-budget measure" `Quick success_measure_infinity;
+    Alcotest.test_case "rejects non-frontier input" `Quick rejects_unsorted;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        delivery_matches_definition; delay_nonnegative; del_monotone;
+        success_measure_vs_sampling; success_measure_monotone_budget; breakpoints_sorted;
+      ]

@@ -1,0 +1,117 @@
+open Omn_core
+module Rng = Omn_stats.Rng
+
+(* A space-time line 0-1-2-...: the only path to the far end uses n-1
+   contacts, and that pair carries more than 1% of the flooding success,
+   so the 99%-diameter is exactly n-1. *)
+let line_diameter () =
+  let n = 5 in
+  let trace =
+    Util.trace_of_contacts ~t_end:10.
+      (List.init (n - 1) (fun i -> (i, i + 1, float_of_int i, float_of_int i +. 0.5)))
+  in
+  let grid = Omn_stats.Grid.linear ~lo:0.5 ~hi:10. ~n:30 in
+  let result = Diameter.measure ~max_hops:8 ~grid trace in
+  Alcotest.(check (option int)) "diameter" (Some (n - 1)) result.diameter
+
+(* A hub topology: everyone meets node 0, pairwise paths need 2 hops. *)
+let hub_diameter () =
+  let spokes = 6 in
+  let contacts =
+    List.concat_map
+      (fun round ->
+        List.init spokes (fun i ->
+            let t = float_of_int ((round * 20) + (2 * i)) in
+            (0, i + 1, t, t +. 1.)))
+      [ 0; 1; 2 ]
+  in
+  let trace = Util.trace_of_contacts ~t_end:60. contacts in
+  let grid = Omn_stats.Grid.linear ~lo:1. ~hi:60. ~n:40 in
+  let result = Diameter.measure ~max_hops:6 ~grid trace in
+  Alcotest.(check (option int)) "diameter" (Some 2) result.diameter
+
+(* Diameter honours epsilon: with a generous epsilon the line needs fewer
+   hops (the far pairs' mass falls inside the tolerance). *)
+let epsilon_matters () =
+  let n = 5 in
+  let trace =
+    Util.trace_of_contacts ~t_end:10.
+      (List.init (n - 1) (fun i -> (i, i + 1, float_of_int i, float_of_int i +. 0.5)))
+  in
+  let grid = Omn_stats.Grid.linear ~lo:0.5 ~hi:10. ~n:30 in
+  let strict = Diameter.measure ~epsilon:0.001 ~max_hops:8 ~grid trace in
+  let loose = Diameter.measure ~epsilon:0.9 ~max_hops:8 ~grid trace in
+  Alcotest.(check (option int)) "strict" (Some (n - 1)) strict.diameter;
+  Alcotest.(check bool) "loose is smaller" true
+    (match loose.diameter with Some d -> d < n - 1 | None -> false)
+
+let none_when_max_hops_low () =
+  let n = 5 in
+  let trace =
+    Util.trace_of_contacts ~t_end:10.
+      (List.init (n - 1) (fun i -> (i, i + 1, float_of_int i, float_of_int i +. 0.5)))
+  in
+  let grid = Omn_stats.Grid.linear ~lo:0.5 ~hi:10. ~n:20 in
+  let result = Diameter.measure ~max_hops:2 ~grid trace in
+  Alcotest.(check (option int)) "not reached" None result.diameter
+
+let trace_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 6 in
+    let* m = int_range 1 20 in
+    let* seed = int in
+    return (Util.random_trace (Rng.create seed) ~n ~m ~horizon:30))
+
+(* The definition, checked directly against the curves. *)
+let matches_definition =
+  QCheck2.Test.make ~count:60 ~name:"of_curves agrees with the raw definition" trace_gen
+    (fun trace ->
+      let epsilon = 0.05 in
+      let curves = Delay_cdf.compute ~max_hops:5 ~grid:[| 1.; 3.; 10.; 30. |] trace in
+      let qualifies k =
+        let row = curves.hop_success.(k - 1) in
+        let ok = ref (curves.hop_success_inf.(k - 1) >= (1. -. epsilon) *. curves.flood_success_inf) in
+        Array.iteri
+          (fun i flood -> if row.(i) < (1. -. epsilon) *. flood then ok := false)
+          curves.flood_success;
+        !ok
+      in
+      let expected =
+        let rec search k = if k > 5 then None else if qualifies k then Some k else search (k + 1) in
+        search 1
+      in
+      Diameter.of_curves ~epsilon curves = expected)
+
+let vs_delay_monotone_in_k =
+  QCheck2.Test.make ~count:60 ~name:"vs_delay entries within [1, max_hops]" trace_gen
+    (fun trace ->
+      let curves = Delay_cdf.compute ~max_hops:5 ~grid:[| 1.; 3.; 10.; 30. |] trace in
+      Array.for_all
+        (fun (_, k) -> match k with None -> true | Some k -> 1 <= k && k <= 5)
+        (Diameter.vs_delay curves))
+
+let vs_delay_flood_zero () =
+  (* No contacts at all: flooding never succeeds, diameter at any delay is 1. *)
+  let trace = Omn_temporal.Trace.create ~n_nodes:3 ~t_start:0. ~t_end:10. [] in
+  let curves = Delay_cdf.compute ~max_hops:3 ~grid:[| 1.; 5. |] trace in
+  Array.iter
+    (fun (_, k) -> Alcotest.(check (option int)) "trivially 1" (Some 1) k)
+    (Diameter.vs_delay curves)
+
+let rejects_bad_epsilon () =
+  let trace = Util.trace_of_contacts [ (0, 1, 0., 1.) ] in
+  let curves = Delay_cdf.compute ~max_hops:2 ~grid:[| 1. |] trace in
+  match Diameter.of_curves ~epsilon:0. curves with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "epsilon = 0 accepted"
+
+let suite =
+  [
+    Alcotest.test_case "line topology diameter = n-1" `Quick line_diameter;
+    Alcotest.test_case "hub topology diameter = 2" `Quick hub_diameter;
+    Alcotest.test_case "epsilon controls strictness" `Quick epsilon_matters;
+    Alcotest.test_case "None when max_hops too low" `Quick none_when_max_hops_low;
+    Alcotest.test_case "flood-zero delays report 1" `Quick vs_delay_flood_zero;
+    Alcotest.test_case "rejects bad epsilon" `Quick rejects_bad_epsilon;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ matches_definition; vs_delay_monotone_in_k ]

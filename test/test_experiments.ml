@@ -1,0 +1,29 @@
+(* Smoke tests: every registered experiment runs in quick mode without
+   raising, and produces some output. *)
+
+let null_buffer = Buffer.create 4096
+
+let null_fmt = Format.formatter_of_buffer null_buffer
+
+let run_experiment (e : Omn_experiments.Registry.experiment) () =
+  Buffer.clear null_buffer;
+  e.run ~quick:true null_fmt;
+  Format.pp_print_flush null_fmt ();
+  Alcotest.(check bool)
+    (Printf.sprintf "%s produced output" e.name)
+    true
+    (Buffer.length null_buffer > 40)
+
+let registry_ids () =
+  let names = List.map (fun (e : Omn_experiments.Registry.experiment) -> e.name) Omn_experiments.Registry.all in
+  Alcotest.(check int) "21 experiments" 21 (List.length names);
+  Alcotest.(check int) "unique ids" 21 (List.length (List.sort_uniq compare names));
+  Alcotest.(check bool) "find works" true (Omn_experiments.Registry.find "fig9" <> None);
+  Alcotest.(check bool) "find rejects" true (Omn_experiments.Registry.find "nope" = None)
+
+let suite =
+  Alcotest.test_case "registry ids" `Quick registry_ids
+  :: List.map
+       (fun (e : Omn_experiments.Registry.experiment) ->
+         Alcotest.test_case (e.name ^ " (quick)") `Slow (run_experiment e))
+       Omn_experiments.Registry.all

@@ -1,0 +1,119 @@
+open Omn_core
+
+(* Reference implementation: keep every point, filter dominated, sort. *)
+let naive_pareto points =
+  let keep p =
+    not (List.exists (fun q -> (not (Ld_ea.equal p q)) && Ld_ea.dominates q p) points)
+  in
+  points |> List.filter keep |> List.sort_uniq Ld_ea.compare
+
+let frontier_of_list points =
+  let f = Frontier.create () in
+  List.iter (fun p -> ignore (Frontier.insert f p)) points;
+  f
+
+let point_gen =
+  QCheck2.Gen.(
+    let coord = map float_of_int (int_range (-8) 8) in
+    map2 (fun ld ea -> Ld_ea.make ~ld ~ea) coord coord)
+
+let points_gen = QCheck2.Gen.(list_size (int_range 0 40) point_gen)
+
+let matches_naive =
+  QCheck2.Test.make ~count:500 ~name:"frontier = naive Pareto filter" points_gen (fun points ->
+      let fast = Frontier.to_array (frontier_of_list points) |> Array.to_list in
+      let slow = naive_pareto points in
+      fast = slow)
+
+let invariant_holds =
+  QCheck2.Test.make ~count:500 ~name:"frontier invariant after random inserts" points_gen
+    (fun points ->
+      Frontier.check_invariant (frontier_of_list points);
+      true)
+
+let order_independent =
+  QCheck2.Test.make ~count:300 ~name:"frontier independent of insertion order"
+    QCheck2.Gen.(pair points_gen (int_bound 1000))
+    (fun (points, seed) ->
+      let shuffled =
+        let a = Array.of_list points in
+        Omn_stats.Rng.shuffle (Omn_stats.Rng.create seed) a;
+        Array.to_list a
+      in
+      Frontier.equal (frontier_of_list points) (frontier_of_list shuffled))
+
+let insert_reports_change =
+  QCheck2.Test.make ~count:300 ~name:"insert returns true iff point becomes a member"
+    QCheck2.Gen.(pair points_gen point_gen)
+    (fun (points, p) ->
+      let f = frontier_of_list points in
+      let changed = Frontier.insert f p in
+      let members = Frontier.to_array f |> Array.to_list in
+      changed = List.exists (Ld_ea.equal p) members
+      || (not changed)
+         && List.exists (fun q -> Ld_ea.dominates q p) (naive_pareto (p :: points)))
+
+let unit_tests =
+  let p ld ea = Ld_ea.make ~ld ~ea in
+  [
+    Alcotest.test_case "empty frontier delivers nothing" `Quick (fun () ->
+        let f = Frontier.create () in
+        Util.check_float "delivery" infinity (Frontier.delivery f 0.);
+        Alcotest.(check bool) "empty" true (Frontier.is_empty f));
+    Alcotest.test_case "single point delivery" `Quick (fun () ->
+        let f = Frontier.create () in
+        ignore (Frontier.insert f (p 5. 3.));
+        Util.check_float "before ea" 3. (Frontier.delivery f 1.);
+        Util.check_float "between" 4. (Frontier.delivery f 4.);
+        Util.check_float "at ld" 5. (Frontier.delivery f 5.);
+        Util.check_float "after ld" infinity (Frontier.delivery f 5.1));
+    Alcotest.test_case "dominated insert is rejected" `Quick (fun () ->
+        let f = Frontier.create () in
+        ignore (Frontier.insert f (p 5. 3.));
+        Alcotest.(check bool) "rejected" false (Frontier.insert f (p 4. 4.));
+        Alcotest.(check bool) "duplicate rejected" false (Frontier.insert f (p 5. 3.));
+        Alcotest.(check int) "size" 1 (Frontier.size f));
+    Alcotest.test_case "dominating insert evicts a run" `Quick (fun () ->
+        let f = Frontier.create () in
+        ignore (Frontier.insert f (p 1. 5.));
+        ignore (Frontier.insert f (p 2. 6.));
+        ignore (Frontier.insert f (p 3. 7.));
+        ignore (Frontier.insert f (p 9. 9.));
+        Alcotest.(check bool) "inserted" true (Frontier.insert f (p 4. 5.));
+        (* (4,5) evicts (1,5), (2,6) and (3,7) but not (9,9). *)
+        Alcotest.(check int) "size" 2 (Frontier.size f);
+        Frontier.check_invariant f);
+    Alcotest.test_case "queries" `Quick (fun () ->
+        let f = frontier_of_list [ p 1. 0.; p 4. 2.; p 8. 7. ] in
+        (match Frontier.first_ld_geq f 2. with
+        | Some q -> Alcotest.(check bool) "first_ld_geq" true (Ld_ea.equal q (p 4. 2.))
+        | None -> Alcotest.fail "expected Some");
+        (match Frontier.last_ea_leq f 2. with
+        | Some q -> Alcotest.(check bool) "last_ea_leq" true (Ld_ea.equal q (p 4. 2.))
+        | None -> Alcotest.fail "expected Some");
+        let seen = ref [] in
+        Frontier.iter_ea_in f ~lo:0. ~hi:7. (fun q -> seen := q :: !seen);
+        Alcotest.(check int) "iter_ea_in count" 2 (List.length !seen));
+    Alcotest.test_case "ld_ea algebra" `Quick (fun () ->
+        let a = p 5. 3. and b = p 10. 7. in
+        Alcotest.(check bool) "can_concat" true (Ld_ea.can_concat a b);
+        (match Ld_ea.concat a b with
+        | Some c -> Alcotest.(check bool) "concat value" true (Ld_ea.equal c (p 5. 7.))
+        | None -> Alcotest.fail "expected concat");
+        Alcotest.(check bool) "cannot concat" false (Ld_ea.can_concat b a);
+        (match Ld_ea.concat Ld_ea.identity a with
+        | Some c -> Alcotest.(check bool) "left identity" true (Ld_ea.equal c a)
+        | None -> Alcotest.fail "identity concat");
+        (match Ld_ea.concat a Ld_ea.identity with
+        | Some c -> Alcotest.(check bool) "right identity" true (Ld_ea.equal c a)
+        | None -> Alcotest.fail "identity concat"));
+    Alcotest.test_case "paper concatenation counterexample shape" `Quick (fun () ->
+        (* Two individually valid sequences that cannot be concatenated:
+           EA(first) > LD(second). *)
+        let first = p 2. 5. (* store-and-forward: ea > ld *) in
+        let second = p 1. 1. in
+        Alcotest.(check bool) "invalid" false (Ld_ea.can_concat first second));
+  ]
+
+let props = [ matches_naive; invariant_holds; order_independent; insert_reports_change ]
+let suite = unit_tests @ List.map QCheck_alcotest.to_alcotest props

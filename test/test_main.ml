@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "omnet-diameter"
+    [
+      ("stats", Test_stats.suite);
+      ("temporal", Test_temporal.suite);
+      ("transform", Test_transform.suite);
+      ("frontier", Test_frontier.suite);
+      ("delivery", Test_delivery.suite);
+      ("journey", Test_journey.suite);
+      ("delay-cdf", Test_delay_cdf.suite);
+      ("diameter", Test_diameter.suite);
+      ("baseline", Test_baseline.suite);
+      ("forwarding", Test_forwarding.suite);
+      ("randnet", Test_randnet.suite);
+      ("mobility", Test_mobility.suite);
+      ("misc", Test_misc.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,283 @@
+module Rng = Omn_stats.Rng
+module Empirical = Omn_stats.Empirical
+module Heap = Omn_stats.Heap
+module Grid = Omn_stats.Grid
+module Timefmt = Omn_stats.Timefmt
+
+(* --- Rng --- *)
+
+let rng_deterministic () =
+  let a = Rng.create 12345 and b = Rng.create 12345 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.int64 a) (Rng.int64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let x = Rng.int64 child and y = Rng.int64 parent in
+  Alcotest.(check bool) "split decorrelates" true (not (Int64.equal x y))
+
+let rng_float_unit =
+  QCheck2.Test.make ~count:500 ~name:"float in [0,1)" QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng in
+      0. <= v && v < 1.)
+
+let rng_int_bounds =
+  QCheck2.Test.make ~count:500 ~name:"int in [0,n)"
+    QCheck2.Gen.(pair int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng n in
+      0 <= v && v < n)
+
+let rng_int_uniform () =
+  (* Chi-square-ish sanity over 8 buckets. *)
+  let rng = Rng.create 99 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let expected = float_of_int n /. 8. in
+  Array.iteri
+    (fun i count ->
+      let dev = Float.abs (float_of_int count -. expected) /. sqrt expected in
+      if dev > 5. then Alcotest.failf "bucket %d deviates by %.1f sigma" i dev)
+    buckets
+
+let rng_exponential_mean () =
+  let rng = Rng.create 4 in
+  let n = 50_000 and rate = 2.5 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng rate
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 1/rate" true (Float.abs (mean -. (1. /. rate)) < 0.01)
+
+let rng_poisson_moments () =
+  let rng = Rng.create 5 in
+  List.iter
+    (fun lambda ->
+      let n = 20_000 in
+      let sum = ref 0. and sq = ref 0. in
+      for _ = 1 to n do
+        let v = float_of_int (Rng.poisson rng lambda) in
+        sum := !sum +. v;
+        sq := !sq +. (v *. v)
+      done;
+      let mean = !sum /. float_of_int n in
+      let var = (!sq /. float_of_int n) -. (mean *. mean) in
+      let tol = 5. *. sqrt (lambda /. float_of_int n) in
+      if Float.abs (mean -. lambda) > tol +. 0.05 then
+        Alcotest.failf "poisson(%g) mean %.3f" lambda mean;
+      if Float.abs (var -. lambda) > 10. *. tol +. 0.5 then
+        Alcotest.failf "poisson(%g) var %.3f" lambda var)
+    [ 0.3; 3.; 45. ]
+
+let rng_geometric_support =
+  QCheck2.Test.make ~count:300 ~name:"geometric >= 0"
+    QCheck2.Gen.(pair int (float_range 0.01 1.))
+    (fun (seed, p) ->
+      let rng = Rng.create seed in
+      Rng.geometric rng p >= 0)
+
+let rng_pareto_tail () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let v = Rng.pareto rng 1.5 2. in
+    Alcotest.(check bool) "above x_min" true (v >= 2.)
+  done
+
+let rng_shuffle_permutation =
+  QCheck2.Test.make ~count:200 ~name:"shuffle is a permutation"
+    QCheck2.Gen.(pair int (list_size (int_range 0 50) int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      Rng.shuffle (Rng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let rng_sample_without_replacement =
+  QCheck2.Test.make ~count:200 ~name:"sample without replacement: distinct, in range"
+    QCheck2.Gen.(pair int (int_range 0 60))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let k = if n = 0 then 0 else Rng.int rng (n + 1) in
+      let s = Rng.sample_without_replacement rng k n in
+      Array.length s = k
+      && Array.for_all (fun v -> 0 <= v && v < n) s
+      && List.length (List.sort_uniq compare (Array.to_list s)) = k)
+
+(* --- Empirical --- *)
+
+let empirical_basic () =
+  let d = Empirical.of_array [| 1.; 2.; 2.; 4. |] in
+  Alcotest.(check (float 1e-9)) "cdf below" 0. (Empirical.cdf d 0.5);
+  Alcotest.(check (float 1e-9)) "cdf at 1" 0.25 (Empirical.cdf d 1.);
+  Alcotest.(check (float 1e-9)) "cdf at 2" 0.75 (Empirical.cdf d 2.);
+  Alcotest.(check (float 1e-9)) "cdf at 3" 0.75 (Empirical.cdf d 3.);
+  Alcotest.(check (float 1e-9)) "cdf top" 1. (Empirical.cdf d 4.);
+  Alcotest.(check (float 1e-9)) "quantile 0.5" 2. (Empirical.quantile d 0.5);
+  Alcotest.(check (float 1e-9)) "mean" 2.25 (Empirical.mean_finite d);
+  Alcotest.(check (float 1e-9)) "ccdf" 0.25 (Empirical.ccdf d 2.)
+
+let empirical_infinity () =
+  let d = Empirical.of_array [| 1.; infinity; 3. |] in
+  Alcotest.(check (float 1e-9)) "finite cdf" (2. /. 3.) (Empirical.cdf d 5.);
+  Alcotest.(check (float 1e-9)) "cdf at infinity" 1. (Empirical.cdf d infinity);
+  Alcotest.(check (float 1e-9)) "quantile in failure mass" infinity (Empirical.quantile d 0.9);
+  Alcotest.(check (float 1e-9)) "mean of finite part" 2. (Empirical.mean_finite d)
+
+let empirical_weighted () =
+  let d = Empirical.of_weighted ~extra_infinite_mass:1. [| (1., 2.); (5., 1.) |] in
+  Alcotest.(check (float 1e-9)) "total" 4. (Empirical.total_mass d);
+  Alcotest.(check (float 1e-9)) "cdf" 0.5 (Empirical.cdf d 1.);
+  Alcotest.(check (float 1e-9)) "cdf 5" 0.75 (Empirical.cdf d 5.)
+
+let empirical_rejects () =
+  Alcotest.check_raises "negative weight" (Invalid_argument "Empirical: negative weight")
+    (fun () -> ignore (Empirical.of_weighted [| (1., -1.) |]));
+  Alcotest.check_raises "zero mass" (Invalid_argument "Empirical: zero total mass") (fun () ->
+      ignore (Empirical.of_weighted [||]))
+
+let empirical_eval_matches_cdf =
+  QCheck2.Test.make ~count:300 ~name:"eval on a grid = pointwise cdf"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 30) (float_range (-50.) 50.))
+        (list_size (int_range 1 20) (float_range (-60.) 60.)))
+    (fun (values, grid_raw) ->
+      let d = Empirical.of_array (Array.of_list values) in
+      let grid = Array.of_list (List.sort Float.compare grid_raw) in
+      let evaluated = Empirical.eval d grid in
+      Array.for_all2
+        (fun got x -> Float.abs (got -. Empirical.cdf d x) < 1e-12)
+        evaluated grid)
+
+let empirical_quantile_inverse =
+  QCheck2.Test.make ~count:300 ~name:"cdf (quantile p) >= p"
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 30) (float_range (-50.) 50.)) (float_range 0. 1.))
+    (fun (values, p) ->
+      let d = Empirical.of_array (Array.of_list values) in
+      let q = Empirical.quantile d p in
+      q = infinity || Empirical.cdf d q >= p -. 1e-12)
+
+(* --- Heap --- *)
+
+let heap_sorts =
+  QCheck2.Test.make ~count:300 ~name:"heap drains in sorted order"
+    QCheck2.Gen.(list int)
+    (fun l ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) l;
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some v -> drain (v :: acc) in
+      drain [] = List.sort Int.compare l)
+
+let heap_of_array =
+  QCheck2.Test.make ~count:300 ~name:"heapify + drain = sort"
+    QCheck2.Gen.(array int)
+    (fun a ->
+      let h = Heap.of_array ~cmp:Int.compare a in
+      let rec drain acc = match Heap.pop h with None -> List.rev acc | Some v -> drain (v :: acc) in
+      drain [] = List.sort Int.compare (Array.to_list a))
+
+let heap_peek () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty peek" true (Heap.peek h = None);
+  Heap.push h 5;
+  Heap.push h 3;
+  Alcotest.(check bool) "peek min" true (Heap.peek h = Some 3);
+  Alcotest.(check int) "length" 2 (Heap.length h)
+
+(* --- Grid --- *)
+
+let grid_linear () =
+  let g = Grid.linear ~lo:0. ~hi:10. ~n:11 in
+  Alcotest.(check int) "size" 11 (Array.length g);
+  Alcotest.(check (float 1e-9)) "first" 0. g.(0);
+  Alcotest.(check (float 1e-9)) "last" 10. g.(10);
+  Alcotest.(check (float 1e-9)) "step" 5. g.(5)
+
+let grid_logarithmic () =
+  let g = Grid.logarithmic ~lo:1. ~hi:100. ~n:3 in
+  Alcotest.(check (float 1e-9)) "geometric middle" 10. g.(1);
+  Alcotest.check_raises "bad lo" (Invalid_argument "Grid.logarithmic: need 0 < lo <= hi")
+    (fun () -> ignore (Grid.logarithmic ~lo:0. ~hi:1. ~n:4))
+
+let grid_delay_default () =
+  let g = Grid.delay_default in
+  Alcotest.(check (float 1e-6)) "starts at 2 min" 120. g.(0);
+  Alcotest.(check (float 1e-3)) "ends at a week" 604800. g.(Array.length g - 1);
+  for i = 1 to Array.length g - 1 do
+    Alcotest.(check bool) "ascending" true (g.(i) > g.(i - 1))
+  done
+
+(* --- Timefmt --- *)
+
+let timefmt_cases () =
+  List.iter
+    (fun (seconds, expected) ->
+      Alcotest.(check string) (Printf.sprintf "%g s" seconds) expected (Timefmt.duration seconds))
+    [
+      (0., "0 s"); (45., "45 s"); (90., "1.5 min"); (3600., "1.0 h"); (7200., "2.0 h");
+      (86400., "1.0 d"); (604800., "1.0 wk"); (infinity, "inf");
+    ]
+
+let timefmt_parse () =
+  List.iter
+    (fun (input, expected) ->
+      match Timefmt.parse_duration input with
+      | Some v -> Alcotest.(check (float 1e-9)) input expected v
+      | None -> Alcotest.failf "failed to parse %S" input)
+    [
+      ("10s", 10.); ("2 min", 120.); ("1.5h", 5400.); ("1 day", 86400.); ("2wk", 1209600.);
+      ("inf", infinity); ("42", 42.);
+    ];
+  Alcotest.(check bool) "garbage rejected" true (Timefmt.parse_duration "12 parsecs" = None)
+
+let timefmt_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"parse (axis_seconds d) ~ d"
+    QCheck2.Gen.(float_range 1. 1e6)
+    (fun d ->
+      match Timefmt.parse_duration (Timefmt.axis_seconds d) with
+      | None -> false
+      | Some v -> Float.abs (v -. d) /. d < 0.06 (* axis form keeps one decimal *))
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick rng_seeds_differ;
+    Alcotest.test_case "rng split independent" `Quick rng_split_independent;
+    Alcotest.test_case "rng int uniformity" `Slow rng_int_uniform;
+    Alcotest.test_case "rng exponential mean" `Slow rng_exponential_mean;
+    Alcotest.test_case "rng poisson moments" `Slow rng_poisson_moments;
+    Alcotest.test_case "rng pareto support" `Quick rng_pareto_tail;
+    Alcotest.test_case "empirical basics" `Quick empirical_basic;
+    Alcotest.test_case "empirical infinity mass" `Quick empirical_infinity;
+    Alcotest.test_case "empirical weighted" `Quick empirical_weighted;
+    Alcotest.test_case "empirical rejects bad input" `Quick empirical_rejects;
+    Alcotest.test_case "heap peek/length" `Quick heap_peek;
+    Alcotest.test_case "grid linear" `Quick grid_linear;
+    Alcotest.test_case "grid logarithmic" `Quick grid_logarithmic;
+    Alcotest.test_case "grid delay default" `Quick grid_delay_default;
+    Alcotest.test_case "timefmt formatting" `Quick timefmt_cases;
+    Alcotest.test_case "timefmt parsing" `Quick timefmt_parse;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        rng_float_unit; rng_int_bounds; rng_geometric_support; rng_shuffle_permutation;
+        rng_sample_without_replacement; empirical_eval_matches_cdf; empirical_quantile_inverse;
+        heap_sorts; heap_of_array; timefmt_roundtrip;
+      ]

@@ -1,0 +1,205 @@
+module Contact = Omn_temporal.Contact
+module Trace = Omn_temporal.Trace
+module Trace_io = Omn_temporal.Trace_io
+module Trace_stats = Omn_temporal.Trace_stats
+module Rng = Omn_stats.Rng
+
+(* --- Contact --- *)
+
+let contact_canonical () =
+  let c = Contact.make ~a:5 ~b:2 ~t_beg:1. ~t_end:3. in
+  Alcotest.(check int) "a is min" 2 c.a;
+  Alcotest.(check int) "b is max" 5 c.b;
+  Alcotest.(check (float 0.)) "duration" 2. (Contact.duration c);
+  Alcotest.(check int) "peer" 5 (Contact.peer c 2);
+  Alcotest.(check bool) "involves" true (Contact.involves c 5);
+  Alcotest.(check bool) "not involves" false (Contact.involves c 3)
+
+let contact_rejects () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s should be rejected" name
+  in
+  expect_invalid "self contact" (fun () -> Contact.make ~a:1 ~b:1 ~t_beg:0. ~t_end:1.);
+  expect_invalid "negative id" (fun () -> Contact.make ~a:(-1) ~b:2 ~t_beg:0. ~t_end:1.);
+  expect_invalid "reversed interval" (fun () -> Contact.make ~a:0 ~b:1 ~t_beg:2. ~t_end:1.);
+  expect_invalid "nan" (fun () -> Contact.make ~a:0 ~b:1 ~t_beg:nan ~t_end:1.)
+
+let contact_point_allowed () =
+  let c = Contact.make ~a:0 ~b:1 ~t_beg:5. ~t_end:5. in
+  Alcotest.(check (float 0.)) "zero duration" 0. (Contact.duration c)
+
+let contact_overlaps () =
+  let c1 = Contact.make ~a:0 ~b:1 ~t_beg:0. ~t_end:2. in
+  let c2 = Contact.make ~a:0 ~b:1 ~t_beg:2. ~t_end:4. in
+  let c3 = Contact.make ~a:0 ~b:1 ~t_beg:2.5 ~t_end:4. in
+  Alcotest.(check bool) "touching intervals overlap" true (Contact.overlaps c1 c2);
+  Alcotest.(check bool) "disjoint" false (Contact.overlaps c1 c3)
+
+(* --- Trace --- *)
+
+let trace_rejects () =
+  let c = Contact.make ~a:0 ~b:5 ~t_beg:0. ~t_end:1. in
+  (match Trace.create ~n_nodes:3 ~t_start:0. ~t_end:1. [ c ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range node accepted");
+  match Trace.create ~n_nodes:6 ~t_start:0.5 ~t_end:2. [ c ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "contact outside window accepted"
+
+let trace_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 8 in
+    let* m = int_range 0 25 in
+    let* seed = int in
+    return (Util.random_trace (Rng.create seed) ~n ~m ~horizon:20))
+
+let trace_adjacency_complete =
+  QCheck2.Test.make ~count:300 ~name:"node_contacts partitions contacts" trace_gen (fun trace ->
+      let n = Trace.n_nodes trace in
+      let total = ref 0 in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let cs = Trace.node_contacts trace u in
+        total := !total + Array.length cs;
+        Array.iter (fun c -> if not (Contact.involves c u) then ok := false) cs;
+        (* sorted *)
+        for i = 1 to Array.length cs - 1 do
+          if Contact.compare_by_start cs.(i - 1) cs.(i) > 0 then ok := false
+        done;
+        if Trace.degree trace u <> Array.length cs then ok := false
+      done;
+      !ok && !total = 2 * Trace.n_contacts trace)
+
+let trace_pair_contacts =
+  QCheck2.Test.make ~count:300 ~name:"pair_contacts = filtered contacts" trace_gen
+    (fun trace ->
+      let n = Trace.n_nodes trace in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let got = Trace.pair_contacts trace u v in
+          let expected =
+            Trace.fold
+              (fun acc (c : Contact.t) -> if c.a = u && c.b = v then c :: acc else acc)
+              [] trace
+            |> List.rev
+          in
+          if got <> expected then ok := false
+        done
+      done;
+      !ok)
+
+let trace_contact_rate () =
+  let trace =
+    Util.trace_of_contacts ~n_nodes:4 ~t_start:0. ~t_end:100.
+      [ (0, 1, 0., 10.); (2, 3, 50., 60.) ]
+  in
+  (* 2 contacts * 2 endpoints / (4 nodes * 100 s) *)
+  Alcotest.(check (float 1e-12)) "rate" 0.01 (Trace.contact_rate trace);
+  Alcotest.(check int) "active" 4 (Trace.active_nodes trace)
+
+let trace_io_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"Trace_io round-trip" trace_gen (fun trace ->
+      let reloaded = Trace_io.of_string (Trace_io.to_string trace) in
+      Trace.n_nodes reloaded = Trace.n_nodes trace
+      && Trace.t_start reloaded = Trace.t_start trace
+      && Trace.t_end reloaded = Trace.t_end trace
+      && Trace.name reloaded = Trace.name trace
+      && Array.for_all2 Contact.equal (Trace.contacts reloaded) (Trace.contacts trace))
+
+let trace_io_file () =
+  let trace = Util.trace_of_contacts [ (0, 1, 0., 5.); (1, 2, 3., 8.) ] in
+  let path = Filename.temp_file "omn" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save trace path;
+      let reloaded = Trace_io.load path in
+      Alcotest.(check int) "contacts" 2 (Trace.n_contacts reloaded))
+
+let trace_io_headerless () =
+  let trace = Trace_io.of_string "0 1 2.5 3.5\n2 1 0 1\n" in
+  Alcotest.(check int) "nodes inferred" 3 (Trace.n_nodes trace);
+  Alcotest.(check (float 0.)) "window inferred lo" 0. (Trace.t_start trace);
+  Alcotest.(check (float 0.)) "window inferred hi" 3.5 (Trace.t_end trace)
+
+let trace_io_errors () =
+  (match Trace_io.of_string "0 1 nope 3" with
+  | exception Failure msg ->
+    Alcotest.(check bool) "line number in error" true
+      (String.length msg > 0 && String.contains msg '1')
+  | _ -> Alcotest.fail "malformed line accepted");
+  match Trace_io.of_string "0 1 3" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "short line accepted"
+
+(* --- Trace_stats --- *)
+
+let stats_durations () =
+  let trace =
+    Util.trace_of_contacts [ (0, 1, 0., 10.); (0, 1, 20., 25.); (1, 2, 30., 50.) ]
+  in
+  Alcotest.(check (float 1e-9)) "frac <= 10" (2. /. 3.)
+    (Trace_stats.fraction_duration_leq trace 10.);
+  let s = Trace_stats.summary trace in
+  Alcotest.(check (float 1e-9)) "median" 10. s.median_duration;
+  Alcotest.(check (float 1e-9)) "mean" (35. /. 3.) s.mean_duration
+
+let stats_inter_contact () =
+  let trace =
+    Util.trace_of_contacts [ (0, 1, 0., 10.); (0, 1, 30., 35.); (0, 1, 32., 40.); (1, 2, 5., 6.) ]
+  in
+  match Trace_stats.inter_contact_times trace with
+  | None -> Alcotest.fail "expected gaps"
+  | Some d ->
+    (* gaps for pair (0,1): 30-10 = 20, and 0 (overlapping records). *)
+    Alcotest.(check int) "two gaps" 2 (Omn_stats.Empirical.count d);
+    Alcotest.(check (float 1e-9)) "max gap" 20. (Omn_stats.Empirical.quantile d 1.)
+
+let stats_next_contact () =
+  let trace =
+    Util.trace_of_contacts ~t_end:30. [ (0, 1, 10., 12.); (0, 2, 20., 21.) ]
+  in
+  let steps = Trace_stats.next_contact_steps trace 0 in
+  (* From 0: wait until 10; in contact 10-12; wait until 20; contact 20-21; nothing after. *)
+  let del t =
+    (* next arrival for departure t per the staircase: last step with fst <= t *)
+    let rec go best = function
+      | (d, a) :: rest when d <= t -> go (Some a) rest
+      | _ -> best
+    in
+    match go None steps with Some a -> Float.max t a | None -> infinity
+  in
+  Alcotest.(check (float 1e-9)) "wait at 0" 10. (del 0.);
+  Alcotest.(check (float 1e-9)) "inside first" 11. (del 11.);
+  Alcotest.(check (float 1e-9)) "between" 20. (del 15.);
+  Alcotest.(check bool) "after all" true (del 25. = infinity)
+
+let stats_activity_profile () =
+  let trace = Util.trace_of_contacts ~t_end:100. [ (0, 1, 5., 6.); (0, 1, 15., 16.); (1, 2, 95., 96.) ] in
+  let profile = Trace_stats.contacts_per_window trace ~window:10. in
+  Alcotest.(check int) "windows" 10 (Array.length profile);
+  Alcotest.(check int) "first window" 1 (snd profile.(0));
+  Alcotest.(check int) "second window" 1 (snd profile.(1));
+  Alcotest.(check int) "last window" 1 (snd profile.(9))
+
+let suite =
+  [
+    Alcotest.test_case "contact canonicalisation" `Quick contact_canonical;
+    Alcotest.test_case "contact validation" `Quick contact_rejects;
+    Alcotest.test_case "point contacts allowed" `Quick contact_point_allowed;
+    Alcotest.test_case "interval overlap" `Quick contact_overlaps;
+    Alcotest.test_case "trace validation" `Quick trace_rejects;
+    Alcotest.test_case "contact rate formula" `Quick trace_contact_rate;
+    Alcotest.test_case "trace file io" `Quick trace_io_file;
+    Alcotest.test_case "headerless files" `Quick trace_io_headerless;
+    Alcotest.test_case "io error reporting" `Quick trace_io_errors;
+    Alcotest.test_case "duration statistics" `Quick stats_durations;
+    Alcotest.test_case "inter-contact gaps" `Quick stats_inter_contact;
+    Alcotest.test_case "next-contact staircase" `Quick stats_next_contact;
+    Alcotest.test_case "activity profile" `Quick stats_activity_profile;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ trace_adjacency_complete; trace_pair_contacts; trace_io_roundtrip ]

@@ -1,0 +1,114 @@
+module Contact = Omn_temporal.Contact
+module Trace = Omn_temporal.Trace
+module Transform = Omn_temporal.Transform
+module Rng = Omn_stats.Rng
+
+let trace_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 8 in
+    let* m = int_range 0 30 in
+    let* seed = int in
+    return (Util.random_trace (Rng.create seed) ~n ~m ~horizon:40))
+
+let remove_edge_cases () =
+  let trace = Util.random_trace (Rng.create 3) ~n:5 ~m:20 ~horizon:40 in
+  let all = Transform.remove_random ~rng:(Rng.create 1) ~p:0. trace in
+  Alcotest.(check int) "p=0 keeps all" (Trace.n_contacts trace) (Trace.n_contacts all);
+  let none = Transform.remove_random ~rng:(Rng.create 1) ~p:1. trace in
+  Alcotest.(check int) "p=1 drops all" 0 (Trace.n_contacts none)
+
+let remove_statistical () =
+  let trace = Util.random_trace (Rng.create 5) ~n:10 ~m:4000 ~horizon:1000 in
+  let kept = Transform.remove_random ~rng:(Rng.create 2) ~p:0.7 trace in
+  let frac = float_of_int (Trace.n_contacts kept) /. float_of_int (Trace.n_contacts trace) in
+  Alcotest.(check bool) "~30% kept" true (Float.abs (frac -. 0.3) < 0.04)
+
+let duration_partition =
+  QCheck2.Test.make ~count:200 ~name:"keep_longer + keep_shorter partition the trace"
+    trace_gen (fun trace ->
+      let long = Transform.keep_longer_than 5. trace in
+      let short = Transform.keep_shorter_than 5. trace in
+      Trace.n_contacts long + Trace.n_contacts short = Trace.n_contacts trace
+      && Trace.fold (fun acc c -> acc && Contact.duration c > 5.) true long
+      && Trace.fold (fun acc c -> acc && Contact.duration c <= 5.) true short)
+
+let window_clips =
+  QCheck2.Test.make ~count:200 ~name:"time_window clips and keeps intersecting contacts"
+    trace_gen (fun trace ->
+      let t_start = 10. and t_end = 30. in
+      let cropped = Transform.time_window ~t_start ~t_end trace in
+      let expected =
+        Trace.fold
+          (fun acc (c : Contact.t) ->
+            if c.t_end >= t_start && c.t_beg <= t_end then acc + 1 else acc)
+          0 trace
+      in
+      Trace.n_contacts cropped = expected
+      && Trace.fold
+           (fun acc (c : Contact.t) -> acc && c.t_beg >= t_start && c.t_end <= t_end)
+           true cropped)
+
+let quantize_aligns =
+  QCheck2.Test.make ~count:200 ~name:"quantize snaps outward onto the grid" trace_gen
+    (fun trace ->
+      let g = 3. in
+      let snapped = Transform.quantize ~granularity:g trace in
+      let t0 = Trace.t_start trace and t1 = Trace.t_end trace in
+      let on_grid x = Float.abs (Float.rem (x -. t0) g) < 1e-6 || x = t1 in
+      (* every snapped contact sits on the scan grid, inside the window *)
+      Trace.n_contacts snapped = Trace.n_contacts trace
+      && Trace.fold
+           (fun acc (s : Contact.t) ->
+             acc && s.t_beg >= t0 && s.t_end <= t1 && on_grid s.t_beg
+             && (on_grid s.t_end || s.t_end = t1))
+           true snapped
+      (* and every original interval is covered by a snapped one of the
+         same pair (snapping may reorder equal keys, so match by pair) *)
+      && Trace.fold
+           (fun acc (o : Contact.t) ->
+             acc
+             && List.exists
+                  (fun (s : Contact.t) -> s.t_beg <= o.t_beg && s.t_end >= Float.min o.t_end t1)
+                  (Trace.pair_contacts snapped o.a o.b))
+           true trace)
+
+let shift_translates =
+  QCheck2.Test.make ~count:200 ~name:"shift translates window and contacts" trace_gen
+    (fun trace ->
+      let delta = 17.5 in
+      let shifted = Transform.shift delta trace in
+      Trace.t_start shifted = Trace.t_start trace +. delta
+      && Array.for_all2
+           (fun (o : Contact.t) (s : Contact.t) ->
+             s.t_beg = o.t_beg +. delta && s.t_end = o.t_end +. delta && s.a = o.a && s.b = o.b)
+           (Trace.contacts trace) (Trace.contacts shifted))
+
+let merge_counts =
+  QCheck2.Test.make ~count:200 ~name:"merge concatenates contact multisets"
+    QCheck2.Gen.(pair trace_gen trace_gen)
+    (fun (t1, t2) ->
+      QCheck2.assume (Trace.n_nodes t1 = Trace.n_nodes t2);
+      let merged = Transform.merge t1 t2 in
+      Trace.n_contacts merged = Trace.n_contacts t1 + Trace.n_contacts t2)
+
+let restrict_remaps () =
+  let trace =
+    Util.trace_of_contacts ~n_nodes:5 [ (0, 1, 0., 1.); (1, 3, 2., 3.); (2, 4, 4., 5.) ]
+  in
+  let restricted, back = Transform.restrict_nodes ~keep:(fun u -> u <> 2) trace in
+  Alcotest.(check int) "nodes" 4 (Trace.n_nodes restricted);
+  Alcotest.(check int) "contacts" 2 (Trace.n_contacts restricted);
+  Alcotest.(check (array int)) "back map" [| 0; 1; 3; 4 |] back;
+  (* contact (1,3) became (1,2) in the dense ids *)
+  let c = Trace.contact restricted 1 in
+  Alcotest.(check int) "remapped a" 1 c.a;
+  Alcotest.(check int) "remapped b" 2 c.b
+
+let suite =
+  [
+    Alcotest.test_case "remove p=0 / p=1" `Quick remove_edge_cases;
+    Alcotest.test_case "remove statistics" `Slow remove_statistical;
+    Alcotest.test_case "restrict_nodes remaps" `Quick restrict_remaps;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ duration_partition; window_clips; quantize_aligns; shift_translates; merge_counts ]

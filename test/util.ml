@@ -1,0 +1,43 @@
+(* Shared helpers for the test suites. *)
+
+module Rng = Omn_stats.Rng
+module Trace = Omn_temporal.Trace
+module Contact = Omn_temporal.Contact
+
+let trace_of_contacts ?(n_nodes = 0) ?(t_start = 0.) ?t_end contacts =
+  let n_nodes =
+    List.fold_left (fun acc (a, b, _, _) -> max acc (max a b + 1)) n_nodes contacts
+  in
+  let t_end =
+    match t_end with
+    | Some t -> t
+    | None -> List.fold_left (fun acc (_, _, _, te) -> Float.max acc te) t_start contacts
+  in
+  let contacts =
+    List.map (fun (a, b, t_beg, t_end) -> Contact.make ~a ~b ~t_beg ~t_end) contacts
+  in
+  Trace.create ~n_nodes ~t_start ~t_end contacts
+
+(* A random small trace: n nodes, m contacts with integer-ish bounds in
+   [0, horizon], durations geometric-ish. Integer grid keeps ties and
+   exact-equality corner cases frequent, which is what we want to test. *)
+let random_trace rng ~n ~m ~horizon =
+  let contacts = ref [] in
+  let made = ref 0 in
+  while !made < m do
+    let a = Rng.int rng n and b = Rng.int rng n in
+    if a <> b then begin
+      let t_beg = float_of_int (Rng.int rng horizon) in
+      let dur = float_of_int (Rng.int rng (max 1 (horizon / 4))) in
+      let t_end = Float.min (float_of_int horizon) (t_beg +. dur) in
+      contacts := (min a b, max a b, t_beg, t_end) :: !contacts;
+      incr made
+    end
+  done;
+  trace_of_contacts ~n_nodes:n ~t_start:0. ~t_end:(float_of_int horizon) !contacts
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if expected = infinity || actual = infinity then
+    Alcotest.(check bool) (msg ^ " (inf)") (expected = infinity) (actual = infinity)
+  else if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
