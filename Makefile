@@ -1,4 +1,4 @@
-.PHONY: all build test bench timing doc clean
+.PHONY: all build test check smoke bench timing doc clean
 
 all: build
 
@@ -7,6 +7,15 @@ build:
 
 test:
 	dune runtest
+
+# Full gate: build, unit/property tests, and an end-to-end smoke test
+# of the fault-injection + lenient ingestion + checkpoint paths.
+check: build
+	dune runtest
+	$(MAKE) smoke
+
+smoke: build
+	sh scripts/smoke.sh
 
 bench:
 	dune exec bench/main.exe

@@ -6,9 +6,36 @@
      omn diameter trace.omn                       (1-eps)-diameter + CDF
      omn delivery trace.omn -s 0 -d 5             one pair's delivery fn
      omn transform trace.omn --drop-prob 0.9 -o thinned.omn
-     omn theory --lambda 0.5                      closed-form results *)
+     omn corrupt trace.omn --fault nan -o bad.omn fault-injection harness
+     omn theory --lambda 0.5                      closed-form results
+
+   Exit codes: 0 success; 1 computation error; 2 bad input or usage;
+   124 command-line parse errors (Cmdliner convention). *)
 
 open Cmdliner
+module Err = Omn_robust.Err
+module Repair = Omn_robust.Repair
+module Faultgen = Omn_robust.Faultgen
+
+(* Every subcommand body runs under this wrapper so that failures map
+   to the documented exit codes instead of uncaught backtraces. *)
+let protect f =
+  match f () with
+  | () -> 0
+  | exception Err.Error e ->
+    Format.eprintf "omn: %a@." Err.pp e;
+    Err.exit_code e.code
+  | exception Sys_error msg ->
+    Format.eprintf "omn: %s@." msg;
+    2
+  | exception Invalid_argument msg ->
+    Format.eprintf "omn: invalid argument: %s@." msg;
+    2
+  | exception Failure msg ->
+    Format.eprintf "omn: %s@." msg;
+    1
+
+let usage_err fmt = Format.kasprintf (fun msg -> raise (Err.Error (Err.v Err.Usage msg))) fmt
 
 let trace_arg =
   let doc = "Input trace file (format written by `omn gen' / Trace_io)." in
@@ -22,6 +49,35 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc)
 
+(* --- ingestion policy --- *)
+
+let policy_conv =
+  Arg.enum [ ("strict", Repair.Strict); ("repair", Repair.Repair); ("skip", Repair.Skip) ]
+
+let ingest_arg =
+  let doc =
+    "Ingestion policy for reading traces: $(b,strict) rejects the first malformed \
+     record with a line-numbered error; $(b,repair) fixes what can be fixed (clamps \
+     out-of-window contacts, swaps reversed intervals, merges exact duplicates) and \
+     drops the rest; $(b,skip) drops every bad record."
+  in
+  Arg.(value & opt policy_conv Repair.Strict & info [ "ingest" ] ~docv:"POLICY" ~doc)
+
+let lenient_arg =
+  let doc =
+    "Shorthand for $(b,--ingest repair): accept dirty traces and print a \
+     machine-readable repair report on stderr."
+  in
+  Arg.(value & flag & info [ "lenient" ] ~doc)
+
+let load_trace ~policy ~lenient path =
+  let policy = if lenient && policy = Repair.Strict then Repair.Repair else policy in
+  match Omn_temporal.Trace_io.load_result ~policy path with
+  | Error e -> raise (Err.Error e)
+  | Ok (trace, report) ->
+    if policy <> Repair.Strict then Format.eprintf "%a@." Repair.pp report;
+    trace
+
 let save_or_print trace = function
   | Some path ->
     Omn_temporal.Trace_io.save trace path;
@@ -30,13 +86,24 @@ let save_or_print trace = function
 
 (* --- gen --- *)
 
+type preset = P_infocom05 | P_infocom06 | P_hong_kong | P_reality | P_waypoint | P_random
+
 let gen_cmd =
   let preset =
     let doc =
-      "Workload: one of infocom05, infocom06, hong-kong, reality-mining, waypoint, \
-       random (continuous-time random temporal network)."
+      "Workload: one of $(b,infocom05), $(b,infocom06), $(b,hong-kong), \
+       $(b,reality-mining), $(b,waypoint), $(b,random) (continuous-time random \
+       temporal network)."
     in
-    Arg.(value & opt string "infocom05" & info [ "preset" ] ~docv:"NAME" ~doc)
+    let preset_conv =
+      Arg.enum
+        [
+          ("infocom05", P_infocom05); ("infocom06", P_infocom06); ("hong-kong", P_hong_kong);
+          ("hongkong", P_hong_kong); ("reality-mining", P_reality); ("reality", P_reality);
+          ("waypoint", P_waypoint); ("random", P_random);
+        ]
+    in
+    Arg.(value & opt preset_conv P_infocom05 & info [ "preset" ] ~docv:"NAME" ~doc)
   in
   let nodes =
     let doc = "Node count (waypoint and random presets only)." in
@@ -51,20 +118,20 @@ let gen_cmd =
     Arg.(value & opt float 6. & info [ "hours" ] ~docv:"H" ~doc)
   in
   let run preset seed nodes lambda hours output =
+    protect @@ fun () ->
     let rng = Omn_stats.Rng.create seed in
     let trace =
-      match String.lowercase_ascii preset with
-      | "infocom05" -> (Omn_mobility.Presets.infocom05 ~seed ()).trace
-      | "infocom06" -> (Omn_mobility.Presets.infocom06 ~seed ()).trace
-      | "hong-kong" | "hongkong" -> (Omn_mobility.Presets.hong_kong ~seed ()).trace
-      | "reality-mining" | "reality" -> (Omn_mobility.Presets.reality_mining ~seed ()).trace
-      | "waypoint" ->
+      match preset with
+      | P_infocom05 -> (Omn_mobility.Presets.infocom05 ~seed ()).trace
+      | P_infocom06 -> (Omn_mobility.Presets.infocom06 ~seed ()).trace
+      | P_hong_kong -> (Omn_mobility.Presets.hong_kong ~seed ()).trace
+      | P_reality -> (Omn_mobility.Presets.reality_mining ~seed ()).trace
+      | P_waypoint ->
         Omn_mobility.Random_waypoint.generate rng
           { Omn_mobility.Random_waypoint.default with n = nodes; horizon = hours *. 3600. }
-      | "random" ->
+      | P_random ->
         Omn_randnet.Continuous.generate rng
           { n = nodes; lambda = lambda /. 3600.; horizon = hours *. 3600. }
-      | other -> Fmt.failwith "unknown preset %S" other
     in
     save_or_print trace output
   in
@@ -74,8 +141,9 @@ let gen_cmd =
 (* --- stats --- *)
 
 let stats_cmd =
-  let run path =
-    let trace = Omn_temporal.Trace_io.load path in
+  let run path ingest lenient =
+    protect @@ fun () ->
+    let trace = load_trace ~policy:ingest ~lenient path in
     Format.printf "%a@." Omn_temporal.Trace_stats.pp_summary
       (Omn_temporal.Trace_stats.summary trace);
     match Omn_temporal.Trace_stats.inter_contact_times trace with
@@ -87,7 +155,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Describe a trace (Table-1-style summary)")
-    Term.(const run $ trace_arg)
+    Term.(const run $ trace_arg $ ingest_arg $ lenient_arg)
 
 (* --- diameter --- *)
 
@@ -103,33 +171,77 @@ let domains_arg =
   let doc = "Parallelise over this many OCaml domains." in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc)
 
+let checkpoint_arg =
+  let doc =
+    "Write an atomic checkpoint of completed source rows to $(docv) as the \
+     computation progresses (removed on successful completion)."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc = "Resume from the $(b,--checkpoint) file if it exists." in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Checkpoint after every $(docv) source nodes." in
+  Arg.(value & opt int 8 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let budget_arg =
+  let doc =
+    "Stop after roughly $(docv) wall-clock seconds, reporting a clearly-labelled \
+     partial result over a uniformly sampled subset of source nodes."
+  in
+  Arg.(value & opt (some float) None & info [ "budget-seconds" ] ~docv:"S" ~doc)
+
 let diameter_cmd =
-  let run path epsilon max_hops domains =
-    let trace = Omn_temporal.Trace_io.load path in
+  let run path ingest lenient epsilon max_hops domains checkpoint resume every budget =
+    protect @@ fun () ->
+    if resume && checkpoint = None then usage_err "--resume requires --checkpoint FILE";
+    let trace = load_trace ~policy:ingest ~lenient path in
     let span = Omn_temporal.Trace.span trace in
     let grid =
       Omn_stats.Grid.logarithmic ~lo:(Float.max 1. (span /. 5000.)) ~hi:span ~n:100
     in
-    let result = Omn_core.Diameter.measure ~epsilon ~max_hops ~grid ~domains trace in
-    Format.printf "(1 - %g)-diameter: %s@." epsilon
-      (match result.diameter with Some d -> string_of_int d | None -> Printf.sprintf "> %d" max_hops);
-    Format.printf "@.delay        ";
-    List.iter (fun k -> Format.printf "%7s" (Printf.sprintf "%dh" k)) [ 1; 2; 3; 4 ];
-    Format.printf "   flood@.";
-    Array.iteri
-      (fun i d ->
-        if i mod 12 = 0 then begin
-          Format.printf "%-12s " (Omn_stats.Timefmt.axis_seconds d);
-          List.iter
-            (fun k -> Format.printf "%7.3f" result.curves.hop_success.(k - 1).(i))
-            [ 1; 2; 3; 4 ];
-          Format.printf "%8.3f@." result.curves.flood_success.(i)
-        end)
-      result.curves.grid
+    let print_result (result : Omn_core.Diameter.result) =
+      Format.printf "(1 - %g)-diameter: %s@." epsilon
+        (match result.diameter with
+        | Some d -> string_of_int d
+        | None -> Printf.sprintf "> %d" max_hops);
+      Format.printf "@.delay        ";
+      List.iter (fun k -> Format.printf "%7s" (Printf.sprintf "%dh" k)) [ 1; 2; 3; 4 ];
+      Format.printf "   flood@.";
+      Array.iteri
+        (fun i d ->
+          if i mod 12 = 0 then begin
+            Format.printf "%-12s " (Omn_stats.Timefmt.axis_seconds d);
+            List.iter
+              (fun k -> Format.printf "%7.3f" result.curves.hop_success.(k - 1).(i))
+              [ 1; 2; 3; 4 ];
+            Format.printf "%8.3f@." result.curves.flood_success.(i)
+          end)
+        result.curves.grid
+    in
+    if checkpoint = None && budget = None then
+      print_result (Omn_core.Diameter.measure ~epsilon ~max_hops ~grid ~domains trace)
+    else
+      match
+        Omn_core.Diameter.measure_resumable ~epsilon ~max_hops ~grid ~domains ?checkpoint
+          ~resume ~checkpoint_every:every ?budget_seconds:budget ~clock:Unix.gettimeofday
+          trace
+      with
+      | Error e -> raise (Err.Error e)
+      | Ok run ->
+        if run.partial then
+          Format.printf
+            "PARTIAL result: budget exhausted after %d of %d source nodes (uniform sample)@."
+            run.sources_done run.sources_total;
+        print_result run.result
   in
   Cmd.v
     (Cmd.info "diameter" ~doc:"Measure the (1-eps)-diameter of a trace")
-    Term.(const run $ trace_arg $ epsilon_arg $ max_hops_arg $ domains_arg)
+    Term.(
+      const run $ trace_arg $ ingest_arg $ lenient_arg $ epsilon_arg $ max_hops_arg
+      $ domains_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg $ budget_arg)
 
 (* --- delivery --- *)
 
@@ -144,8 +256,12 @@ let delivery_cmd =
   let hops =
     Arg.(value & opt (some int) None & info [ "hops" ] ~docv:"K" ~doc:"Hop bound (default none).")
   in
-  let run path source dest hops =
-    let trace = Omn_temporal.Trace_io.load path in
+  let run path ingest lenient source dest hops =
+    protect @@ fun () ->
+    let trace = load_trace ~policy:ingest ~lenient path in
+    let n = Omn_temporal.Trace.n_nodes trace in
+    if source < 0 || source >= n then usage_err "source node %d out of range [0, %d)" source n;
+    if dest < 0 || dest >= n then usage_err "destination node %d out of range [0, %d)" dest n;
     let delivery = Omn_core.Journey.delivery_to trace ~source ~dest ?max_hops:hops () in
     Format.printf "%d optimal path(s) from %d to %d%s@."
       (Omn_core.Delivery.n_optimal_paths delivery)
@@ -158,7 +274,7 @@ let delivery_cmd =
   in
   Cmd.v
     (Cmd.info "delivery" ~doc:"Print the delivery function of one pair")
-    Term.(const run $ trace_arg $ source $ dest $ hops)
+    Term.(const run $ trace_arg $ ingest_arg $ lenient_arg $ source $ dest $ hops)
 
 (* --- transform --- *)
 
@@ -181,8 +297,9 @@ let transform_cmd =
       & opt (some (pair ~sep:':' float float)) None
       & info [ "window" ] ~docv:"T0:T1" ~doc:"Crop to a time window.")
   in
-  let run path seed drop_prob min_duration window output =
-    let trace = Omn_temporal.Trace_io.load path in
+  let run path ingest lenient seed drop_prob min_duration window output =
+    protect @@ fun () ->
+    let trace = load_trace ~policy:ingest ~lenient path in
     let trace =
       match window with
       | Some (t_start, t_end) -> Omn_temporal.Transform.time_window ~t_start ~t_end trace
@@ -203,7 +320,42 @@ let transform_cmd =
   in
   Cmd.v
     (Cmd.info "transform" ~doc:"Crop / filter / thin a trace (the paper's section 6 surgery)")
-    Term.(const run $ trace_arg $ seed_arg $ drop_prob $ min_duration $ window $ output_arg)
+    Term.(
+      const run $ trace_arg $ ingest_arg $ lenient_arg $ seed_arg $ drop_prob $ min_duration
+      $ window $ output_arg)
+
+(* --- corrupt (fault-injection harness) --- *)
+
+let corrupt_cmd =
+  let fault =
+    let doc =
+      "Fault to inject: one of $(b,truncate), $(b,mangle), $(b,nan), $(b,self-loop), \
+       $(b,negative-id), $(b,window-lie), $(b,reorder), $(b,duplicate)."
+    in
+    let fault_conv = Arg.enum (List.map (fun n -> (n, n)) Faultgen.all_names) in
+    Arg.(required & opt (some fault_conv) None & info [ "fault" ] ~docv:"NAME" ~doc)
+  in
+  let run path seed fault output =
+    protect @@ fun () ->
+    let fault =
+      match Faultgen.of_name fault with
+      | Some f -> f
+      | None -> usage_err "unknown fault %S" fault
+    in
+    let text = Omn_robust.Atomic_file.read_to_string path in
+    let corrupted = Faultgen.apply ~seed fault text in
+    match output with
+    | Some out ->
+      Omn_robust.Atomic_file.write_string out corrupted;
+      Format.printf "wrote %s (fault: %s)@." out (Faultgen.name fault)
+    | None -> print_string corrupted
+  in
+  Cmd.v
+    (Cmd.info "corrupt"
+       ~doc:
+         "Deterministically corrupt a trace file (fault-injection harness for testing \
+          the lenient ingestion and recovery paths)")
+    Term.(const run $ trace_arg $ seed_arg $ fault $ output_arg)
 
 (* --- forward --- *)
 
@@ -219,8 +371,9 @@ let forward_cmd =
     Arg.(
       value & opt (some int) None & info [ "ttl" ] ~docv:"K" ~doc:"Epidemic hop TTL to include.")
   in
-  let run path seed messages deadline ttl =
-    let trace = Omn_temporal.Trace_io.load path in
+  let run path ingest lenient seed messages deadline ttl =
+    protect @@ fun () ->
+    let trace = load_trace ~policy:ingest ~lenient path in
     let protocols =
       Omn_forwarding.Protocol.
         [
@@ -247,7 +400,8 @@ let forward_cmd =
   in
   Cmd.v
     (Cmd.info "forward" ~doc:"Evaluate forwarding protocols on a trace")
-    Term.(const run $ trace_arg $ seed_arg $ messages $ deadline $ ttl)
+    Term.(
+      const run $ trace_arg $ ingest_arg $ lenient_arg $ seed_arg $ messages $ deadline $ ttl)
 
 (* --- theory --- *)
 
@@ -257,6 +411,7 @@ let theory_cmd =
   in
   let n = Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N" ~doc:"Network size.") in
   let run lambda n =
+    protect @@ fun () ->
     let open Omn_randnet in
     List.iter
       (fun (case, label) ->
@@ -289,13 +444,14 @@ let experiment_cmd =
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Small workload.") in
   let run name quick =
     match Omn_experiments.Registry.find name with
-    | Some e -> e.run ~quick Format.std_formatter
+    | Some e ->
+      protect @@ fun () -> e.run ~quick Format.std_formatter
     | None ->
       Format.eprintf "unknown experiment %S; known:@." name;
       List.iter
         (fun (e : Omn_experiments.Registry.experiment) -> Format.eprintf "  %s@." e.name)
         Omn_experiments.Registry.all;
-      exit 2
+      2
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Run one paper experiment (same engine as bench/main.exe)")
@@ -305,9 +461,9 @@ let () =
   let doc = "The diameter of opportunistic mobile networks — toolkit" in
   let info = Cmd.info "omn" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [
-            gen_cmd; stats_cmd; diameter_cmd; delivery_cmd; transform_cmd; forward_cmd;
-            theory_cmd; experiment_cmd;
+            gen_cmd; stats_cmd; diameter_cmd; delivery_cmd; transform_cmd; corrupt_cmd;
+            forward_cmd; theory_cmd; experiment_cmd;
           ]))

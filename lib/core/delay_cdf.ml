@@ -192,3 +192,202 @@ let compute ?(max_hops = 10) ?sources ?dests ?grid:(budget_grid = Omn_stats.Grid
     flood_success_inf = success_inf flood_acc;
     max_rounds_used;
   }
+
+(* --- checkpointed / budgeted driver --- *)
+
+module Err = Omn_robust.Err
+
+type progress = { sources_done : int; sources_total : int; partial : bool }
+
+type snapshot = {
+  snap_fingerprint : string;
+  snap_done : int;
+  snap_hops : t array;
+  snap_flood : t;
+  snap_rounds : int;
+}
+
+let ckpt_magic = "omn-ckpt 1\n"
+
+let save_checkpoint path snap =
+  let payload = Marshal.to_string snap [] in
+  let digest = Digest.to_hex (Digest.string payload) in
+  Omn_robust.Atomic_file.write path (fun oc ->
+      output_string oc ckpt_magic;
+      output_string oc digest;
+      output_char oc '\n';
+      output_string oc payload)
+
+let load_checkpoint path =
+  match Omn_robust.Atomic_file.read_to_string path with
+  | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg)
+  | data ->
+    let mlen = String.length ckpt_magic in
+    let hlen = mlen + 32 + 1 in
+    if String.length data < hlen || String.sub data 0 mlen <> ckpt_magic then
+      Error (Err.v ~file:path Err.Checkpoint "not an omn checkpoint file")
+    else begin
+      let digest = String.sub data mlen 32 in
+      let payload = String.sub data hlen (String.length data - hlen) in
+      if Digest.to_hex (Digest.string payload) <> digest then
+        Error (Err.v ~file:path Err.Checkpoint "checksum mismatch (truncated or corrupt)")
+      else
+        match (Marshal.from_string payload 0 : snapshot) with
+        | exception _ -> Error (Err.v ~file:path Err.Checkpoint "unreadable payload")
+        | snap -> Ok snap
+    end
+
+(* Reorder sources by a stride coprime to their count so that every
+   prefix of the order is a near-uniform sample of the whole list —
+   that is what makes a budget-truncated run a fair subsample. *)
+let uniform_order sources =
+  let arr = Array.of_list sources in
+  let n = Array.length arr in
+  if n <= 2 then sources
+  else begin
+    let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+    let s = ref (max 1 (int_of_float (0.618 *. float_of_int n))) in
+    while gcd n !s <> 1 do
+      incr s
+    done;
+    List.init n (fun i -> arr.(i * !s mod n))
+  end
+
+let fingerprint ~max_hops ~budget_grid ~is_dest ~windows ~order ~chunk trace =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( Trace.name trace, Trace.n_nodes trace, Trace.t_start trace, Trace.t_end trace,
+            Trace.contacts trace, max_hops, budget_grid, is_dest, windows, order, chunk )
+          []))
+
+let rec split_at k = function
+  | [] -> ([], [])
+  | l when k = 0 -> ([], l)
+  | x :: rest ->
+    let chunk, tail = split_at (k - 1) rest in
+    (x :: chunk, tail)
+
+let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+
+let compute_resumable ?(max_hops = 10) ?sources ?dests
+    ?grid:(budget_grid = Omn_stats.Grid.delay_default) ?(domains = 1) ?windows ?checkpoint
+    ?(resume = false) ?(checkpoint_every = 8) ?budget_seconds ?(clock = Sys.time) trace =
+  try
+    if max_hops < 1 then Err.get_exn (Err.error Err.Usage "compute_resumable: max_hops < 1");
+    if domains < 1 then Err.get_exn (Err.error Err.Usage "compute_resumable: domains < 1");
+    if checkpoint_every < 1 then
+      Err.get_exn (Err.error Err.Usage "compute_resumable: checkpoint_every < 1");
+    (match budget_seconds with
+    | Some b when b < 0. ->
+      Err.get_exn (Err.error Err.Usage "compute_resumable: negative budget")
+    | _ -> ());
+    let windows =
+      match windows with
+      | None -> [ (Trace.t_start trace, Trace.t_end trace) ]
+      | Some [] -> Err.get_exn (Err.error Err.Usage "compute_resumable: empty window list")
+      | Some ws ->
+        List.iter
+          (fun (a, b) ->
+            if a > b then
+              Err.get_exn (Err.error Err.Usage "compute_resumable: reversed window"))
+          ws;
+        ws
+    in
+    let n = Trace.n_nodes trace in
+    let sources = Option.value sources ~default:(List.init n (fun i -> i)) in
+    let is_dest =
+      match dests with
+      | None -> Array.make n true
+      | Some ds ->
+        let mask = Array.make n false in
+        List.iter (fun d -> mask.(d) <- true) ds;
+        mask
+    in
+    let order = uniform_order sources in
+    let total = List.length order in
+    let fp =
+      fingerprint ~max_hops ~budget_grid ~is_dest ~windows ~order ~chunk:checkpoint_every
+        trace
+    in
+    let loaded =
+      match checkpoint with
+      | Some path when resume && Sys.file_exists path -> (
+        match load_checkpoint path with
+        | Error e -> Error e
+        | Ok snap ->
+          if snap.snap_fingerprint <> fp then
+            Error
+              (Err.v ~file:path Err.Checkpoint
+                 "checkpoint was built for a different trace or parameters")
+          else Ok (snap.snap_hops, snap.snap_flood, snap.snap_rounds, snap.snap_done))
+      | _ ->
+        Ok
+          ( Array.init max_hops (fun _ -> create ~grid:budget_grid),
+            create ~grid:budget_grid, 0, 0 )
+    in
+    match loaded with
+    | Error e -> Error e
+    | Ok (hop_accs, flood_acc, rounds0, done0) ->
+      if n > 0 && domains > 1 then ignore (Trace.node_contacts trace 0);
+      let t0 = clock () in
+      let done_count = ref done0 and rounds = ref rounds0 in
+      let rec loop remaining =
+        match remaining with
+        | [] -> ()
+        | _ ->
+          let chunk, rest = split_at checkpoint_every remaining in
+          let results =
+            if domains = 1 || List.length chunk < 2 then
+              [ compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace chunk ]
+            else
+              split_batches domains chunk
+              |> List.map (fun batch ->
+                     Domain.spawn (fun () ->
+                         compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace batch))
+              |> List.map Domain.join
+          in
+          List.iter
+            (fun (hops', flood', rounds') ->
+              Array.iteri (fun i acc -> merge_into ~dst:hop_accs.(i) acc) hops';
+              merge_into ~dst:flood_acc flood';
+              rounds := max !rounds rounds')
+            results;
+          done_count := !done_count + List.length chunk;
+          (match checkpoint with
+          | Some path ->
+            save_checkpoint path
+              {
+                snap_fingerprint = fp;
+                snap_done = !done_count;
+                snap_hops = hop_accs;
+                snap_flood = flood_acc;
+                snap_rounds = !rounds;
+              }
+          | None -> ());
+          let out_of_budget =
+            match budget_seconds with Some b -> clock () -. t0 >= b | None -> false
+          in
+          if not out_of_budget then loop rest
+      in
+      loop (drop done0 order);
+      let partial = !done_count < total in
+      if not partial then
+        (match checkpoint with
+        | Some path when Sys.file_exists path -> (
+          try Sys.remove path with Sys_error _ -> ())
+        | _ -> ());
+      Ok
+        ( {
+            grid = Array.copy budget_grid;
+            hop_success = Array.map success hop_accs;
+            hop_success_inf = Array.map success_inf hop_accs;
+            flood_success = success flood_acc;
+            flood_success_inf = success_inf flood_acc;
+            max_rounds_used = !rounds;
+          },
+          { sources_done = !done_count; sources_total = total; partial } )
+  with
+  | Err.Error e -> Error e
+  | Invalid_argument msg -> Error (Err.v Err.Usage msg)
+  | Sys_error msg -> Error (Err.v Err.Io msg)

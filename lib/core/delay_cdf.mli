@@ -74,3 +74,51 @@ val compute :
     [windows] restricts message-creation times to a union of intervals
     (e.g. day-time hours only, as in the paper's §5.3.1 aside) instead
     of the whole trace window. *)
+
+(** {1 Checkpointed / budgeted driver}
+
+    The long-run variant of {!compute} for multi-day traces: sources
+    are processed in a deterministic stride order whose prefixes are
+    near-uniform samples of the node set, in chunks of
+    [checkpoint_every]; after every chunk the full accumulator state is
+    written atomically (temp file + rename) to the checkpoint file, so
+    a killed process loses at most one chunk of work. *)
+
+type progress = {
+  sources_done : int;
+  sources_total : int;
+  partial : bool;  (** true when the budget expired before all sources ran *)
+}
+
+val compute_resumable :
+  ?max_hops:int ->
+  ?sources:Omn_temporal.Node.t list ->
+  ?dests:Omn_temporal.Node.t list ->
+  ?grid:float array ->
+  ?domains:int ->
+  ?windows:(float * float) list ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?checkpoint_every:int ->
+  ?budget_seconds:float ->
+  ?clock:(unit -> float) ->
+  Omn_temporal.Trace.t ->
+  (curves * progress, Omn_robust.Err.t) result
+(** Like {!compute}, plus:
+    - [checkpoint]: write a checkpoint file after every chunk, and
+      remove it once the run completes;
+    - [resume] (with [checkpoint]): load that file if it exists and
+      continue from it. The checkpoint embeds a fingerprint of the
+      trace and all parameters; resuming against a different trace or
+      parameters is a [Checkpoint] error, as is a corrupt file. An
+      uninterrupted run and a killed-and-resumed run produce
+      bit-identical curves (same chunking, same merge order).
+    - [budget_seconds]: stop after the first chunk that exhausts the
+      budget, returning a clearly-labelled partial result over a
+      near-uniform subset of the sources ([progress.partial = true]).
+      At least one chunk always completes, so repeated budgeted
+      invocations with a checkpoint make progress. [clock] supplies
+      the time base (default [Sys.time], CPU seconds; pass a
+      wall-clock for real deadlines).
+    - [checkpoint_every]: chunk size in sources (default 8). Part of
+      the fingerprint — resuming requires the same value. *)

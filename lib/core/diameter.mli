@@ -38,3 +38,33 @@ val measure :
   result
 (** End-to-end: compute curves with {!Delay_cdf.compute}, then the
     diameter. *)
+
+type run = {
+  result : result;
+  sources_done : int;
+  sources_total : int;
+  partial : bool;
+      (** the work budget expired: [result] covers a near-uniform
+          subset of [sources_done] source nodes and must be labelled
+          as partial *)
+}
+
+val measure_resumable :
+  ?epsilon:float ->
+  ?max_hops:int ->
+  ?sources:Omn_temporal.Node.t list ->
+  ?dests:Omn_temporal.Node.t list ->
+  ?grid:float array ->
+  ?domains:int ->
+  ?windows:(float * float) list ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?checkpoint_every:int ->
+  ?budget_seconds:float ->
+  ?clock:(unit -> float) ->
+  Omn_temporal.Trace.t ->
+  (run, Omn_robust.Err.t) Stdlib.result
+(** {!measure} on top of {!Delay_cdf.compute_resumable}: periodic
+    atomic checkpoints, resume after a crash (bit-identical to an
+    uninterrupted run), and graceful degradation to a uniformly
+    sampled subset of sources under a time budget. *)

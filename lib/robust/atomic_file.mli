@@ -1,0 +1,17 @@
+(** Crash-safe file writes: temp file in the target directory + rename.
+
+    A reader never observes a torn file — it sees either the previous
+    content or the complete new content, even if the writer is killed
+    mid-write. On any exception the temp file is removed and the target
+    is left untouched. *)
+
+val write : string -> (out_channel -> unit) -> unit
+(** [write path f] runs [f] on a fresh temp file in [dirname path],
+    then atomically renames it over [path]. Raises [Sys_error] on IO
+    failure, and re-raises whatever [f] raises (after cleanup). *)
+
+val write_string : string -> string -> unit
+(** [write_string path s] = [write path (fun oc -> output_string oc s)]. *)
+
+val read_to_string : string -> string
+(** Whole-file read (binary). Raises [Sys_error] on IO failure. *)

@@ -1,0 +1,40 @@
+(** Deterministic fault injection for trace files.
+
+    Operates on the {e textual} trace format (see [Omn_temporal.Trace_io])
+    so it can produce inputs no well-typed API would ever build:
+    truncated records, mangled fields, NaN times, lying window headers.
+    All corruption is driven by [Omn_stats.Rng], so a given [(seed,
+    fault, input)] triple always yields the same corrupted output —
+    recovery-path tests are reproducible. *)
+
+type fault =
+  | Truncate of float
+      (** keep this fraction of record lines, then cut the next record
+          mid-line (a 3-field prefix) — a crashed logger *)
+  | Mangle of float  (** per-record probability: replace a field with garbage *)
+  | Nan_times of float  (** per-record probability: replace a time with [nan] *)
+  | Self_loop of float  (** per-record probability: set both endpoints equal *)
+  | Negative_id of float  (** per-record probability: negate a node id *)
+  | Window_lie
+      (** shrink the declared window so records fall outside it *)
+  | Reorder  (** shuffle record lines (parseable, but out of order) *)
+  | Duplicate of float  (** per-record probability: emit the record twice *)
+
+val name : fault -> string
+
+val of_name : string -> fault option
+(** Inverse of {!name}, with default parameters (e.g. ["truncate"] is
+    [Truncate 0.5]). *)
+
+val all_names : string list
+
+val apply : seed:int -> fault -> string -> string
+(** Corrupt a trace text. Probabilistic faults hit at least one record
+    (when any record exists), so the output is never accidentally
+    clean. *)
+
+val corpus : ?seed:int -> string -> (string * string) list
+(** Named corrupted variants of a well-formed trace text, one per fault
+    that a [Strict] parse must reject: truncate, mangle, nan,
+    self-loop, negative-id, window-lie. ([Reorder] and [Duplicate] are
+    excluded: a strict parse legitimately accepts them.) *)

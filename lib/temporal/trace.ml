@@ -7,18 +7,38 @@ type t = {
   mutable adjacency : Contact.t array array option; (* built lazily *)
 }
 
-let create ?(name = "trace") ~n_nodes ~t_start ~t_end contact_list =
-  if n_nodes < 0 then invalid_arg "Trace.create: n_nodes < 0";
-  if t_start > t_end then invalid_arg "Trace.create: reversed window";
-  let contacts = Array.of_list contact_list in
-  Array.iter
-    (fun (c : Contact.t) ->
-      if c.b >= n_nodes then invalid_arg "Trace.create: node id out of range";
-      if c.t_beg < t_start || c.t_end > t_end then
-        invalid_arg "Trace.create: contact outside window")
-    contacts;
-  Array.sort Contact.compare_by_start contacts;
-  { label = name; n_nodes; t_start; t_end; contacts; adjacency = None }
+module Err = Omn_robust.Err
+
+let create_result ?(name = "trace") ~n_nodes ~t_start ~t_end contact_list =
+  let exception Bad of Err.t in
+  try
+    if n_nodes < 0 then raise (Bad (Err.errf Err.Range "Trace.create: n_nodes < 0 (%d)" n_nodes));
+    if t_start > t_end then
+      raise
+        (Bad (Err.errf Err.Window "Trace.create: reversed window [%g; %g]" t_start t_end));
+    let contacts = Array.of_list contact_list in
+    Array.iter
+      (fun (c : Contact.t) ->
+        if c.b >= n_nodes then
+          raise
+            (Bad
+               (Err.errf Err.Range "Trace.create: node id %d out of range (n_nodes = %d)"
+                  c.b n_nodes));
+        if c.t_beg < t_start || c.t_end > t_end then
+          raise
+            (Bad
+               (Err.errf Err.Window
+                  "Trace.create: contact [%g; %g] outside window [%g; %g]" c.t_beg c.t_end
+                  t_start t_end)))
+      contacts;
+    Array.sort Contact.compare_by_start contacts;
+    Ok { label = name; n_nodes; t_start; t_end; contacts; adjacency = None }
+  with Bad e -> Error e
+
+let create ?name ~n_nodes ~t_start ~t_end contact_list =
+  match create_result ?name ~n_nodes ~t_start ~t_end contact_list with
+  | Ok t -> t
+  | Error e -> invalid_arg (Err.to_string e)
 
 let name t = t.label
 let with_name t label = { t with label; adjacency = None }

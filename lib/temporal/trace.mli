@@ -12,6 +12,16 @@ val create : ?name:string -> n_nodes:int -> t_start:float -> t_end:float -> Cont
     sorts. Raises [Invalid_argument] otherwise, or if
     [t_start > t_end] or [n_nodes < 0]. *)
 
+val create_result :
+  ?name:string ->
+  n_nodes:int ->
+  t_start:float ->
+  t_end:float ->
+  Contact.t list ->
+  (t, Omn_robust.Err.t) result
+(** Non-raising {!create}: validation failures come back as typed
+    errors ([Range] for node problems, [Window] for window problems). *)
+
 val name : t -> string
 (** Dataset label (defaults to ["trace"]). *)
 

@@ -11,14 +11,46 @@
     v}
     Times are seconds (floats). The header lines are written by
     {!save}; {!load} accepts files without them by inferring the node
-    count and window from the records. *)
+    count and window from the records.
+
+    Reading comes in two flavours. The {!parse} / {!load_result} API is
+    policy-driven and returns typed errors plus a repair report; the
+    legacy raising API ({!load}, {!of_string}, {!input}) is strict and
+    raises [Failure] with a line-numbered message. *)
 
 val save : Trace.t -> string -> unit
-(** Write to a file path. Raises [Sys_error] on IO failure. *)
+(** Write to a file path {e crash-safely}: the content goes to a temp
+    file in the same directory which is then renamed over the target,
+    so an interrupted save never leaves a torn trace file. Raises
+    [Sys_error] on IO failure. *)
 
 val load : string -> Trace.t
-(** Read from a file path. Raises [Failure] with a line-numbered message
-    on malformed input; [Sys_error] on IO failure. *)
+(** Read from a file path, strictly. Raises [Failure] with a
+    line-numbered message on malformed input; [Sys_error] on IO
+    failure. *)
+
+val parse :
+  ?policy:Omn_robust.Repair.policy ->
+  ?file:string ->
+  string ->
+  (Trace.t * Omn_robust.Repair.report, Omn_robust.Err.t) result
+(** Parse a trace text under an ingestion policy (default
+    [Strict]). [Strict] rejects the first problem with a typed,
+    line-numbered error; [Repair] clamps out-of-window contacts to the
+    declared window, swaps reversed intervals and reversed window
+    headers, widens a too-small declared node count, merges exact
+    duplicate records, and drops what cannot be fixed (self-loops,
+    non-finite times, unparsable lines); [Skip] drops every bad record
+    and changes nothing else. Under [Repair] and [Skip] the returned
+    report lists one event per deviation from the input. [file] is only
+    used to locate error messages. *)
+
+val load_result :
+  ?policy:Omn_robust.Repair.policy ->
+  string ->
+  (Trace.t * Omn_robust.Repair.report, Omn_robust.Err.t) result
+(** {!parse} from a file path; IO failures come back as [Io] errors
+    instead of raising. *)
 
 val output : out_channel -> Trace.t -> unit
 val input : in_channel -> Trace.t

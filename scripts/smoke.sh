@@ -1,0 +1,29 @@
+#!/bin/sh
+# End-to-end smoke test of the robustness layer: fault-injected traces
+# must fail strict ingestion, pass lenient ingestion, and a budgeted
+# checkpointed diameter run must exit 0. Run via `make check`.
+set -eu
+
+OMN="${OMN:-_build/default/bin/omn.exe}"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$OMN" gen --preset random --nodes 12 --hours 2 --seed 7 -o "$tmp/clean.omn" >/dev/null
+
+for fault in truncate mangle nan self-loop negative-id window-lie; do
+  "$OMN" corrupt "$tmp/clean.omn" --fault "$fault" --seed 3 -o "$tmp/bad.omn" >/dev/null
+  if "$OMN" stats "$tmp/bad.omn" >/dev/null 2>&1; then
+    echo "smoke FAIL: strict ingestion accepted fault '$fault'" >&2
+    exit 1
+  fi
+  "$OMN" stats --lenient "$tmp/bad.omn" >/dev/null 2>"$tmp/report.txt"
+  grep -q '^repair-report' "$tmp/report.txt" || {
+    echo "smoke FAIL: no repair report for fault '$fault'" >&2
+    exit 1
+  }
+done
+
+"$OMN" diameter "$tmp/clean.omn" --budget-seconds 5 --checkpoint "$tmp/ck" >/dev/null
+"$OMN" diameter "$tmp/clean.omn" --checkpoint "$tmp/ck" --resume >/dev/null
+
+echo "smoke ok"

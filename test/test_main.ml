@@ -13,6 +13,7 @@ let () =
       ("forwarding", Test_forwarding.suite);
       ("randnet", Test_randnet.suite);
       ("mobility", Test_mobility.suite);
+      ("robust", Test_robust.suite);
       ("misc", Test_misc.suite);
       ("experiments", Test_experiments.suite);
     ]

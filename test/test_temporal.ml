@@ -125,6 +125,66 @@ let trace_io_headerless () =
   Alcotest.(check (float 0.)) "window inferred lo" 0. (Trace.t_start trace);
   Alcotest.(check (float 0.)) "window inferred hi" 3.5 (Trace.t_end trace)
 
+let same_trace a b =
+  Trace.n_nodes a = Trace.n_nodes b
+  && Trace.t_start a = Trace.t_start b
+  && Trace.t_end a = Trace.t_end b
+  && Trace.name a = Trace.name b
+  && Array.for_all2 Contact.equal (Trace.contacts a) (Trace.contacts b)
+
+let trace_io_roundtrip_edges () =
+  let check_rt name trace =
+    Alcotest.(check bool) name true (same_trace trace (Trace_io.of_string (Trace_io.to_string trace)))
+  in
+  check_rt "empty trace" (Trace.create ~n_nodes:0 ~t_start:0. ~t_end:0. []);
+  check_rt "empty window, nodes only" (Trace.create ~n_nodes:5 ~t_start:3. ~t_end:3. []);
+  check_rt "zero-duration contact"
+    (Util.trace_of_contacts ~n_nodes:3 ~t_start:0. ~t_end:10. [ (0, 2, 5., 5.) ]);
+  (* a declared window wider than any record must survive the round trip *)
+  check_rt "window disagrees with records"
+    (Util.trace_of_contacts ~n_nodes:4 ~t_start:0. ~t_end:100. [ (1, 2, 40., 60.) ]);
+  check_rt "negative times"
+    (Util.trace_of_contacts ~n_nodes:2 ~t_start:(-50.) ~t_end:(-10.) [ (0, 1, -40., -20.) ])
+
+let trace_io_clean_repair =
+  QCheck2.Test.make ~count:200 ~name:"repair on clean input only merges duplicates" trace_gen
+    (fun trace ->
+      match Trace_io.parse ~policy:Omn_robust.Repair.Repair (Trace_io.to_string trace) with
+      | Error _ -> false
+      | Ok (t, report) ->
+        (* random traces may contain exact duplicate contacts, which
+           Repair legitimately merges; nothing else may change *)
+        List.for_all
+          (fun (e : Omn_robust.Repair.event) -> e.action = Omn_robust.Repair.Merged_duplicate)
+          report.Omn_robust.Repair.events
+        && Trace.n_nodes t = Trace.n_nodes trace
+        && Trace.t_start t = Trace.t_start trace
+        && Trace.t_end t = Trace.t_end trace)
+
+let trace_io_fixture_errors () =
+  let module Err = Omn_robust.Err in
+  let expect text code line =
+    match Trace_io.parse text with
+    | Error (e : Err.t) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%S code" text)
+        (Err.code_name code) (Err.code_name e.code);
+      Alcotest.(check (option int)) (Printf.sprintf "%S line" text) (Some line) e.line
+    | Ok _ -> Alcotest.failf "%S should be rejected" text
+  in
+  expect "0 1 3" Err.Parse 1;
+  expect "0 1 0 1\n0 1 nope 3" Err.Parse 2;
+  expect "# nodes x\n0 1 0 1" Err.Header 1;
+  expect "# window 0 oops\n" Err.Header 1;
+  expect "# window 5 1\n" Err.Header 1;
+  expect "0 1 0 1\n0 0 2 3" Err.Contact 2;
+  expect "0 1 nan 3" Err.Contact 1;
+  expect "-1 1 0 3" Err.Contact 1;
+  expect "0 1 2 1" Err.Contact 1;
+  expect "# window 0 5\n0 1 0 2\n0 1 4 9" Err.Window 3;
+  expect "# nodes 1\n0 1 0 1" Err.Range 2;
+  expect "# nodes -3\n" Err.Header 1
+
 let trace_io_errors () =
   (match Trace_io.of_string "0 1 nope 3" with
   | exception Failure msg ->
@@ -196,10 +256,12 @@ let suite =
     Alcotest.test_case "trace file io" `Quick trace_io_file;
     Alcotest.test_case "headerless files" `Quick trace_io_headerless;
     Alcotest.test_case "io error reporting" `Quick trace_io_errors;
+    Alcotest.test_case "roundtrip edge cases" `Quick trace_io_roundtrip_edges;
+    Alcotest.test_case "malformed fixture corpus" `Quick trace_io_fixture_errors;
     Alcotest.test_case "duration statistics" `Quick stats_durations;
     Alcotest.test_case "inter-contact gaps" `Quick stats_inter_contact;
     Alcotest.test_case "next-contact staircase" `Quick stats_next_contact;
     Alcotest.test_case "activity profile" `Quick stats_activity_profile;
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ trace_adjacency_complete; trace_pair_contacts; trace_io_roundtrip ]
+      [ trace_adjacency_complete; trace_pair_contacts; trace_io_roundtrip; trace_io_clean_repair ]

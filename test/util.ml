@@ -36,6 +36,11 @@ let random_trace rng ~n ~m ~horizon =
   done;
   trace_of_contacts ~n_nodes:n ~t_start:0. ~t_end:(float_of_int horizon) !contacts
 
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
 let check_float ?(eps = 1e-9) msg expected actual =
   if expected = infinity || actual = infinity then
     Alcotest.(check bool) (msg ^ " (inf)") (expected = infinity) (actual = infinity)
