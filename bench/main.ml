@@ -117,16 +117,114 @@ let run_timing () =
      destinations in one pass; dijkstra/per-start-time-sweep is the prior-art cost@.\
      of the same information.@."
 
+(* --- Parallel regression bench: BENCH_delay_cdf.json --- *)
+
+(* Wall-clock regression harness for the omn_parallel port of
+   Delay_cdf.compute: times the 80-node workload at 1/2/4 domains,
+   checks the curves are bit-identical across domain counts, and emits
+   a machine-readable report that CI archives. With [enforce] set, a
+   2-domain run more than 10% slower than 1 domain fails the process —
+   but only on hosts where the runtime recommends >= 2 domains (a
+   1-core container cannot exhibit a speedup). *)
+let bench_parallel ~quick ~enforce () =
+  let rng = Omn_stats.Rng.create 11 in
+  let n = 80 in
+  (* Always the full half-day trace: a smaller workload is dominated by
+     pool-spawn overhead and measures nothing. --quick only cuts repeats. *)
+  let days = 0.5 in
+  let params = Omn_mobility.Venue.conference_params ~rng ~n ~days in
+  let trace = Omn_mobility.Venue.generate rng ~n ~name:"bench-parallel" params in
+  let max_hops = 6 in
+  let repeats = if quick then 2 else 3 in
+  let time_compute domains =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      let curves = Omn_core.Delay_cdf.compute ~max_hops ~domains trace in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some curves
+    done;
+    match !result with Some c -> (c, !best) | None -> assert false
+  in
+  let runs = List.map (fun d -> (d, time_compute d)) [ 1; 2; 4 ] in
+  let base_curves, base_time = List.assoc 1 runs in
+  let identical = List.for_all (fun (_, (c, _)) -> c = base_curves) runs in
+  let frontiers, _ = Omn_core.Journey.run trace ~source:0 in
+  let sizes = Array.map Omn_core.Frontier.size frontiers in
+  let max_frontier = Array.fold_left max 0 sizes in
+  let mean_frontier =
+    float_of_int (Array.fold_left ( + ) 0 sizes) /. float_of_int (max 1 (Array.length sizes))
+  in
+  let recommended = Omn_parallel.Pool.recommended () in
+  let buf = Buffer.create 1024 in
+  let pf f = Printf.ksprintf (Buffer.add_string buf) f in
+  pf "{\n";
+  pf "  \"bench\": \"delay_cdf.compute\",\n";
+  pf "  \"trace\": { \"nodes\": %d, \"contacts\": %d, \"days\": %g },\n" n
+    (Omn_temporal.Trace.n_contacts trace)
+    days;
+  pf "  \"max_hops\": %d,\n" max_hops;
+  pf "  \"repeats\": %d,\n" repeats;
+  pf "  \"quick\": %b,\n" quick;
+  pf "  \"recommended_domains\": %d,\n" recommended;
+  pf "  \"bit_identical_across_domains\": %b,\n" identical;
+  pf "  \"max_rounds_used\": %d,\n" base_curves.Omn_core.Delay_cdf.max_rounds_used;
+  pf "  \"frontier\": { \"source\": 0, \"max_size\": %d, \"mean_size\": %.2f },\n" max_frontier
+    mean_frontier;
+  pf "  \"runs\": [\n";
+  List.iteri
+    (fun i (d, (_, t)) ->
+      pf "    { \"domains\": %d, \"seconds\": %.6f, \"speedup_vs_1\": %.3f }%s\n" d t
+        (base_time /. t)
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  pf "  ]\n";
+  pf "}\n";
+  let path = "BENCH_delay_cdf.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.fprintf fmt "@.Parallel regression (delay-cdf, %d nodes, best of %d):@." n repeats;
+  List.iter
+    (fun (d, (_, t)) ->
+      Format.fprintf fmt "  %d domain(s): %8.3fs  (%.2fx vs 1 domain)@." d t (base_time /. t))
+    runs;
+  Format.fprintf fmt "  curves bit-identical across domain counts: %b@." identical;
+  Format.fprintf fmt "  wrote %s@." path;
+  if not identical then begin
+    Format.fprintf fmt "FAIL: parallel curves differ from the sequential curves@.";
+    exit 1
+  end;
+  if enforce then begin
+    let _, t2 = List.assoc 2 runs in
+    if recommended < 2 then
+      Format.fprintf fmt
+        "  speedup gate skipped: host recommends %d domain(s); need >= 2 cores@." recommended
+    else if t2 > 1.10 *. base_time then begin
+      Format.fprintf fmt
+        "FAIL: 2-domain run (%.3fs) is more than 10%% slower than 1 domain (%.3fs)@." t2
+        base_time;
+      exit 1
+    end
+    else Format.fprintf fmt "  speedup gate passed: 2 domains within 10%% of 1 domain@."
+  end
+
 let usage () =
   Format.fprintf fmt
-    "usage: main.exe [--list] [--quick] [--timing] [--only NAME[,NAME...]]@.";
+    "usage: main.exe [--list] [--quick] [--timing] [--enforce-speedup] [--only NAME[,NAME...]]@.";
   exit 2
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let timing = List.mem "--timing" args in
-  let timing_only = timing && List.for_all (fun a -> a = "--timing" || a = "--quick") args in
+  let enforce_speedup = List.mem "--enforce-speedup" args in
+  let timing_only =
+    timing
+    && List.for_all (fun a -> a = "--timing" || a = "--quick" || a = "--enforce-speedup") args
+  in
   let listing = List.mem "--list" args in
   let only =
     let rec find = function
@@ -136,7 +234,9 @@ let () =
     in
     find args
   in
-  let known_flag a = List.mem a [ "--quick"; "--timing"; "--list"; "--only" ] in
+  let known_flag a =
+    List.mem a [ "--quick"; "--timing"; "--list"; "--only"; "--enforce-speedup" ]
+  in
   List.iter
     (fun a ->
       if String.length a >= 2 && String.sub a 0 2 = "--" && not (known_flag a) then usage ())
@@ -175,5 +275,8 @@ let () =
       e.run ~quick fmt;
       Format.fprintf fmt "@[[%s: %.1fs]@]@." e.name (Unix.gettimeofday () -. t))
     selected;
-  if timing then run_timing ();
+  if timing then begin
+    bench_parallel ~quick ~enforce:enforce_speedup ();
+    run_timing ()
+  end;
   Format.fprintf fmt "@.total: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -167,9 +167,22 @@ let max_hops_arg =
   let doc = "Largest hop bound examined." in
   Arg.(value & opt int 10 & info [ "max-hops" ] ~docv:"K" ~doc)
 
+let domains_conv =
+  let parse s =
+    match Omn_parallel.Pool.spec_of_string s with
+    | Some spec -> Ok spec
+    | None -> Error (`Msg (Printf.sprintf "expected a positive integer or `auto', got %S" s))
+  in
+  let print ppf spec = Format.pp_print_string ppf (Omn_parallel.Pool.spec_to_string spec) in
+  Arg.conv (parse, print)
+
 let domains_arg =
-  let doc = "Parallelise over this many OCaml domains." in
-  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc)
+  let doc =
+    "Parallelise over $(docv) OCaml domains; $(b,auto) uses the machine's recommended \
+     domain count. Results are bit-identical for every setting — only wall-clock time \
+     changes."
+  in
+  Arg.(value & opt domains_conv (Omn_parallel.Pool.Fixed 1) & info [ "domains" ] ~docv:"D" ~doc)
 
 let checkpoint_arg =
   let doc =
@@ -197,6 +210,7 @@ let diameter_cmd =
   let run path ingest lenient epsilon max_hops domains checkpoint resume every budget =
     protect @@ fun () ->
     if resume && checkpoint = None then usage_err "--resume requires --checkpoint FILE";
+    let domains = Omn_parallel.Pool.resolve domains in
     let trace = load_trace ~policy:ingest ~lenient path in
     let span = Omn_temporal.Trace.span trace in
     let grid =
@@ -371,8 +385,9 @@ let forward_cmd =
     Arg.(
       value & opt (some int) None & info [ "ttl" ] ~docv:"K" ~doc:"Epidemic hop TTL to include.")
   in
-  let run path ingest lenient seed messages deadline ttl =
+  let run path ingest lenient seed messages deadline ttl domains =
     protect @@ fun () ->
+    let domains = Omn_parallel.Pool.resolve domains in
     let trace = load_trace ~policy:ingest ~lenient path in
     let protocols =
       Omn_forwarding.Protocol.
@@ -383,8 +398,8 @@ let forward_cmd =
       |> List.sort_uniq compare
     in
     let stats =
-      Omn_forwarding.Sim.evaluate (Omn_stats.Rng.create seed) trace ~protocols ~messages
-        ~deadline
+      Omn_forwarding.Sim.evaluate ~domains (Omn_stats.Rng.create seed) trace ~protocols
+        ~messages ~deadline
     in
     Format.printf "%-20s %-10s %-12s %-8s %s@." "protocol" "delivered" "mean delay" "tx/msg"
       "nodes";
@@ -401,7 +416,8 @@ let forward_cmd =
   Cmd.v
     (Cmd.info "forward" ~doc:"Evaluate forwarding protocols on a trace")
     Term.(
-      const run $ trace_arg $ ingest_arg $ lenient_arg $ seed_arg $ messages $ deadline $ ttl)
+      const run $ trace_arg $ ingest_arg $ lenient_arg $ seed_arg $ messages $ deadline $ ttl
+      $ domains_arg)
 
 (* --- theory --- *)
 

@@ -15,7 +15,7 @@ let earliest_arrival trace ~source ~t0 =
     | None -> ()
     | Some (t, u) ->
       if t <= arrival.(u) then
-        Array.iter
+        Trace.iter_node_contacts
           (fun (c : Contact.t) ->
             if t <= c.t_end then begin
               let v = Contact.peer c u in
@@ -25,7 +25,7 @@ let earliest_arrival trace ~source ~t0 =
                 Heap.push heap (reach, v)
               end
             end)
-          (Trace.node_contacts trace u);
+          trace u;
       drain ()
   in
   drain ();

@@ -10,13 +10,13 @@ let explore trace ~source ~max_hops visit =
   let rec go node (desc : Ld_ea.t) hops =
     visit node desc hops;
     if hops < max_hops then
-      Array.iter
+      Trace.iter_node_contacts
         (fun (c : Contact.t) ->
           if desc.ea <= c.t_end then begin
             let next = Ld_ea.make ~ld:(Float.min desc.ld c.t_end) ~ea:(Float.max desc.ea c.t_beg) in
             go (Contact.peer c node) next (hops + 1)
           end)
-        (Trace.node_contacts trace node)
+        trace node
   in
   go source Ld_ea.identity 0
 

@@ -1,4 +1,6 @@
 module Trace = Omn_temporal.Trace
+module Pool = Omn_parallel.Pool
+module Chunk = Omn_parallel.Chunk
 
 type t = {
   grid_ : float array;
@@ -132,13 +134,24 @@ let compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace sources =
     sources;
   (hop_accs, flood_acc, !max_rounds_used)
 
-let split_batches k l =
-  let batches = Array.make k [] in
-  List.iteri (fun i x -> batches.(i mod k) <- x :: batches.(i mod k)) l;
-  Array.to_list batches |> List.filter (fun b -> b <> [])
+(* Fan out one task per source and merge the per-source accumulators in
+   source order. The task partition and the merge order are independent
+   of the domain count, and [Pool.run] returns results in input order,
+   so the curves are bit-identical for every [domains] (including 1):
+   parallelism changes wall-clock time only. *)
+let accumulate_sources ?pool ~domains ~max_hops ~budget_grid ~is_dest ~windows
+    ~into:(hop_accs, flood_acc, rounds) trace sources =
+  let per_source source = compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace [ source ] in
+  let results = Pool.run ?pool ~domains per_source (Array.of_list sources) in
+  Array.iter
+    (fun (hops', flood', rounds') ->
+      Array.iteri (fun i acc -> merge_into ~dst:hop_accs.(i) acc) hops';
+      merge_into ~dst:flood_acc flood';
+      rounds := max !rounds rounds')
+    results
 
 let compute ?(max_hops = 10) ?sources ?dests ?grid:(budget_grid = Omn_stats.Grid.delay_default)
-    ?(domains = 1) ?windows trace =
+    ?pool ?(domains = 1) ?windows trace =
   if max_hops < 1 then invalid_arg "Delay_cdf.compute: max_hops < 1";
   if domains < 1 then invalid_arg "Delay_cdf.compute: domains < 1";
   let windows =
@@ -159,38 +172,18 @@ let compute ?(max_hops = 10) ?sources ?dests ?grid:(budget_grid = Omn_stats.Grid
       List.iter (fun d -> mask.(d) <- true) ds;
       mask
   in
-  let results =
-    if domains = 1 || List.length sources < 2 then
-      [ compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace sources ]
-    else begin
-      (* Force the lazily built adjacency index before sharing the trace
-         across domains. *)
-      if n > 0 then ignore (Trace.node_contacts trace 0);
-      split_batches domains sources
-      |> List.map (fun batch ->
-             Domain.spawn (fun () ->
-                 compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace batch))
-      |> List.map Domain.join
-    end
-  in
-  let hop_accs, flood_acc, max_rounds_used =
-    match results with
-    | [] -> assert false
-    | first :: rest ->
-      List.fold_left
-        (fun (hops, flood, rounds) (hops', flood', rounds') ->
-          Array.iteri (fun i acc -> merge_into ~dst:acc hops'.(i)) hops;
-          merge_into ~dst:flood flood';
-          (hops, flood, max rounds rounds'))
-        first rest
-  in
+  let hop_accs = Array.init max_hops (fun _ -> create ~grid:budget_grid) in
+  let flood_acc = create ~grid:budget_grid in
+  let rounds = ref 0 in
+  accumulate_sources ?pool ~domains ~max_hops ~budget_grid ~is_dest ~windows
+    ~into:(hop_accs, flood_acc, rounds) trace sources;
   {
     grid = Array.copy budget_grid;
     hop_success = Array.map success hop_accs;
     hop_success_inf = Array.map success_inf hop_accs;
     flood_success = success flood_acc;
     flood_success_inf = success_inf flood_acc;
-    max_rounds_used;
+    max_rounds_used = !rounds;
   }
 
 (* --- checkpointed / budgeted driver --- *)
@@ -207,7 +200,10 @@ type snapshot = {
   snap_rounds : int;
 }
 
-let ckpt_magic = "omn-ckpt 1\n"
+(* v2: the in-chunk accumulation became per-source (deterministic under
+   any domain count), which changes float association — old snapshots
+   must not be mixed into new runs. *)
+let ckpt_magic = "omn-ckpt 2\n"
 
 let save_checkpoint path snap =
   let payload = Marshal.to_string snap [] in
@@ -261,17 +257,8 @@ let fingerprint ~max_hops ~budget_grid ~is_dest ~windows ~order ~chunk trace =
             Trace.contacts trace, max_hops, budget_grid, is_dest, windows, order, chunk )
           []))
 
-let rec split_at k = function
-  | [] -> ([], [])
-  | l when k = 0 -> ([], l)
-  | x :: rest ->
-    let chunk, tail = split_at (k - 1) rest in
-    (x :: chunk, tail)
-
-let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
-
 let compute_resumable ?(max_hops = 10) ?sources ?dests
-    ?grid:(budget_grid = Omn_stats.Grid.delay_default) ?(domains = 1) ?windows ?checkpoint
+    ?grid:(budget_grid = Omn_stats.Grid.delay_default) ?pool ?(domains = 1) ?windows ?checkpoint
     ?(resume = false) ?(checkpoint_every = 8) ?budget_seconds ?(clock = Sys.time) trace =
   try
     if max_hops < 1 then Err.get_exn (Err.error Err.Usage "compute_resumable: max_hops < 1");
@@ -329,30 +316,23 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
     match loaded with
     | Error e -> Error e
     | Ok (hop_accs, flood_acc, rounds0, done0) ->
-      if n > 0 && domains > 1 then ignore (Trace.node_contacts trace 0);
+      (* One pool for the whole run, reused chunk after chunk (spawning
+         per chunk is what the old driver did). Borrowed pools are left
+         to their owner; an owned one is shut down on every exit path. *)
+      let owned = if pool = None && domains > 1 then Some (Pool.create ~domains ()) else None in
+      let pool = match pool with Some _ as p -> p | None -> owned in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Pool.shutdown owned)
+      @@ fun () ->
       let t0 = clock () in
       let done_count = ref done0 and rounds = ref rounds0 in
       let rec loop remaining =
         match remaining with
         | [] -> ()
         | _ ->
-          let chunk, rest = split_at checkpoint_every remaining in
-          let results =
-            if domains = 1 || List.length chunk < 2 then
-              [ compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace chunk ]
-            else
-              split_batches domains chunk
-              |> List.map (fun batch ->
-                     Domain.spawn (fun () ->
-                         compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace batch))
-              |> List.map Domain.join
-          in
-          List.iter
-            (fun (hops', flood', rounds') ->
-              Array.iteri (fun i acc -> merge_into ~dst:hop_accs.(i) acc) hops';
-              merge_into ~dst:flood_acc flood';
-              rounds := max !rounds rounds')
-            results;
+          let chunk, rest = Chunk.split_at checkpoint_every remaining in
+          accumulate_sources ?pool ~domains ~max_hops ~budget_grid ~is_dest ~windows
+            ~into:(hop_accs, flood_acc, rounds) trace chunk;
           done_count := !done_count + List.length chunk;
           (match checkpoint with
           | Some path ->
@@ -370,7 +350,7 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
           in
           if not out_of_budget then loop rest
       in
-      loop (drop done0 order);
+      loop (Chunk.drop done0 order);
       let partial = !done_count < total in
       if not partial then
         (match checkpoint with

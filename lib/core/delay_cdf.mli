@@ -58,6 +58,7 @@ val compute :
   ?sources:Omn_temporal.Node.t list ->
   ?dests:Omn_temporal.Node.t list ->
   ?grid:float array ->
+  ?pool:Omn_parallel.Pool.t ->
   ?domains:int ->
   ?windows:(float * float) list ->
   Omn_temporal.Trace.t ->
@@ -68,9 +69,15 @@ val compute :
     [dests] restricts which destinations count as observations — e.g.
     only the experimental devices of a trace that also records external
     ones. [max_hops] defaults to 10, [grid] to
-    {!Omn_stats.Grid.delay_default}. [domains > 1] splits the sources
-    over that many OCaml domains (sources are independent journeys);
-    results are identical up to floating-point summation order.
+    {!Omn_stats.Grid.delay_default}.
+
+    Parallelism: [pool] runs the independent per-source journeys on a
+    shared {!Omn_parallel.Pool.t}; otherwise [domains > 1] uses a
+    temporary pool of that many OCaml domains. Either way the curves
+    are {e bit-identical} to the sequential run: one task per source,
+    per-source accumulators merged in source order, a partition and
+    merge order that never depend on the domain count.
+
     [windows] restricts message-creation times to a union of intervals
     (e.g. day-time hours only, as in the paper's §5.3.1 aside) instead
     of the whole trace window. *)
@@ -95,6 +102,7 @@ val compute_resumable :
   ?sources:Omn_temporal.Node.t list ->
   ?dests:Omn_temporal.Node.t list ->
   ?grid:float array ->
+  ?pool:Omn_parallel.Pool.t ->
   ?domains:int ->
   ?windows:(float * float) list ->
   ?checkpoint:string ->
@@ -104,7 +112,9 @@ val compute_resumable :
   ?clock:(unit -> float) ->
   Omn_temporal.Trace.t ->
   (curves * progress, Omn_robust.Err.t) result
-(** Like {!compute}, plus:
+(** Like {!compute} (same parallelism and determinism contract; when no
+    [pool] is given and [domains > 1], one pool is created up front and
+    reused across every chunk), plus:
     - [checkpoint]: write a checkpoint file after every chunk, and
       remove it once the run completes;
     - [resume] (with [checkpoint]): load that file if it exists and

@@ -41,19 +41,19 @@ let vs_delay ?(epsilon = 0.01) (curves : Delay_cdf.curves) =
       (d, search 1))
     curves.grid
 
-let measure ?(epsilon = 0.01) ?max_hops ?sources ?dests ?grid ?domains ?windows trace =
-  let curves = Delay_cdf.compute ?max_hops ?sources ?dests ?grid ?domains ?windows trace in
+let measure ?(epsilon = 0.01) ?max_hops ?sources ?dests ?grid ?pool ?domains ?windows trace =
+  let curves = Delay_cdf.compute ?max_hops ?sources ?dests ?grid ?pool ?domains ?windows trace in
   { diameter = of_curves ~epsilon curves; epsilon; curves }
 
 type run = { result : result; sources_done : int; sources_total : int; partial : bool }
 
-let measure_resumable ?(epsilon = 0.01) ?max_hops ?sources ?dests ?grid ?domains ?windows
+let measure_resumable ?(epsilon = 0.01) ?max_hops ?sources ?dests ?grid ?pool ?domains ?windows
     ?checkpoint ?resume ?checkpoint_every ?budget_seconds ?clock trace =
   if epsilon <= 0. || epsilon >= 1. then
     Omn_robust.Err.error Omn_robust.Err.Usage "Diameter.measure_resumable: epsilon out of (0,1)"
   else
     match
-      Delay_cdf.compute_resumable ?max_hops ?sources ?dests ?grid ?domains ?windows
+      Delay_cdf.compute_resumable ?max_hops ?sources ?dests ?grid ?pool ?domains ?windows
         ?checkpoint ?resume ?checkpoint_every ?budget_seconds ?clock trace
     with
     | Error e -> Error e

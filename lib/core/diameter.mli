@@ -32,12 +32,14 @@ val measure :
   ?sources:Omn_temporal.Node.t list ->
   ?dests:Omn_temporal.Node.t list ->
   ?grid:float array ->
+  ?pool:Omn_parallel.Pool.t ->
   ?domains:int ->
   ?windows:(float * float) list ->
   Omn_temporal.Trace.t ->
   result
 (** End-to-end: compute curves with {!Delay_cdf.compute}, then the
-    diameter. *)
+    diameter. [pool] / [domains] as in {!Delay_cdf.compute} — the
+    result is independent of both. *)
 
 type run = {
   result : result;
@@ -55,6 +57,7 @@ val measure_resumable :
   ?sources:Omn_temporal.Node.t list ->
   ?dests:Omn_temporal.Node.t list ->
   ?grid:float array ->
+  ?pool:Omn_parallel.Pool.t ->
   ?domains:int ->
   ?windows:(float * float) list ->
   ?checkpoint:string ->

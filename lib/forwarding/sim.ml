@@ -2,6 +2,7 @@ module Trace = Omn_temporal.Trace
 module Contact = Omn_temporal.Contact
 module Heap = Omn_stats.Heap
 module Rng = Omn_stats.Rng
+module Pool = Omn_parallel.Pool
 
 type outcome = {
   delivered : bool;
@@ -129,9 +130,9 @@ let run trace ~protocol ~source ~dest ~t0 ~deadline =
       if c.t_end >= t0 && c.t_beg <= give_up then Heap.push heap (Float.max c.t_beg t0, c))
     trace;
   let offer_active_contacts x tau =
-    Array.iter
+    Trace.iter_node_contacts
       (fun (c : Contact.t) -> if c.t_beg <= tau && tau <= c.t_end then Heap.push heap (tau, c))
-      (Trace.node_contacts trace x)
+      trace x
   in
   let rec drain () =
     if !delivery = None then begin
@@ -178,39 +179,52 @@ type stats = {
   mean_nodes_reached : float;
 }
 
-let evaluate rng trace ~protocols ~messages ~deadline =
+let evaluate ?pool ?(domains = 1) rng trace ~protocols ~messages ~deadline =
   if messages < 1 then invalid_arg "Sim.evaluate: messages < 1";
+  if domains < 1 then invalid_arg "Sim.evaluate: domains < 1";
   let n = Trace.n_nodes trace in
   if n < 2 then invalid_arg "Sim.evaluate: need two nodes";
   let t_lo = Trace.t_start trace in
   let t_hi = Float.max t_lo (Trace.t_end trace -. deadline) in
-  let workload =
-    List.init messages (fun _ ->
-        let source = Rng.int rng n in
-        let dest = (source + 1 + Rng.int rng (n - 1)) mod n in
-        let t0 = Rng.float_range rng t_lo (t_hi +. 1e-9) in
-        (source, dest, t0))
+  (* The workload is drawn sequentially up front, so the messages — and
+     hence the statistics — do not depend on the parallelism below. *)
+  let workload = Array.make messages (0, 0, 0.) in
+  for i = 0 to messages - 1 do
+    let source = Rng.int rng n in
+    let dest = (source + 1 + Rng.int rng (n - 1)) mod n in
+    let t0 = Rng.float_range rng t_lo (t_hi +. 1e-9) in
+    workload.(i) <- (source, dest, t0)
+  done;
+  let eval_protocol pool protocol =
+    (* One task per message (they are independent simulations); outcomes
+       come back in message order and are folded sequentially, so the
+       float sums are bit-identical for every domain count. *)
+    let outcomes =
+      Pool.run ?pool
+        (fun (source, dest, t0) -> run trace ~protocol ~source ~dest ~t0 ~deadline)
+        workload
+    in
+    let delivered = ref 0 and delay_sum = ref 0. in
+    let tx_sum = ref 0 and reach_sum = ref 0 in
+    Array.iter
+      (fun o ->
+        if o.delivered then begin
+          incr delivered;
+          delay_sum := !delay_sum +. o.delay
+        end;
+        tx_sum := !tx_sum + o.transmissions;
+        reach_sum := !reach_sum + o.nodes_reached)
+      outcomes;
+    {
+      protocol;
+      messages;
+      delivered_ratio = float_of_int !delivered /. float_of_int messages;
+      mean_delay = (if !delivered = 0 then nan else !delay_sum /. float_of_int !delivered);
+      mean_transmissions = float_of_int !tx_sum /. float_of_int messages;
+      mean_nodes_reached = float_of_int !reach_sum /. float_of_int messages;
+    }
   in
-  List.map
-    (fun protocol ->
-      let delivered = ref 0 and delay_sum = ref 0. in
-      let tx_sum = ref 0 and reach_sum = ref 0 in
-      List.iter
-        (fun (source, dest, t0) ->
-          let o = run trace ~protocol ~source ~dest ~t0 ~deadline in
-          if o.delivered then begin
-            incr delivered;
-            delay_sum := !delay_sum +. o.delay
-          end;
-          tx_sum := !tx_sum + o.transmissions;
-          reach_sum := !reach_sum + o.nodes_reached)
-        workload;
-      {
-        protocol;
-        messages;
-        delivered_ratio = float_of_int !delivered /. float_of_int messages;
-        mean_delay = (if !delivered = 0 then nan else !delay_sum /. float_of_int !delivered);
-        mean_transmissions = float_of_int !tx_sum /. float_of_int messages;
-        mean_nodes_reached = float_of_int !reach_sum /. float_of_int messages;
-      })
-    protocols
+  match (pool, domains) with
+  | Some p, _ -> List.map (eval_protocol (Some p)) protocols
+  | None, 1 -> List.map (eval_protocol None) protocols
+  | None, d -> Pool.with_pool ~domains:d (fun p -> List.map (eval_protocol (Some p)) protocols)

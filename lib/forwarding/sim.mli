@@ -40,6 +40,8 @@ type stats = {
 }
 
 val evaluate :
+  ?pool:Omn_parallel.Pool.t ->
+  ?domains:int ->
   Omn_stats.Rng.t ->
   Omn_temporal.Trace.t ->
   protocols:Protocol.t list ->
@@ -48,4 +50,7 @@ val evaluate :
   stats list
 (** Common random messages (uniform source/destination pair and creation
     time, leaving [deadline] of headroom before the trace end) evaluated
-    under every protocol. *)
+    under every protocol. The workload is drawn from [rng] up front;
+    each message simulation then runs independently on [pool] (or a
+    temporary pool of [domains]), with outcomes reduced in message
+    order — the statistics are bit-identical for every domain count. *)

@@ -1,0 +1,34 @@
+let split_at k l =
+  if k < 0 then invalid_arg "Chunk.split_at: negative count";
+  let rec go acc k = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (x :: acc) (k - 1) rest
+  in
+  go [] k l
+
+let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl
+
+let chunks ~size l =
+  if size < 1 then invalid_arg "Chunk.chunks: size < 1";
+  let rec go acc = function
+    | [] -> List.rev acc
+    | l ->
+      let chunk, rest = split_at size l in
+      go (chunk :: acc) rest
+  in
+  go [] l
+
+let ranges ~n ~pieces =
+  if n < 0 then invalid_arg "Chunk.ranges: negative length";
+  if pieces < 1 then invalid_arg "Chunk.ranges: pieces < 1";
+  let pieces = min pieces (max 1 n) in
+  let base = n / pieces and extra = n mod pieces in
+  let out = Array.make pieces (0, 0) in
+  let start = ref 0 in
+  for i = 0 to pieces - 1 do
+    let len = base + if i < extra then 1 else 0 in
+    out.(i) <- (!start, len);
+    start := !start + len
+  done;
+  if n = 0 then [||] else out

@@ -1,0 +1,28 @@
+(** Deterministic list/range chunking, shared by every parallel driver.
+
+    All functions are tail-recursive: chunking a multi-million-element
+    work list must not overflow the stack (the non-tail [split_at] that
+    used to live in [Delay_cdf] did exactly that for large
+    [--checkpoint-every]). *)
+
+val split_at : int -> 'a list -> 'a list * 'a list
+(** [split_at k l] is [(prefix, rest)] where [prefix] is the first [k]
+    elements of [l] (all of [l] if shorter) and [rest] the remainder.
+    Order-preserving, tail-recursive. Raises [Invalid_argument] on
+    negative [k]. *)
+
+val drop : int -> 'a list -> 'a list
+(** [drop k l] is [l] without its first [k] elements ([[]] if shorter).
+    Tail-recursive; [drop k l = snd (split_at k l)] without building the
+    prefix. *)
+
+val chunks : size:int -> 'a list -> 'a list list
+(** [chunks ~size l] partitions [l] into consecutive chunks of [size]
+    elements (the last may be shorter). Concatenating the chunks yields
+    [l]. Raises [Invalid_argument] if [size < 1]. *)
+
+val ranges : n:int -> pieces:int -> (int * int) array
+(** [ranges ~n ~pieces] splits the index range [0 .. n-1] into at most
+    [pieces] contiguous [(start, length)] spans of near-equal length
+    (never empty; fewer spans when [n < pieces]; [[||]] when [n = 0]).
+    The partition depends only on [n] and [pieces]. *)

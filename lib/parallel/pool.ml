@@ -1,0 +1,146 @@
+type t = {
+  domains : int;
+  mutable workers : unit Domain.t array;
+  jobs : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopping : bool;
+}
+
+let recommended () = max 1 (Domain.recommended_domain_count ())
+
+type spec = Auto | Fixed of int
+
+let resolve = function
+  | Auto -> recommended ()
+  | Fixed k -> if k < 1 then invalid_arg "Pool.resolve: domains < 1" else k
+
+let spec_of_string s =
+  if s = "auto" then Some Auto
+  else match int_of_string_opt s with Some k when k >= 1 -> Some (Fixed k) | _ -> None
+
+let spec_to_string = function Auto -> "auto" | Fixed k -> string_of_int k
+
+(* Workers block on [nonempty] until a job arrives or the pool shuts
+   down. Job exceptions are the submitter's concern ([map] funnels them
+   back to the caller); the belt-and-braces handler here only keeps a
+   misbehaving job from killing the worker. *)
+let worker_loop pool () =
+  let rec next () =
+    Mutex.lock pool.lock;
+    let rec await () =
+      match Queue.take_opt pool.jobs with
+      | Some job ->
+        Mutex.unlock pool.lock;
+        Some job
+      | None ->
+        if pool.stopping then begin
+          Mutex.unlock pool.lock;
+          None
+        end
+        else begin
+          Condition.wait pool.nonempty pool.lock;
+          await ()
+        end
+    in
+    match await () with
+    | None -> ()
+    | Some job ->
+      (try job () with _ -> ());
+      next ()
+  in
+  next ()
+
+let create ?domains () =
+  let domains = match domains with None -> recommended () | Some d -> d in
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let pool =
+    {
+      domains;
+      workers = [||];
+      jobs = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      stopping = false;
+    }
+  in
+  pool.workers <- Array.init (domains - 1) (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let domains pool = pool.domains
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  if not pool.stopping then begin
+    pool.stopping <- true;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock;
+    Array.iter Domain.join pool.workers
+  end
+  else Mutex.unlock pool.lock
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let submit pool copies job =
+  Mutex.lock pool.lock;
+  for _ = 1 to copies do
+    Queue.add job pool.jobs
+  done;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock
+
+(* Deterministic fan-out: item [i]'s result lands in slot [i] whichever
+   domain computed it, so the returned array — and any in-order reduction
+   of it — is independent of the domain count and of scheduling. *)
+let map pool f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if pool.domains = 1 || n = 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let work () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          match f xs.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> ignore (Atomic.compare_and_set error None (Some e))
+      done
+    in
+    let helpers = min (Array.length pool.workers) (n - 1) in
+    let pending = ref helpers in
+    let fin_lock = Mutex.create () in
+    let fin = Condition.create () in
+    let helper () =
+      work ();
+      Mutex.lock fin_lock;
+      decr pending;
+      if !pending = 0 then Condition.signal fin;
+      Mutex.unlock fin_lock
+    in
+    submit pool helpers helper;
+    work ();
+    Mutex.lock fin_lock;
+    while !pending > 0 do
+      Condition.wait fin fin_lock
+    done;
+    Mutex.unlock fin_lock;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list pool f xs = Array.to_list (map pool f (Array.of_list xs))
+
+let map_reduce pool ~map:f ~reduce ~init xs =
+  Array.fold_left reduce init (map pool f xs)
+
+let run ?pool ?(domains = 1) f xs =
+  match pool with
+  | Some p -> map p f xs
+  | None -> if domains <= 1 then Array.map f xs else with_pool ~domains (fun p -> map p f xs)

@@ -1,0 +1,74 @@
+(** Persistent domain pool with deterministic fan-out/reduce.
+
+    OCaml domains are heavyweight (each spawn forks a minor heap and
+    registers with the stop-the-world machinery), so spawning per work
+    chunk — as the first parallel driver in [Delay_cdf] did — wastes
+    milliseconds per chunk and caps scaling. A {!t} spawns its worker
+    domains once and reuses them across any number of {!map} calls.
+
+    Determinism contract: {!map} assigns item [i]'s result to slot [i]
+    of the output array regardless of which domain computed it or how
+    many domains exist. A caller that merges the slots in index order
+    therefore produces bit-identical results for every pool size,
+    including 1 — parallelism changes wall-clock time only. All the
+    parallel drivers in this repository ([Delay_cdf.compute],
+    [Forwarding.Sim.evaluate], the [Omn_randnet] Monte-Carlo
+    estimators) are built on this contract. *)
+
+type t
+(** A pool of [domains - 1] worker domains plus the calling domain. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] workers ([domains]
+    defaults to {!recommended}). Raises [Invalid_argument] if
+    [domains < 1]. A pool with [domains = 1] spawns nothing and runs
+    everything on the caller. *)
+
+val domains : t -> int
+(** Total parallelism, including the calling domain. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers. Idempotent. Jobs already queued complete
+    first; calling {!map} after [shutdown] hangs — don't. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f xs] applies [f] to every element, spreading items over
+    the pool's domains, and returns the results in input order. [f]
+    must be safe to call from any domain and must not touch the pool
+    (no nesting — a nested [map] can deadlock when every worker is
+    busy). The first exception raised by [f] is re-raised on the caller
+    after all items finish or are abandoned. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists (order preserved). *)
+
+val map_reduce : t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc -> 'a array -> 'acc
+(** Parallel map, then a sequential in-index-order fold on the caller —
+    the deterministic-reduction pattern in one call. *)
+
+val run : ?pool:t -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Convenience front end for APIs that accept both an optional shared
+    pool and a domain count: uses [pool] when given, otherwise runs
+    sequentially for [domains <= 1] (the default) or inside a temporary
+    [with_pool ~domains]. Same determinism contract as {!map} in every
+    case. *)
+
+(** {1 Domain-count selection} *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1 — what
+    [--domains auto] resolves to. *)
+
+type spec = Auto | Fixed of int
+(** A requested domain count: a number, or [Auto] for {!recommended}. *)
+
+val resolve : spec -> int
+(** Raises [Invalid_argument] on [Fixed k] with [k < 1]. *)
+
+val spec_of_string : string -> spec option
+(** ["auto"] or a positive integer; [None] otherwise. *)
+
+val spec_to_string : spec -> string

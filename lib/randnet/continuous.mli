@@ -22,9 +22,16 @@ val flood :
     within the horizon). *)
 
 val mean_delay_estimate :
-  Omn_stats.Rng.t -> params -> runs:int -> float * float
+  ?pool:Omn_parallel.Pool.t ->
+  ?domains:int ->
+  Omn_stats.Rng.t ->
+  params ->
+  runs:int ->
+  float * float
 (** Monte-Carlo (mean, std error) of the source→destination optimal
     delay over [runs] fresh networks (failures at the horizon are
     counted as the horizon — report with a horizon comfortably above
     the expected delay). Used to check the [ln n / ln (1+λ)]-type
-    growth laws in continuous time. *)
+    growth laws in continuous time. One RNG stream is split off per run
+    up front and results reduce in run order, so the estimate is
+    bit-identical for every [?pool] / [?domains] setting. *)

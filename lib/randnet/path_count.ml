@@ -44,17 +44,24 @@ let count_paths rng params ~case ~deadline ~max_hops =
   done;
   !total
 
-let mean_count rng params ~case ~tau ~gamma ~runs =
+let mean_count ?pool ?(domains = 1) rng params ~case ~tau ~gamma ~runs =
   if runs < 1 then invalid_arg "Path_count.mean_count: runs < 1";
   if tau <= 0. || gamma <= 0. then invalid_arg "Path_count.mean_count: bad budgets";
   let log_n = log (float_of_int params.Discrete.n) in
   let deadline = max 1 (int_of_float (Float.ceil (tau *. log_n))) in
   let max_hops = max 1 (int_of_float (Float.floor (gamma *. tau *. log_n))) in
-  let total = ref 0. in
-  for _ = 1 to runs do
-    let stream = Rng.split rng in
-    total := !total +. count_paths stream params ~case ~deadline ~max_hops
+  (* Streams split sequentially, counts reduced in run order: the mean
+     is bit-identical for any domain count (and to the old sequential
+     loop, which added the counts in the same order). *)
+  let streams = Array.make runs rng in
+  for i = 0 to runs - 1 do
+    streams.(i) <- Rng.split rng
   done;
-  !total /. float_of_int runs
+  let counts =
+    Omn_parallel.Pool.run ?pool ~domains
+      (fun stream -> count_paths stream params ~case ~deadline ~max_hops)
+      streams
+  in
+  Array.fold_left ( +. ) 0. counts /. float_of_int runs
 
 let predicted_exponent = Theory.expected_paths_exponent

@@ -24,6 +24,8 @@ val count_paths :
     case (matching §3.1.3). Vertices may repeat, as in the Lemma. *)
 
 val mean_count :
+  ?pool:Omn_parallel.Pool.t ->
+  ?domains:int ->
   Omn_stats.Rng.t ->
   Discrete.params ->
   case:Theory.contact_case ->
@@ -32,7 +34,10 @@ val mean_count :
   runs:int ->
   float
 (** Monte-Carlo estimate of [E Π_N] under the Lemma's logarithmic
-    budgets: deadline [ceil (τ ln n)], hops [max 1 (floor (γ τ ln n))]. *)
+    budgets: deadline [ceil (τ ln n)], hops [max 1 (floor (γ τ ln n))].
+    One RNG stream is split off per run up front and the per-run counts
+    are summed in run order, so the estimate is bit-identical for every
+    [?pool] / [?domains] setting (default sequential). *)
 
 val predicted_exponent :
   Theory.contact_case -> lambda:float -> tau:float -> gamma:float -> float

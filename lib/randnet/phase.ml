@@ -1,4 +1,15 @@
 module Rng = Omn_stats.Rng
+module Pool = Omn_parallel.Pool
+
+(* All estimators below pre-split one RNG stream per run, sequentially,
+   then fan the runs out over the pool and reduce the per-run results in
+   run order — the estimate is bit-identical for every domain count. *)
+let split_streams rng runs =
+  let streams = Array.make runs rng in
+  for i = 0 to runs - 1 do
+    streams.(i) <- Rng.split rng
+  done;
+  streams
 
 let budgets params ~tau ~gamma =
   let log_n = log (float_of_int params.Discrete.n) in
@@ -6,31 +17,49 @@ let budgets params ~tau ~gamma =
   let hop_budget = max 1 (int_of_float (Float.floor (gamma *. tau *. log_n))) in
   (max 1 deadline, hop_budget)
 
-let success_probability rng params ~case ~tau ~gamma ~runs =
+let success_probability ?pool ?(domains = 1) rng params ~case ~tau ~gamma ~runs =
   if runs < 1 then invalid_arg "Phase.success_probability: runs < 1";
   if tau <= 0. || gamma <= 0. then invalid_arg "Phase.success_probability: bad budgets";
   let deadline, hop_budget = budgets params ~tau ~gamma in
-  let hits = ref 0 in
-  for _ = 1 to runs do
-    let stream = Rng.split rng in
-    let reach = Discrete.min_hops_within stream params ~source:0 ~case ~deadline in
-    if reach.(1) <= hop_budget then incr hits
-  done;
-  float_of_int !hits /. float_of_int runs
+  let hits =
+    Pool.run ?pool ~domains
+      (fun stream ->
+        let reach = Discrete.min_hops_within stream params ~source:0 ~case ~deadline in
+        if reach.(1) <= hop_budget then 1 else 0)
+      (split_streams rng runs)
+    |> Array.fold_left ( + ) 0
+  in
+  float_of_int hits /. float_of_int runs
 
-let transition_curve rng params ~case ~gamma ~taus ~runs =
-  Array.map (fun tau -> (tau, success_probability rng params ~case ~tau ~gamma ~runs)) taus
+(* Curve drivers share one pool across every tau point instead of
+   letting each estimate spin up its own. *)
+let with_curve_pool ?pool ?(domains = 1) f =
+  match (pool, domains) with
+  | Some p, _ -> f (Some p)
+  | None, 1 -> f None
+  | None, d -> Pool.with_pool ~domains:d (fun p -> f (Some p))
 
-let unconstrained_success rng params ~case ~tau ~runs =
+let transition_curve ?pool ?domains rng params ~case ~gamma ~taus ~runs =
+  with_curve_pool ?pool ?domains (fun pool ->
+      Array.map
+        (fun tau -> (tau, success_probability ?pool rng params ~case ~tau ~gamma ~runs))
+        taus)
+
+let unconstrained_success ?pool ?(domains = 1) rng params ~case ~tau ~runs =
   let log_n = log (float_of_int params.Discrete.n) in
   let deadline = max 1 (int_of_float (Float.ceil (tau *. log_n))) in
-  let hits = ref 0 in
-  for _ = 1 to runs do
-    let stream = Rng.split rng in
-    let reach = Discrete.min_hops_within stream params ~source:0 ~case ~deadline in
-    if reach.(1) <> max_int then incr hits
-  done;
-  float_of_int !hits /. float_of_int runs
+  let hits =
+    Pool.run ?pool ~domains
+      (fun stream ->
+        let reach = Discrete.min_hops_within stream params ~source:0 ~case ~deadline in
+        if reach.(1) <> max_int then 1 else 0)
+      (split_streams rng runs)
+    |> Array.fold_left ( + ) 0
+  in
+  float_of_int hits /. float_of_int runs
 
-let unconstrained_curve rng params ~case ~taus ~runs =
-  Array.map (fun tau -> (tau, unconstrained_success rng params ~case ~tau ~runs)) taus
+let unconstrained_curve ?pool ?domains rng params ~case ~taus ~runs =
+  with_curve_pool ?pool ?domains (fun pool ->
+      Array.map
+        (fun tau -> (tau, unconstrained_success ?pool rng params ~case ~tau ~runs))
+        taus)

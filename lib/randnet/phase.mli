@@ -5,9 +5,17 @@
     [1/τ > γ ln λ + F γ] and abound when [1/τ < γ ln λ + F γ]. These
     estimators measure the empirical success probability so the bench can
     show it swinging from ~0 to ~1 around [τ* = tau_critical] as [n]
-    grows. *)
+    grows.
+
+    Every estimator takes [?pool] / [?domains] (default sequential):
+    one RNG stream is split off per run up front, runs execute in
+    parallel, and per-run results reduce in run order — estimates are
+    bit-identical for every domain count, and identical to the
+    historical sequential implementation. *)
 
 val success_probability :
+  ?pool:Omn_parallel.Pool.t ->
+  ?domains:int ->
   Omn_stats.Rng.t ->
   Discrete.params ->
   case:Theory.contact_case ->
@@ -20,6 +28,8 @@ val success_probability :
     [floor (γ τ ln n)] hops (at least 1 hop allowed). *)
 
 val transition_curve :
+  ?pool:Omn_parallel.Pool.t ->
+  ?domains:int ->
   Omn_stats.Rng.t ->
   Discrete.params ->
   case:Theory.contact_case ->
@@ -30,6 +40,8 @@ val transition_curve :
 (** [(τ, success probability)] for each τ. *)
 
 val unconstrained_curve :
+  ?pool:Omn_parallel.Pool.t ->
+  ?domains:int ->
   Omn_stats.Rng.t ->
   Discrete.params ->
   case:Theory.contact_case ->

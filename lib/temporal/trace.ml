@@ -1,13 +1,47 @@
+(* Immutable after construction: the adjacency index is CSR-packed
+   eagerly in [create], so traces can be shared freely across domains
+   with no synchronisation (there used to be a lazily filled [mutable
+   adjacency] cell here — a data race whenever two domains forced it
+   concurrently). *)
 type t = {
   label : string;
   n_nodes : int;
   t_start : float;
   t_end : float;
   contacts : Contact.t array;
-  mutable adjacency : Contact.t array array option; (* built lazily *)
+  adj_off : int array;        (* length n_nodes + 1; row u = [off.(u), off.(u+1)) *)
+  adj_pack : Contact.t array; (* length 2 * n_contacts; rows sorted by start *)
 }
 
 module Err = Omn_robust.Err
+
+(* CSR construction by counting sort. [contacts] is already sorted by
+   start time and every node id validated, so appending in array order
+   leaves each row sorted too. *)
+let build_index ~n_nodes contacts =
+  let m = Array.length contacts in
+  let off = Array.make (n_nodes + 1) 0 in
+  Array.iter
+    (fun (c : Contact.t) ->
+      off.(c.a + 1) <- off.(c.a + 1) + 1;
+      off.(c.b + 1) <- off.(c.b + 1) + 1)
+    contacts;
+  for u = 1 to n_nodes do
+    off.(u) <- off.(u) + off.(u - 1)
+  done;
+  if m = 0 then (off, [||])
+  else begin
+    let pack = Array.make (2 * m) contacts.(0) in
+    let cursor = Array.sub off 0 n_nodes in
+    Array.iter
+      (fun (c : Contact.t) ->
+        pack.(cursor.(c.a)) <- c;
+        cursor.(c.a) <- cursor.(c.a) + 1;
+        pack.(cursor.(c.b)) <- c;
+        cursor.(c.b) <- cursor.(c.b) + 1)
+      contacts;
+    (off, pack)
+  end
 
 let create_result ?(name = "trace") ~n_nodes ~t_start ~t_end contact_list =
   let exception Bad of Err.t in
@@ -19,11 +53,16 @@ let create_result ?(name = "trace") ~n_nodes ~t_start ~t_end contact_list =
     let contacts = Array.of_list contact_list in
     Array.iter
       (fun (c : Contact.t) ->
-        if c.b >= n_nodes then
+        (* Both endpoints, both bounds: [Contact.make] canonicalises to
+           [0 <= a < b], but contacts can reach us through [Marshal] or
+           other private-constructor bypasses, and the index construction
+           below would crash on them instead of reporting a typed error. *)
+        if c.a < 0 || c.a >= n_nodes || c.b < 0 || c.b >= n_nodes then
           raise
             (Bad
                (Err.errf Err.Range "Trace.create: node id %d out of range (n_nodes = %d)"
-                  c.b n_nodes));
+                  (if c.a < 0 || c.a >= n_nodes then c.a else c.b)
+                  n_nodes));
         if c.t_beg < t_start || c.t_end > t_end then
           raise
             (Bad
@@ -32,7 +71,8 @@ let create_result ?(name = "trace") ~n_nodes ~t_start ~t_end contact_list =
                   t_start t_end)))
       contacts;
     Array.sort Contact.compare_by_start contacts;
-    Ok { label = name; n_nodes; t_start; t_end; contacts; adjacency = None }
+    let adj_off, adj_pack = build_index ~n_nodes contacts in
+    Ok { label = name; n_nodes; t_start; t_end; contacts; adj_off; adj_pack }
   with Bad e -> Error e
 
 let create ?name ~n_nodes ~t_start ~t_end contact_list =
@@ -41,7 +81,7 @@ let create ?name ~n_nodes ~t_start ~t_end contact_list =
   | Error e -> invalid_arg (Err.to_string e)
 
 let name t = t.label
-let with_name t label = { t with label; adjacency = None }
+let with_name t label = { t with label }
 let n_nodes t = t.n_nodes
 let t_start t = t.t_start
 let t_end t = t.t_end
@@ -52,37 +92,38 @@ let contact t i = t.contacts.(i)
 let iter f t = Array.iter f t.contacts
 let fold f init t = Array.fold_left f init t.contacts
 
-let build_adjacency t =
-  (* Walk the sorted contacts right-to-left so per-node lists come out in
-     ascending start order. *)
-  let lists = Array.make t.n_nodes [] in
-  for i = Array.length t.contacts - 1 downto 0 do
-    let c = t.contacts.(i) in
-    lists.(c.a) <- c :: lists.(c.a);
-    lists.(c.b) <- c :: lists.(c.b)
-  done;
-  Array.map Array.of_list lists
+let check_node t u fn =
+  if u < 0 || u >= t.n_nodes then invalid_arg ("Trace." ^ fn ^ ": bad node")
 
-let adjacency t =
-  match t.adjacency with
-  | Some adj -> adj
-  | None ->
-    let adj = build_adjacency t in
-    t.adjacency <- Some adj;
-    adj
+let degree t u =
+  check_node t u "degree";
+  t.adj_off.(u + 1) - t.adj_off.(u)
 
 let node_contacts t u =
-  if u < 0 || u >= t.n_nodes then invalid_arg "Trace.node_contacts: bad node";
-  (adjacency t).(u)
+  check_node t u "node_contacts";
+  Array.sub t.adj_pack t.adj_off.(u) (t.adj_off.(u + 1) - t.adj_off.(u))
+
+let iter_node_contacts f t u =
+  check_node t u "iter_node_contacts";
+  for i = t.adj_off.(u) to t.adj_off.(u + 1) - 1 do
+    f t.adj_pack.(i)
+  done
+
+let fold_node_contacts f init t u =
+  check_node t u "fold_node_contacts";
+  let acc = ref init in
+  for i = t.adj_off.(u) to t.adj_off.(u + 1) - 1 do
+    acc := f !acc t.adj_pack.(i)
+  done;
+  !acc
 
 let pair_contacts t u v =
   let u, v = if u < v then (u, v) else (v, u) in
-  let among = node_contacts t u in
-  Array.fold_right
-    (fun (c : Contact.t) acc -> if c.a = u && c.b = v then c :: acc else acc)
-    among []
-
-let degree t u = Array.length (node_contacts t u)
+  check_node t v "pair_contacts";
+  List.rev
+    (fold_node_contacts
+       (fun acc (c : Contact.t) -> if c.a = u && c.b = v then c :: acc else acc)
+       [] t u)
 
 let contact_rate t =
   let duration = span t in
@@ -90,13 +131,11 @@ let contact_rate t =
   else 2. *. float_of_int (n_contacts t) /. (float_of_int t.n_nodes *. duration)
 
 let active_nodes t =
-  let seen = Array.make t.n_nodes false in
-  Array.iter
-    (fun (c : Contact.t) ->
-      seen.(c.a) <- true;
-      seen.(c.b) <- true)
-    t.contacts;
-  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen
+  let count = ref 0 in
+  for u = 0 to t.n_nodes - 1 do
+    if t.adj_off.(u + 1) > t.adj_off.(u) then incr count
+  done;
+  !count
 
 let pp_summary fmt t =
   Format.fprintf fmt "@[<h>%s: %d nodes, %d contacts, window [%g; %g] (%s), rate %.3g/node/day@]"

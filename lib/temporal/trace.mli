@@ -3,14 +3,22 @@
     A trace is a static node set [0 .. n_nodes - 1], an observation window
     [(t_start, t_end)], and a multiset of {!Contact.t} within the window,
     stored sorted by start time. This is the input type of every path
-    computation and every experiment in this repository. *)
+    computation and every experiment in this repository.
+
+    A trace is immutable: the per-node adjacency index is built eagerly
+    at creation (CSR-packed offset + contact arrays), so a single trace
+    value can be shared by any number of domains with no synchronisation
+    and no forcing protocol. *)
 
 type t
 
 val create : ?name:string -> n_nodes:int -> t_start:float -> t_end:float -> Contact.t list -> t
-(** Validates that every contact fits the window and node range, then
-    sorts. Raises [Invalid_argument] otherwise, or if
-    [t_start > t_end] or [n_nodes < 0]. *)
+(** Validates that every contact fits the window and that {e both}
+    endpoint ids lie in [[0, n_nodes)] (contacts deserialised past the
+    private constructor are caught here, not by a crash in the index
+    build), then sorts and builds the adjacency index. Raises
+    [Invalid_argument] otherwise, or if [t_start > t_end] or
+    [n_nodes < 0]. *)
 
 val create_result :
   ?name:string ->
@@ -44,14 +52,22 @@ val iter : (Contact.t -> unit) -> t -> unit
 val fold : ('acc -> Contact.t -> 'acc) -> 'acc -> t -> 'acc
 
 val node_contacts : t -> Node.t -> Contact.t array
-(** Contacts involving a node, sorted by start time. O(1) after the first
-    call on any node (the adjacency index is built lazily, once). *)
+(** Contacts involving a node, sorted by start time. Returns a fresh
+    array (O(degree) copy out of the CSR index); prefer
+    {!iter_node_contacts} / {!fold_node_contacts} on hot paths. *)
+
+val iter_node_contacts : (Contact.t -> unit) -> t -> Node.t -> unit
+(** Visit a node's contacts in start order, straight off the CSR index —
+    no allocation. *)
+
+val fold_node_contacts : ('acc -> Contact.t -> 'acc) -> 'acc -> t -> Node.t -> 'acc
+(** Fold over a node's contacts in start order, no allocation. *)
 
 val pair_contacts : t -> Node.t -> Node.t -> Contact.t list
 (** Contacts between an unordered pair, sorted by start time. *)
 
 val degree : t -> Node.t -> int
-(** Number of contacts involving the node. *)
+(** Number of contacts involving the node. O(1). *)
 
 val contact_rate : t -> float
 (** Average number of contacts made by a node per unit of time — the λ of

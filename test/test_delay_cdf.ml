@@ -144,6 +144,28 @@ let parallel_matches_sequential =
       && close seq.flood_success_inf par.flood_success_inf
       && seq.max_rounds_used = par.max_rounds_used)
 
+(* Stronger than parallel_matches_sequential: on realistic venue traces
+   the parallel curves must be *bit-identical* (structural equality on
+   every float) to the sequential ones, for several domain counts — the
+   omn_parallel determinism contract. *)
+let venue_trace_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* n = int_range 8 14 in
+    return
+      (let rng = Rng.create seed in
+       let params = Omn_mobility.Venue.conference_params ~rng ~n ~days:0.1 in
+       Omn_mobility.Venue.generate rng ~n ~name:"venue-qcheck" params))
+
+let parallel_bit_identical =
+  QCheck2.Test.make ~count:5 ~name:"compute ~domains:{2,4} bit-identical to sequential"
+    venue_trace_gen (fun trace ->
+      let grid = [| 60.; 600.; 3600.; 14400. |] in
+      let seq = Delay_cdf.compute ~max_hops:4 ~grid trace in
+      List.for_all
+        (fun domains -> Delay_cdf.compute ~max_hops:4 ~grid ~domains trace = seq)
+        [ 2; 4 ])
+
 let merge_distributes () =
   let grid = [| 1.; 5.; 20. |] in
   let snapshot ld ea = [| Omn_core.Ld_ea.make ~ld ~ea |] in
@@ -169,5 +191,5 @@ let suite =
   @ List.map QCheck_alcotest.to_alcotest
       [
         accumulator_matches_measures; success_monotone_in_budget; curves_coherent;
-        compute_matches_journeys; parallel_matches_sequential;
+        compute_matches_journeys; parallel_matches_sequential; parallel_bit_identical;
       ]

@@ -188,6 +188,20 @@ let evaluate_shapes () =
     Alcotest.(check int) "messages recorded" 50 epidemic.messages
   | _ -> Alcotest.fail "expected two stats"
 
+(* omn_parallel determinism contract: evaluate under 2 domains must
+   produce exactly the sequential stats (same RNG workload, per-message
+   outcomes folded in message order). *)
+let evaluate_parallel_bit_identical () =
+  let trace = Util.random_trace (Rng.create 78) ~n:8 ~m:60 ~horizon:100 in
+  let protocols = [ Protocol.Epidemic { ttl = Some 3 }; Protocol.Two_hop; Protocol.Direct ] in
+  let eval ?pool ?domains () =
+    Sim.evaluate ?pool ?domains (Rng.create 4) trace ~protocols ~messages:40 ~deadline:60.
+  in
+  let seq = eval () in
+  Alcotest.(check bool) "~domains:2 bit-identical" true (eval ~domains:2 () = seq);
+  Omn_parallel.Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check bool) "shared pool bit-identical" true (eval ~pool () = seq))
+
 let suite =
   [
     Alcotest.test_case "direct only src->dst" `Quick direct_only_src_dst;
@@ -198,6 +212,7 @@ let suite =
       last_encounter_uses_history;
     Alcotest.test_case "input validation" `Quick validation;
     Alcotest.test_case "evaluate aggregates" `Quick evaluate_shapes;
+    Alcotest.test_case "parallel evaluate bit-identical" `Quick evaluate_parallel_bit_identical;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "omnet-diameter"
     [
       ("stats", Test_stats.suite);
+      ("parallel", Test_parallel.suite);
       ("temporal", Test_temporal.suite);
       ("transform", Test_transform.suite);
       ("frontier", Test_frontier.suite);

@@ -1,0 +1,135 @@
+(* The omn_parallel pool and chunking helpers: determinism (results in
+   input order regardless of domain count), exception propagation, pool
+   reuse, and the tail-recursion guarantee of Chunk.split_at — the old
+   non-tail split_at in Delay_cdf overflowed the stack on large
+   checkpoint chunks. *)
+
+module Pool = Omn_parallel.Pool
+module Chunk = Omn_parallel.Chunk
+
+let map_matches_sequential () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check int) "domains" 4 (Pool.domains pool);
+      (* Uneven per-item cost exercises the work-stealing order. *)
+      let xs = Array.init 500 (fun i -> i) in
+      let f x =
+        let acc = ref 0 in
+        for j = 0 to (x mod 17) * 100 do
+          acc := !acc + j
+        done;
+        (x * x) + (!acc * 0) + x
+      in
+      let expected = Array.map f xs in
+      Alcotest.(check (array int)) "map = Array.map" expected (Pool.map pool f xs);
+      (* A pool is reusable: repeated maps on the same workers agree. *)
+      for _ = 1 to 5 do
+        Alcotest.(check (array int)) "reused pool" expected (Pool.map pool f xs)
+      done;
+      Alcotest.(check (array int)) "empty input" [||] (Pool.map pool f [||]);
+      Alcotest.(check (array int)) "singleton" [| f 3 |] (Pool.map pool f [| 3 |]))
+
+let exceptions_propagate () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      (match Pool.map pool (fun x -> if x = 57 then failwith "boom" else x) (Array.init 100 Fun.id) with
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+      | _ -> Alcotest.fail "exception in worker not re-raised on caller");
+      (* The pool survives a failed map. *)
+      Alcotest.(check (array int)) "pool alive after failure" [| 2; 3 |]
+        (Pool.map pool succ [| 1; 2 |]))
+
+let shutdown_idempotent () =
+  let pool = Pool.create ~domains:3 () in
+  Alcotest.(check (array int)) "map before shutdown" [| 2; 3; 4 |]
+    (Pool.map pool succ [| 1; 2; 3 |]);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (match Pool.create ~domains:0 () with
+  | exception Invalid_argument _ -> ()
+  | p ->
+    Pool.shutdown p;
+    Alcotest.fail "domains = 0 accepted")
+
+let map_list_and_reduce () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check (list int)) "map_list" [ 2; 3; 4 ] (Pool.map_list pool succ [ 1; 2; 3 ]);
+      let total =
+        Pool.map_reduce pool ~map:(fun x -> 2 * x) ~reduce:( + ) ~init:0 (Array.init 100 Fun.id)
+      in
+      Alcotest.(check int) "map_reduce" 9900 total)
+
+let run_dispatch () =
+  let xs = Array.init 50 (fun i -> i) in
+  let f x = (3 * x) + 1 in
+  let expected = Array.map f xs in
+  Alcotest.(check (array int)) "run sequential" expected (Pool.run f xs);
+  Alcotest.(check (array int)) "run ~domains:2" expected (Pool.run ~domains:2 f xs);
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.(check (array int)) "run ~pool" expected (Pool.run ~pool f xs))
+
+let spec_parsing () =
+  Alcotest.(check bool) "auto" true (Pool.spec_of_string "auto" = Some Pool.Auto);
+  Alcotest.(check bool) "4" true (Pool.spec_of_string "4" = Some (Pool.Fixed 4));
+  Alcotest.(check bool) "0 rejected" true (Pool.spec_of_string "0" = None);
+  Alcotest.(check bool) "-2 rejected" true (Pool.spec_of_string "-2" = None);
+  Alcotest.(check bool) "garbage rejected" true (Pool.spec_of_string "fast" = None);
+  Alcotest.(check int) "resolve fixed" 3 (Pool.resolve (Pool.Fixed 3));
+  Alcotest.(check bool) "resolve auto >= 1" true (Pool.resolve Pool.Auto >= 1);
+  Alcotest.(check string) "to_string auto" "auto" (Pool.spec_to_string Pool.Auto);
+  Alcotest.(check string) "to_string fixed" "7" (Pool.spec_to_string (Pool.Fixed 7));
+  match Pool.resolve (Pool.Fixed 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Fixed 0 resolved"
+
+(* Regression: the old Delay_cdf split_at recursed once per element and
+   blew the stack around a few hundred thousand elements. *)
+let split_at_million () =
+  let m = 1_000_000 in
+  let xs = List.init m Fun.id in
+  let prefix, rest = Chunk.split_at (m - 1) xs in
+  Alcotest.(check int) "prefix length" (m - 1) (List.length prefix);
+  Alcotest.(check (list int)) "rest" [ m - 1 ] rest;
+  Alcotest.(check int) "prefix head" 0 (List.hd prefix);
+  let all, none = Chunk.split_at (2 * m) xs in
+  Alcotest.(check int) "over-length prefix" m (List.length all);
+  Alcotest.(check (list int)) "over-length rest" [] none;
+  Alcotest.(check int) "drop length" 1 (List.length (Chunk.drop (m - 1) xs));
+  match Chunk.split_at (-1) xs with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative count accepted"
+
+let chunks_and_ranges () =
+  Alcotest.(check (list (list int))) "chunks"
+    [ [ 1; 2; 3 ]; [ 4; 5; 6 ]; [ 7; 8 ] ]
+    (Chunk.chunks ~size:3 [ 1; 2; 3; 4; 5; 6; 7; 8 ]);
+  Alcotest.(check (list (list int))) "chunks empty" [] (Chunk.chunks ~size:4 []);
+  (match Chunk.chunks ~size:0 [ 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "size 0 accepted");
+  let check_cover ~n ~pieces =
+    let spans = Chunk.ranges ~n ~pieces in
+    let covered = ref 0 in
+    Array.iter
+      (fun (start, len) ->
+        Alcotest.(check int) "contiguous" !covered start;
+        Alcotest.(check bool) "non-empty span" true (len > 0);
+        covered := !covered + len)
+      spans;
+    Alcotest.(check int) "covers 0..n-1" n !covered;
+    Alcotest.(check bool) "at most pieces" true (Array.length spans <= pieces)
+  in
+  check_cover ~n:10 ~pieces:3;
+  check_cover ~n:3 ~pieces:8;
+  check_cover ~n:16 ~pieces:4;
+  Alcotest.(check int) "n = 0" 0 (Array.length (Chunk.ranges ~n:0 ~pieces:4))
+
+let suite =
+  [
+    Alcotest.test_case "map = Array.map, order kept, pool reusable" `Quick map_matches_sequential;
+    Alcotest.test_case "worker exceptions re-raised on caller" `Quick exceptions_propagate;
+    Alcotest.test_case "shutdown idempotent; bad sizes rejected" `Quick shutdown_idempotent;
+    Alcotest.test_case "map_list and map_reduce" `Quick map_list_and_reduce;
+    Alcotest.test_case "run dispatches on pool/domains" `Quick run_dispatch;
+    Alcotest.test_case "--domains spec parsing" `Quick spec_parsing;
+    Alcotest.test_case "split_at is tail-recursive (1M elements)" `Quick split_at_million;
+    Alcotest.test_case "chunks and ranges partition correctly" `Quick chunks_and_ranges;
+  ]

@@ -251,6 +251,37 @@ let phase_hop_budget_binds () =
   let loose = Phase.success_probability rng params ~case:Theory.Short ~tau ~gamma:1. ~runs:60 in
   Alcotest.(check bool) "hop budget reduces success" true (tight <= loose)
 
+(* omn_parallel determinism contract: every Monte-Carlo estimator must
+   be bit-identical under any domain count — RNG streams are pre-split
+   sequentially and per-run results reduce in run order. *)
+let estimators_parallel_bit_identical () =
+  let params = { Discrete.n = 40; lambda = 0.4 } in
+  let seq f = f ?pool:None ?domains:None in
+  let par f = f ?pool:None ?domains:(Some 2) in
+  let phase ?pool ?domains () =
+    Phase.success_probability ?pool ?domains (Rng.create 21) params ~case:Theory.Short ~tau:1.5
+      ~gamma:0.5 ~runs:24
+  in
+  Alcotest.(check bool) "success_probability" true (seq phase () = par phase ());
+  let curve ?pool ?domains () =
+    Phase.transition_curve ?pool ?domains (Rng.create 22) params ~case:Theory.Long ~gamma:0.5
+      ~taus:[| 0.5; 1.5 |] ~runs:12
+  in
+  Alcotest.(check bool) "transition_curve" true (seq curve () = par curve ());
+  let count ?pool ?domains () =
+    Path_count.mean_count ?pool ?domains (Rng.create 23) params ~case:Theory.Short ~tau:1.
+      ~gamma:0.8 ~runs:16
+  in
+  Alcotest.(check bool) "mean_count" true (seq count () = par count ());
+  let cparams = { Continuous.n = 12; lambda = 0.3; horizon = 20. } in
+  let delay ?pool ?domains () =
+    Continuous.mean_delay_estimate ?pool ?domains (Rng.create 24) cparams ~runs:16
+  in
+  Alcotest.(check bool) "mean_delay_estimate" true (seq delay () = par delay ());
+  Omn_parallel.Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check bool) "shared pool" true
+        (seq phase () = phase ?pool:(Some pool) ?domains:None ()))
+
 (* Fig. 3 statistical check kept loose: shape, not constants. *)
 let hops_track_theory () =
   let rng = Rng.create 11 in
@@ -281,6 +312,8 @@ let suite =
     Alcotest.test_case "continuous contact volume" `Slow continuous_rate;
     Alcotest.test_case "phase transition extremes" `Slow phase_extremes;
     Alcotest.test_case "hop budget binds" `Slow phase_hop_budget_binds;
+    Alcotest.test_case "parallel estimators bit-identical" `Quick
+      estimators_parallel_bit_identical;
     Alcotest.test_case "simulated hops track theory" `Slow hops_track_theory;
   ]
   @ List.map QCheck_alcotest.to_alcotest

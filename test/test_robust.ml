@@ -226,8 +226,8 @@ let with_ckpt_file f =
 
 (* One chunk per call: the zero budget expires right after the first
    chunk, so repeated resumed calls replay an interrupted run. *)
-let step path =
-  Delay_cdf.compute_resumable ~max_hops:4 ~grid ~checkpoint_every:3 ~checkpoint:path
+let step ?(domains = 1) path =
+  Delay_cdf.compute_resumable ~max_hops:4 ~grid ~domains ~checkpoint_every:3 ~checkpoint:path
     ~resume:true ~budget_seconds:0. ckpt_trace
 
 let ckpt_resume_bit_identical () =
@@ -249,6 +249,23 @@ let ckpt_resume_bit_identical () =
       Alcotest.(check bool) "checkpoint removed on completion" false (Sys.file_exists path);
       Alcotest.(check bool) "resumed run bit-identical to uninterrupted" true
         (curves_equal c3 full))
+
+(* The determinism contract must hold through interruption: a run that
+   checkpoints, resumes under 2 domains and completes gives exactly the
+   curves of an uninterrupted sequential run. *)
+let ckpt_resume_parallel_matches_sequential () =
+  let full, _ =
+    get_ok (Delay_cdf.compute_resumable ~max_hops:4 ~grid ~checkpoint_every:3 ckpt_trace)
+  in
+  with_ckpt_file (fun path ->
+      let rec drive n =
+        if n > 10 then Alcotest.fail "resumed run did not converge";
+        let c, p = get_ok (step ~domains:2 path) in
+        if p.Delay_cdf.partial then drive (n + 1) else c
+      in
+      let resumed = drive 0 in
+      Alcotest.(check bool) "parallel resumed run bit-identical to sequential" true
+        (curves_equal resumed full))
 
 let ckpt_rejects_garbage () =
   with_ckpt_file (fun path ->
@@ -313,6 +330,8 @@ let suite =
     Alcotest.test_case "atomic write keeps original" `Quick atomic_write_keeps_original;
     Alcotest.test_case "atomic trace save" `Quick atomic_trace_save;
     Alcotest.test_case "checkpoint resume bit-identical" `Quick ckpt_resume_bit_identical;
+    Alcotest.test_case "parallel resume matches sequential" `Quick
+      ckpt_resume_parallel_matches_sequential;
     Alcotest.test_case "checkpoint rejects garbage" `Quick ckpt_rejects_garbage;
     Alcotest.test_case "checkpoint rejects tampering" `Quick ckpt_rejects_tampering;
     Alcotest.test_case "checkpoint rejects parameter mismatch" `Quick

@@ -48,6 +48,24 @@ let trace_rejects () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "contact outside window accepted"
 
+(* Regression: create_result used to validate only [c.b >= n_nodes]. A
+   forged contact — [Marshal] or [Obj.magic] can bypass the private
+   constructor's canonicalisation — with a negative or out-of-range [a]
+   crashed the adjacency build instead of returning a typed Range
+   error. The tuple below has the same runtime representation as the
+   [Contact.t] record. *)
+let trace_rejects_forged_contact () =
+  let forged a b : Contact.t = Obj.magic (a, b, 0.5, 1.0) in
+  let expect_range label c =
+    match Trace.create_result ~n_nodes:4 ~t_start:0. ~t_end:2. [ c ] with
+    | Error (e : Omn_robust.Err.t) ->
+      Alcotest.(check bool) (label ^ ": typed Range error") true (e.code = Omn_robust.Err.Range)
+    | Ok _ -> Alcotest.failf "%s: forged contact accepted" label
+  in
+  expect_range "negative a" (forged (-3) 2);
+  expect_range "a out of range" (forged 7 9);
+  expect_range "b out of range" (forged 1 9)
+
 let trace_gen =
   QCheck2.Gen.(
     let* n = int_range 2 8 in
@@ -252,6 +270,7 @@ let suite =
     Alcotest.test_case "point contacts allowed" `Quick contact_point_allowed;
     Alcotest.test_case "interval overlap" `Quick contact_overlaps;
     Alcotest.test_case "trace validation" `Quick trace_rejects;
+    Alcotest.test_case "forged contacts get typed errors" `Quick trace_rejects_forged_contact;
     Alcotest.test_case "contact rate formula" `Quick trace_contact_rate;
     Alcotest.test_case "trace file io" `Quick trace_io_file;
     Alcotest.test_case "headerless files" `Quick trace_io_headerless;
