@@ -4,13 +4,16 @@
      omn gen --preset infocom05 -o trace.omn      synthesise a trace
      omn stats trace.omn                          Table-1-style summary
      omn diameter trace.omn                       (1-eps)-diameter + CDF
+     omn delay-cdf trace.omn --metrics m.json     per-hop curves + metrics snapshot
      omn delivery trace.omn -s 0 -d 5             one pair's delivery fn
      omn transform trace.omn --drop-prob 0.9 -o thinned.omn
      omn corrupt trace.omn --fault nan -o bad.omn fault-injection harness
      omn theory --lambda 0.5                      closed-form results
 
    Exit codes: 0 success; 1 computation error; 2 bad input or usage;
-   124 command-line parse errors (Cmdliner convention). *)
+   124 partial result (--budget-seconds expired before the run
+   finished — the timeout(1) convention) and command-line parse errors
+   (Cmdliner convention). *)
 
 open Cmdliner
 module Err = Omn_robust.Err
@@ -18,10 +21,13 @@ module Repair = Omn_robust.Repair
 module Faultgen = Omn_robust.Faultgen
 
 (* Every subcommand body runs under this wrapper so that failures map
-   to the documented exit codes instead of uncaught backtraces. *)
-let protect f =
+   to the documented exit codes instead of uncaught backtraces.
+   [protect_code] bodies pick their own success code (budgeted runs
+   return 124 for a partial result); [protect] is the common all-done
+   case. *)
+let protect_code f =
   match f () with
-  | () -> 0
+  | code -> code
   | exception Err.Error e ->
     Format.eprintf "omn: %a@." Err.pp e;
     Err.exit_code e.code
@@ -34,6 +40,13 @@ let protect f =
   | exception Failure msg ->
     Format.eprintf "omn: %s@." msg;
     1
+
+let protect f =
+  protect_code (fun () ->
+      f ();
+      0)
+
+let exit_partial = 124
 
 let usage_err fmt = Format.kasprintf (fun msg -> raise (Err.Error (Err.v Err.Usage msg))) fmt
 
@@ -84,9 +97,75 @@ let save_or_print trace = function
     Format.printf "wrote %s (%d contacts)@." path (Omn_temporal.Trace.n_contacts trace)
   | None -> print_string (Omn_temporal.Trace_io.to_string trace)
 
+(* --- observability --- *)
+
+let metrics_arg =
+  let doc =
+    "Enable the metrics registry and write a JSON snapshot (counters, per-domain \
+     gauges, latency histograms, span tree; schema $(b,omn-metrics 1)) to $(docv) when \
+     the command finishes — atomically, even if it fails midway."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc = "Report progress on stderr as work completes (rate-limited; in-place on a tty)." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+(* Enable the registry up front when a snapshot was requested, and emit
+   it on every exit path — a budget-truncated or failed run still leaves
+   a snapshot of the work it did do. *)
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+    Omn_obs.Metrics.set_enabled true;
+    Fun.protect ~finally:(fun () -> Omn_obs.Sink.emit (Omn_obs.Sink.file path)) f
+
+(* A progress bar materialised on the first report (the total is only
+   known once the computation announces it). *)
+let progress_reporter ~enabled label =
+  if not enabled then (None, fun () -> ())
+  else begin
+    let bar = ref None in
+    let report ~done_ ~total =
+      let b =
+        match !bar with
+        | Some b -> b
+        | None ->
+          let b = Omn_obs.Progress.create ~total ~label () in
+          bar := Some b;
+          b
+      in
+      Omn_obs.Progress.set b done_
+    in
+    (Some report, fun () -> Option.iter Omn_obs.Progress.finish !bar)
+  end
+
 (* --- gen --- *)
 
 type preset = P_infocom05 | P_infocom06 | P_hong_kong | P_reality | P_waypoint | P_random
+
+let preset_conv =
+  Arg.enum
+    [
+      ("infocom05", P_infocom05); ("infocom06", P_infocom06); ("hong-kong", P_hong_kong);
+      ("hongkong", P_hong_kong); ("reality-mining", P_reality); ("reality", P_reality);
+      ("waypoint", P_waypoint); ("random", P_random);
+    ]
+
+let preset_trace preset ~seed ~nodes ~lambda ~hours =
+  let rng = Omn_stats.Rng.create seed in
+  match preset with
+  | P_infocom05 -> (Omn_mobility.Presets.infocom05 ~seed ()).trace
+  | P_infocom06 -> (Omn_mobility.Presets.infocom06 ~seed ()).trace
+  | P_hong_kong -> (Omn_mobility.Presets.hong_kong ~seed ()).trace
+  | P_reality -> (Omn_mobility.Presets.reality_mining ~seed ()).trace
+  | P_waypoint ->
+    Omn_mobility.Random_waypoint.generate rng
+      { Omn_mobility.Random_waypoint.default with n = nodes; horizon = hours *. 3600. }
+  | P_random ->
+    Omn_randnet.Continuous.generate rng
+      { n = nodes; lambda = lambda /. 3600.; horizon = hours *. 3600. }
 
 let gen_cmd =
   let preset =
@@ -94,14 +173,6 @@ let gen_cmd =
       "Workload: one of $(b,infocom05), $(b,infocom06), $(b,hong-kong), \
        $(b,reality-mining), $(b,waypoint), $(b,random) (continuous-time random \
        temporal network)."
-    in
-    let preset_conv =
-      Arg.enum
-        [
-          ("infocom05", P_infocom05); ("infocom06", P_infocom06); ("hong-kong", P_hong_kong);
-          ("hongkong", P_hong_kong); ("reality-mining", P_reality); ("reality", P_reality);
-          ("waypoint", P_waypoint); ("random", P_random);
-        ]
     in
     Arg.(value & opt preset_conv P_infocom05 & info [ "preset" ] ~docv:"NAME" ~doc)
   in
@@ -119,21 +190,7 @@ let gen_cmd =
   in
   let run preset seed nodes lambda hours output =
     protect @@ fun () ->
-    let rng = Omn_stats.Rng.create seed in
-    let trace =
-      match preset with
-      | P_infocom05 -> (Omn_mobility.Presets.infocom05 ~seed ()).trace
-      | P_infocom06 -> (Omn_mobility.Presets.infocom06 ~seed ()).trace
-      | P_hong_kong -> (Omn_mobility.Presets.hong_kong ~seed ()).trace
-      | P_reality -> (Omn_mobility.Presets.reality_mining ~seed ()).trace
-      | P_waypoint ->
-        Omn_mobility.Random_waypoint.generate rng
-          { Omn_mobility.Random_waypoint.default with n = nodes; horizon = hours *. 3600. }
-      | P_random ->
-        Omn_randnet.Continuous.generate rng
-          { n = nodes; lambda = lambda /. 3600.; horizon = hours *. 3600. }
-    in
-    save_or_print trace output
+    save_or_print (preset_trace preset ~seed ~nodes ~lambda ~hours) output
   in
   let term = Term.(const run $ preset $ seed_arg $ nodes $ lambda $ hours $ output_arg) in
   Cmd.v (Cmd.info "gen" ~doc:"Synthesise a contact trace") term
@@ -207,10 +264,12 @@ let budget_arg =
   Arg.(value & opt (some float) None & info [ "budget-seconds" ] ~docv:"S" ~doc)
 
 let diameter_cmd =
-  let run path ingest lenient epsilon max_hops domains checkpoint resume every budget =
-    protect @@ fun () ->
+  let run path ingest lenient epsilon max_hops domains checkpoint resume every budget metrics
+      progress =
+    protect_code @@ fun () ->
     if resume && checkpoint = None then usage_err "--resume requires --checkpoint FILE";
     let domains = Omn_parallel.Pool.resolve domains in
+    with_metrics metrics @@ fun () ->
     let trace = load_trace ~policy:ingest ~lenient path in
     let span = Omn_temporal.Trace.span trace in
     let grid =
@@ -235,27 +294,122 @@ let diameter_cmd =
           end)
         result.curves.grid
     in
-    if checkpoint = None && budget = None then
-      print_result (Omn_core.Diameter.measure ~epsilon ~max_hops ~grid ~domains trace)
-    else
-      match
+    if checkpoint = None && budget = None && not progress then begin
+      print_result (Omn_core.Diameter.measure ~epsilon ~max_hops ~grid ~domains trace);
+      0
+    end
+    else begin
+      let report, finish = progress_reporter ~enabled:progress "sources" in
+      let outcome =
         Omn_core.Diameter.measure_resumable ~epsilon ~max_hops ~grid ~domains ?checkpoint
           ~resume ~checkpoint_every:every ?budget_seconds:budget ~clock:Unix.gettimeofday
-          trace
-      with
+          ?report trace
+      in
+      finish ();
+      match outcome with
       | Error e -> raise (Err.Error e)
       | Ok run ->
         if run.partial then
           Format.printf
             "PARTIAL result: budget exhausted after %d of %d source nodes (uniform sample)@."
             run.sources_done run.sources_total;
-        print_result run.result
+        print_result run.result;
+        if run.partial then exit_partial else 0
+    end
   in
   Cmd.v
     (Cmd.info "diameter" ~doc:"Measure the (1-eps)-diameter of a trace")
     Term.(
       const run $ trace_arg $ ingest_arg $ lenient_arg $ epsilon_arg $ max_hops_arg
-      $ domains_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg $ budget_arg)
+      $ domains_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg $ budget_arg
+      $ metrics_arg $ progress_arg)
+
+(* --- delay-cdf --- *)
+
+let delay_cdf_cmd =
+  let trace_pos =
+    let doc = "Input trace file (omit when using $(b,--preset))." in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let preset =
+    let doc = "Synthesise the workload instead of reading a file (same names as `omn gen')." in
+    Arg.(value & opt (some preset_conv) None & info [ "preset" ] ~docv:"NAME" ~doc)
+  in
+  let json_of_curves (c : Omn_core.Delay_cdf.curves) =
+    let open Omn_obs.Json in
+    let farr a = List (Array.to_list (Array.map (fun v -> Float v) a)) in
+    Obj
+      [
+        ("grid", farr c.grid);
+        ("hop_success", List (Array.to_list (Array.map farr c.hop_success)));
+        ("hop_success_inf", farr c.hop_success_inf);
+        ("flood_success", farr c.flood_success);
+        ("flood_success_inf", Float c.flood_success_inf);
+        ("max_rounds_used", Int c.max_rounds_used);
+      ]
+  in
+  let print_curves (c : Omn_core.Delay_cdf.curves) =
+    Format.printf "delay        ";
+    List.iter (fun k -> Format.printf "%7s" (Printf.sprintf "%dh" k)) [ 1; 2; 3; 4 ];
+    Format.printf "   flood@.";
+    Array.iteri
+      (fun i d ->
+        if i mod 12 = 0 then begin
+          Format.printf "%-12s " (Omn_stats.Timefmt.axis_seconds d);
+          List.iter (fun k -> Format.printf "%7.3f" c.hop_success.(k - 1).(i)) [ 1; 2; 3; 4 ];
+          Format.printf "%8.3f@." c.flood_success.(i)
+        end)
+      c.grid;
+    Format.printf "flood success at unlimited delay: %.3f (max fixpoint rounds: %d)@."
+      c.flood_success_inf c.max_rounds_used
+  in
+  let run path preset seed ingest lenient max_hops domains checkpoint resume every budget
+      metrics progress output =
+    protect_code @@ fun () ->
+    if resume && checkpoint = None then usage_err "--resume requires --checkpoint FILE";
+    let domains = Omn_parallel.Pool.resolve domains in
+    with_metrics metrics @@ fun () ->
+    let trace =
+      match (path, preset) with
+      | Some _, Some _ -> usage_err "give either TRACE or --preset, not both"
+      | Some p, None -> load_trace ~policy:ingest ~lenient p
+      | None, Some pr -> preset_trace pr ~seed ~nodes:40 ~lambda:2. ~hours:6.
+      | None, None -> usage_err "need a TRACE file or --preset NAME"
+    in
+    let span = Omn_temporal.Trace.span trace in
+    let grid =
+      Omn_stats.Grid.logarithmic ~lo:(Float.max 1. (span /. 5000.)) ~hi:span ~n:100
+    in
+    let report, finish = progress_reporter ~enabled:progress "sources" in
+    let outcome =
+      Omn_core.Delay_cdf.compute_resumable ~max_hops ~grid ~domains ?checkpoint ~resume
+        ~checkpoint_every:every ?budget_seconds:budget ~clock:Unix.gettimeofday ?report trace
+    in
+    finish ();
+    match outcome with
+    | Error e -> raise (Err.Error e)
+    | Ok (curves, p) ->
+      if p.partial then
+        Format.printf
+          "PARTIAL result: budget exhausted after %d of %d source nodes (uniform sample)@."
+          p.sources_done p.sources_total;
+      (match output with
+      | Some f ->
+        Omn_robust.Atomic_file.write_string f
+          (Omn_obs.Json.to_string ~pretty:true (json_of_curves curves) ^ "\n");
+        Format.printf "wrote %s@." f
+      | None -> print_curves curves);
+      if p.partial then exit_partial else 0
+  in
+  Cmd.v
+    (Cmd.info "delay-cdf"
+       ~doc:
+         "Compute the per-hop-bound delay-CDF curves of a trace (Figs. 9-11 without the \
+          diameter extraction)")
+    Term.(
+      const run $ trace_pos $ preset $ seed_arg $ ingest_arg $ lenient_arg $ max_hops_arg
+      $ domains_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg $ budget_arg
+      $ metrics_arg $ progress_arg $ output_arg)
 
 (* --- delivery --- *)
 
@@ -385,9 +539,10 @@ let forward_cmd =
     Arg.(
       value & opt (some int) None & info [ "ttl" ] ~docv:"K" ~doc:"Epidemic hop TTL to include.")
   in
-  let run path ingest lenient seed messages deadline ttl domains =
+  let run path ingest lenient seed messages deadline ttl domains metrics progress =
     protect @@ fun () ->
     let domains = Omn_parallel.Pool.resolve domains in
+    with_metrics metrics @@ fun () ->
     let trace = load_trace ~policy:ingest ~lenient path in
     let protocols =
       Omn_forwarding.Protocol.
@@ -397,10 +552,12 @@ let forward_cmd =
         ]
       |> List.sort_uniq compare
     in
+    let report, finish = progress_reporter ~enabled:progress "messages" in
     let stats =
-      Omn_forwarding.Sim.evaluate ~domains (Omn_stats.Rng.create seed) trace ~protocols
-        ~messages ~deadline
+      Omn_forwarding.Sim.evaluate ~domains ?progress:report (Omn_stats.Rng.create seed) trace
+        ~protocols ~messages ~deadline
     in
+    finish ();
     Format.printf "%-20s %-10s %-12s %-8s %s@." "protocol" "delivered" "mean delay" "tx/msg"
       "nodes";
     List.iter
@@ -417,7 +574,7 @@ let forward_cmd =
     (Cmd.info "forward" ~doc:"Evaluate forwarding protocols on a trace")
     Term.(
       const run $ trace_arg $ ingest_arg $ lenient_arg $ seed_arg $ messages $ deadline $ ttl
-      $ domains_arg)
+      $ domains_arg $ metrics_arg $ progress_arg)
 
 (* --- theory --- *)
 
@@ -480,6 +637,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            gen_cmd; stats_cmd; diameter_cmd; delivery_cmd; transform_cmd; corrupt_cmd;
-            forward_cmd; theory_cmd; experiment_cmd;
+            gen_cmd; stats_cmd; diameter_cmd; delay_cdf_cmd; delivery_cmd; transform_cmd;
+            corrupt_cmd; forward_cmd; theory_cmd; experiment_cmd;
           ]))

@@ -1,6 +1,12 @@
 module Trace = Omn_temporal.Trace
 module Pool = Omn_parallel.Pool
 module Chunk = Omn_parallel.Chunk
+module Metrics = Omn_obs.Metrics
+
+let m_sources = Metrics.counter "delay_cdf.sources_done"
+let m_pairs = Metrics.counter "delay_cdf.pairs_done"
+let m_chunk_s = Metrics.histogram "delay_cdf.chunk_seconds"
+let m_ckpt_s = Metrics.histogram "delay_cdf.checkpoint_seconds"
 
 type t = {
   grid_ : float array;
@@ -109,6 +115,7 @@ let compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace sources =
   let hop_accs = Array.init max_hops (fun _ -> create ~grid:budget_grid) in
   let flood_acc = create ~grid:budget_grid in
   let max_rounds_used = ref 0 in
+  let n_dest_total = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 is_dest in
   let add_frontiers acc source frontiers =
     Array.iteri
       (fun dest frontier ->
@@ -130,7 +137,9 @@ let compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace sources =
       for k = rounds + 1 to max_hops do
         add_frontiers hop_accs.(k - 1) source frontiers
       done;
-      add_frontiers flood_acc source frontiers)
+      add_frontiers flood_acc source frontiers;
+      Metrics.incr m_sources;
+      Metrics.add m_pairs (n_dest_total - if is_dest.(source) then 1 else 0))
     sources;
   (hop_accs, flood_acc, !max_rounds_used)
 
@@ -154,6 +163,7 @@ let compute ?(max_hops = 10) ?sources ?dests ?grid:(budget_grid = Omn_stats.Grid
     ?pool ?(domains = 1) ?windows trace =
   if max_hops < 1 then invalid_arg "Delay_cdf.compute: max_hops < 1";
   if domains < 1 then invalid_arg "Delay_cdf.compute: domains < 1";
+  Omn_obs.Span.with_ ~name:"delay_cdf.compute" @@ fun () ->
   let windows =
     match windows with
     | None -> [ (Trace.t_start trace, Trace.t_end trace) ]
@@ -259,7 +269,7 @@ let fingerprint ~max_hops ~budget_grid ~is_dest ~windows ~order ~chunk trace =
 
 let compute_resumable ?(max_hops = 10) ?sources ?dests
     ?grid:(budget_grid = Omn_stats.Grid.delay_default) ?pool ?(domains = 1) ?windows ?checkpoint
-    ?(resume = false) ?(checkpoint_every = 8) ?budget_seconds ?(clock = Sys.time) trace =
+    ?(resume = false) ?(checkpoint_every = 8) ?budget_seconds ?(clock = Sys.time) ?report trace =
   try
     if max_hops < 1 then Err.get_exn (Err.error Err.Usage "compute_resumable: max_hops < 1");
     if domains < 1 then Err.get_exn (Err.error Err.Usage "compute_resumable: domains < 1");
@@ -324,18 +334,25 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
       Fun.protect
         ~finally:(fun () -> Option.iter Pool.shutdown owned)
       @@ fun () ->
+      Omn_obs.Span.with_ ~name:"delay_cdf.compute_resumable" @@ fun () ->
       let t0 = clock () in
+      (* Clock reads for chunk/checkpoint latency happen only when
+         metrics are on; the disabled path is timing-free. *)
+      let timed = Metrics.enabled () in
       let done_count = ref done0 and rounds = ref rounds0 in
       let rec loop remaining =
         match remaining with
         | [] -> ()
         | _ ->
           let chunk, rest = Chunk.split_at checkpoint_every remaining in
+          let t_chunk = if timed then Unix.gettimeofday () else 0. in
           accumulate_sources ?pool ~domains ~max_hops ~budget_grid ~is_dest ~windows
             ~into:(hop_accs, flood_acc, rounds) trace chunk;
+          if timed then Metrics.observe m_chunk_s (Unix.gettimeofday () -. t_chunk);
           done_count := !done_count + List.length chunk;
           (match checkpoint with
           | Some path ->
+            let t_ck = if timed then Unix.gettimeofday () else 0. in
             save_checkpoint path
               {
                 snap_fingerprint = fp;
@@ -343,7 +360,11 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
                 snap_hops = hop_accs;
                 snap_flood = flood_acc;
                 snap_rounds = !rounds;
-              }
+              };
+            if timed then Metrics.observe m_ckpt_s (Unix.gettimeofday () -. t_ck)
+          | None -> ());
+          (match report with
+          | Some r -> r ~done_:!done_count ~total
           | None -> ());
           let out_of_budget =
             match budget_seconds with Some b -> clock () -. t0 >= b | None -> false

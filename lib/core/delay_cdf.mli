@@ -110,6 +110,7 @@ val compute_resumable :
   ?checkpoint_every:int ->
   ?budget_seconds:float ->
   ?clock:(unit -> float) ->
+  ?report:(done_:int -> total:int -> unit) ->
   Omn_temporal.Trace.t ->
   (curves * progress, Omn_robust.Err.t) result
 (** Like {!compute} (same parallelism and determinism contract; when no
@@ -131,4 +132,7 @@ val compute_resumable :
       the time base (default [Sys.time], CPU seconds; pass a
       wall-clock for real deadlines).
     - [checkpoint_every]: chunk size in sources (default 8). Part of
-      the fingerprint — resuming requires the same value. *)
+      the fingerprint — resuming requires the same value.
+    - [report]: called after every chunk with the cumulative source
+      count (the CLI's [--progress] hooks in here). Purely
+      observational — it must not mutate the computation's inputs. *)

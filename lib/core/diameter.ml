@@ -42,19 +42,21 @@ let vs_delay ?(epsilon = 0.01) (curves : Delay_cdf.curves) =
     curves.grid
 
 let measure ?(epsilon = 0.01) ?max_hops ?sources ?dests ?grid ?pool ?domains ?windows trace =
+  Omn_obs.Span.with_ ~name:"diameter.measure" @@ fun () ->
   let curves = Delay_cdf.compute ?max_hops ?sources ?dests ?grid ?pool ?domains ?windows trace in
   { diameter = of_curves ~epsilon curves; epsilon; curves }
 
 type run = { result : result; sources_done : int; sources_total : int; partial : bool }
 
 let measure_resumable ?(epsilon = 0.01) ?max_hops ?sources ?dests ?grid ?pool ?domains ?windows
-    ?checkpoint ?resume ?checkpoint_every ?budget_seconds ?clock trace =
+    ?checkpoint ?resume ?checkpoint_every ?budget_seconds ?clock ?report trace =
   if epsilon <= 0. || epsilon >= 1. then
     Omn_robust.Err.error Omn_robust.Err.Usage "Diameter.measure_resumable: epsilon out of (0,1)"
   else
+    Omn_obs.Span.with_ ~name:"diameter.measure_resumable" @@ fun () ->
     match
       Delay_cdf.compute_resumable ?max_hops ?sources ?dests ?grid ?pool ?domains ?windows
-        ?checkpoint ?resume ?checkpoint_every ?budget_seconds ?clock trace
+        ?checkpoint ?resume ?checkpoint_every ?budget_seconds ?clock ?report trace
     with
     | Error e -> Error e
     | Ok (curves, p) ->

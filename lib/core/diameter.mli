@@ -65,9 +65,11 @@ val measure_resumable :
   ?checkpoint_every:int ->
   ?budget_seconds:float ->
   ?clock:(unit -> float) ->
+  ?report:(done_:int -> total:int -> unit) ->
   Omn_temporal.Trace.t ->
   (run, Omn_robust.Err.t) Stdlib.result
 (** {!measure} on top of {!Delay_cdf.compute_resumable}: periodic
     atomic checkpoints, resume after a crash (bit-identical to an
     uninterrupted run), and graceful degradation to a uniformly
-    sampled subset of sources under a time budget. *)
+    sampled subset of sources under a time budget. [report] is
+    forwarded to {!Delay_cdf.compute_resumable}. *)

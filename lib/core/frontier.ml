@@ -4,6 +4,11 @@
 
 type t = { mutable data : Ld_ea.t array; mutable size : int }
 
+(* Cumulative insertion outcomes, process-wide: a point is "kept" when it
+   enters a frontier and "pruned" when domination rejects or evicts it. *)
+let m_kept = Omn_obs.Metrics.counter "frontier.points_kept"
+let m_pruned = Omn_obs.Metrics.counter "frontier.points_pruned"
+
 let create () = { data = [||]; size = 0 }
 let copy t = { data = Array.copy t.data; size = t.size }
 let size t = t.size
@@ -43,7 +48,10 @@ let ensure_capacity t =
 
 let insert t (p : Ld_ea.t) =
   let i = lower_ld t p.ld in
-  if i < t.size && t.data.(i).Ld_ea.ea <= p.ea then false (* dominated (or equal) *)
+  if i < t.size && t.data.(i).Ld_ea.ea <= p.ea then begin
+    Omn_obs.Metrics.incr m_pruned;
+    false (* dominated (or equal) *)
+  end
   else begin
     (* Members dominated by [p] have ld <= p.ld and ea >= p.ea. Those with
        ld < p.ld sit at indices < i; by ea-monotonicity they form the tail
@@ -60,6 +68,8 @@ let insert t (p : Ld_ea.t) =
     let k = if i < t.size && t.data.(i).Ld_ea.ld = p.ld then i + 1 else i in
     (* Replace slots [j, k) by [p]. *)
     let removed = k - j in
+    Omn_obs.Metrics.incr m_kept;
+    if removed > 0 then Omn_obs.Metrics.add m_pruned removed;
     if removed = 0 then begin
       ensure_capacity t;
       Array.blit t.data j t.data (j + 1) (t.size - j);

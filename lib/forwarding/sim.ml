@@ -4,6 +4,8 @@ module Heap = Omn_stats.Heap
 module Rng = Omn_stats.Rng
 module Pool = Omn_parallel.Pool
 
+let m_messages = Omn_obs.Metrics.counter "forward.messages_done"
+
 type outcome = {
   delivered : bool;
   delay : float;
@@ -179,11 +181,14 @@ type stats = {
   mean_nodes_reached : float;
 }
 
-let evaluate ?pool ?(domains = 1) rng trace ~protocols ~messages ~deadline =
+let evaluate ?pool ?(domains = 1) ?progress rng trace ~protocols ~messages ~deadline =
   if messages < 1 then invalid_arg "Sim.evaluate: messages < 1";
   if domains < 1 then invalid_arg "Sim.evaluate: domains < 1";
   let n = Trace.n_nodes trace in
   if n < 2 then invalid_arg "Sim.evaluate: need two nodes";
+  Omn_obs.Span.with_ ~name:"sim.evaluate" @@ fun () ->
+  let total_msgs = messages * List.length protocols in
+  let msgs_done = Atomic.make 0 in
   let t_lo = Trace.t_start trace in
   let t_hi = Float.max t_lo (Trace.t_end trace -. deadline) in
   (* The workload is drawn sequentially up front, so the messages — and
@@ -201,7 +206,13 @@ let evaluate ?pool ?(domains = 1) rng trace ~protocols ~messages ~deadline =
        float sums are bit-identical for every domain count. *)
     let outcomes =
       Pool.run ?pool
-        (fun (source, dest, t0) -> run trace ~protocol ~source ~dest ~t0 ~deadline)
+        (fun (source, dest, t0) ->
+          let o = run trace ~protocol ~source ~dest ~t0 ~deadline in
+          Omn_obs.Metrics.incr m_messages;
+          (match progress with
+          | Some p -> p ~done_:(1 + Atomic.fetch_and_add msgs_done 1) ~total:total_msgs
+          | None -> ());
+          o)
         workload
     in
     let delivered = ref 0 and delay_sum = ref 0. in

@@ -42,6 +42,7 @@ type stats = {
 val evaluate :
   ?pool:Omn_parallel.Pool.t ->
   ?domains:int ->
+  ?progress:(done_:int -> total:int -> unit) ->
   Omn_stats.Rng.t ->
   Omn_temporal.Trace.t ->
   protocols:Protocol.t list ->
@@ -53,4 +54,8 @@ val evaluate :
     under every protocol. The workload is drawn from [rng] up front;
     each message simulation then runs independently on [pool] (or a
     temporary pool of [domains]), with outcomes reduced in message
-    order — the statistics are bit-identical for every domain count. *)
+    order — the statistics are bit-identical for every domain count.
+
+    [progress] is called once per simulated message with the cumulative
+    count over all protocols; it may run on any worker domain, so it
+    must be domain-safe ({!Omn_obs.Progress} is). *)

@@ -1,0 +1,39 @@
+(** Minimal self-contained JSON — no external dependency.
+
+    Just enough of RFC 8259 for metrics snapshots and bench reports:
+    a value type, a printer, and a recursive-descent parser. Non-finite
+    floats have no JSON representation and are printed as [null];
+    integers survive a print/parse round trip as {!Int}, finite floats
+    as {!Float} (printed with ["%.17g"], which round-trips doubles
+    exactly). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion order preserved *)
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty] (default false) indents with two spaces. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error). Numbers without [.], [e] or [E] parse as
+    {!Int}, everything else as {!Float}. *)
+
+(** {1 Accessors} — all total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an {!Obj}. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** {!Int} widens to float. *)
+
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

@@ -1,0 +1,505 @@
+(* Per-domain sharding: a metric handle owns one domain-local-storage
+   key; the first update from a domain materialises that domain's cell
+   and registers it (under the registry lock) in the handle's cell
+   list. Updates then touch only the calling domain's cell — no locks,
+   no false sharing worth caring about — and [snapshot] merges the
+   cells. Cells are never removed: a pool worker's counts stay readable
+   after the pool shuts down. *)
+
+type histo_cell = {
+  hbuckets : int array;
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type span_cell = { mutable sc_count : int; mutable sc_wall : float; mutable sc_cpu : float }
+
+type t = {
+  on : bool Atomic.t;
+  lock : Mutex.t;
+  names : (string, entry) Hashtbl.t;
+  span_cells : (string, span_cell) Hashtbl.t;
+  stack_key : string list ref Domain.DLS.key;
+}
+
+and entry = E_counter of counter | E_gauge of gauge | E_histogram of histogram
+and counter = { c_reg : t; c_cells : (int * int ref) list ref; c_key : int ref Domain.DLS.key }
+and gauge = { g_reg : t; g_cells : (int * float ref) list ref; g_key : float ref Domain.DLS.key }
+
+and histogram = {
+  h_reg : t;
+  h_cells : (int * histo_cell) list ref;
+  h_key : histo_cell Domain.DLS.key;
+}
+
+let create () =
+  {
+    on = Atomic.make false;
+    lock = Mutex.create ();
+    names = Hashtbl.create 32;
+    span_cells = Hashtbl.create 32;
+    stack_key = Domain.DLS.new_key (fun () -> ref []);
+  }
+
+let default = create ()
+let set_enabled ?(reg = default) b = Atomic.set reg.on b
+let enabled ?(reg = default) () = Atomic.get reg.on
+
+let locked reg f =
+  Mutex.lock reg.lock;
+  match f () with
+  | v ->
+    Mutex.unlock reg.lock;
+    v
+  | exception e ->
+    Mutex.unlock reg.lock;
+    raise e
+
+let domain_id () = (Domain.self () :> int)
+
+(* --- registration --- *)
+
+let register reg name mk wrap =
+  locked reg (fun () ->
+      match Hashtbl.find_opt reg.names name with
+      | Some e -> e
+      | None ->
+        let e = wrap (mk ()) in
+        Hashtbl.add reg.names name e;
+        e)
+
+let counter ?(reg = default) name =
+  let mk () =
+    let cells = ref [] in
+    let key =
+      Domain.DLS.new_key (fun () ->
+          let r = ref 0 in
+          locked reg (fun () -> cells := (domain_id (), r) :: !cells);
+          r)
+    in
+    { c_reg = reg; c_cells = cells; c_key = key }
+  in
+  match register reg name mk (fun c -> E_counter c) with
+  | E_counter c -> c
+  | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is registered as another type")
+
+let gauge ?(reg = default) name =
+  let mk () =
+    let cells = ref [] in
+    let key =
+      Domain.DLS.new_key (fun () ->
+          let r = ref 0. in
+          locked reg (fun () -> cells := (domain_id (), r) :: !cells);
+          r)
+    in
+    { g_reg = reg; g_cells = cells; g_key = key }
+  in
+  match register reg name mk (fun g -> E_gauge g) with
+  | E_gauge g -> g
+  | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is registered as another type")
+
+let n_buckets = 64
+let bucket_lo = 1e-9
+let log2 = Float.log 2.
+
+let bucket_of v =
+  if v <= bucket_lo then 0
+  else begin
+    let b = int_of_float (Float.ceil (Float.log (v /. bucket_lo) /. log2)) in
+    if b < 0 then 0 else if b > n_buckets - 1 then n_buckets - 1 else b
+  end
+
+let bucket_le i = if i >= n_buckets - 1 then infinity else bucket_lo *. Float.pow 2. (float_of_int i)
+
+let histogram ?(reg = default) name =
+  let mk () =
+    let cells = ref [] in
+    let key =
+      Domain.DLS.new_key (fun () ->
+          let c =
+            {
+              hbuckets = Array.make n_buckets 0;
+              hcount = 0;
+              hsum = 0.;
+              hmin = infinity;
+              hmax = neg_infinity;
+            }
+          in
+          locked reg (fun () -> cells := (domain_id (), c) :: !cells);
+          c)
+    in
+    { h_reg = reg; h_cells = cells; h_key = key }
+  in
+  match register reg name mk (fun h -> E_histogram h) with
+  | E_histogram h -> h
+  | _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is registered as another type")
+
+(* --- updates: one atomic load when disabled, one DLS access when on --- *)
+
+let add c n =
+  if Atomic.get c.c_reg.on then begin
+    let r = Domain.DLS.get c.c_key in
+    r := !r + n
+  end
+
+let incr c = add c 1
+
+let set g v = if Atomic.get g.g_reg.on then Domain.DLS.get g.g_key := v
+
+let gadd g v =
+  if Atomic.get g.g_reg.on then begin
+    let r = Domain.DLS.get g.g_key in
+    r := !r +. v
+  end
+
+let observe h v =
+  if Atomic.get h.h_reg.on && not (Float.is_nan v) then begin
+    let c = Domain.DLS.get h.h_key in
+    let i = bucket_of v in
+    c.hbuckets.(i) <- c.hbuckets.(i) + 1;
+    c.hcount <- c.hcount + 1;
+    c.hsum <- c.hsum +. v;
+    if v < c.hmin then c.hmin <- v;
+    if v > c.hmax then c.hmax <- v
+  end
+
+(* --- spans --- *)
+
+let span_stack reg = Domain.DLS.get reg.stack_key
+
+let span_record reg ~path ~wall ~cpu =
+  locked reg (fun () ->
+      let cell =
+        match Hashtbl.find_opt reg.span_cells path with
+        | Some c -> c
+        | None ->
+          let c = { sc_count = 0; sc_wall = 0.; sc_cpu = 0. } in
+          Hashtbl.add reg.span_cells path c;
+          c
+      in
+      cell.sc_count <- cell.sc_count + 1;
+      cell.sc_wall <- cell.sc_wall +. wall;
+      cell.sc_cpu <- cell.sc_cpu +. cpu)
+
+(* --- reset --- *)
+
+let reset ?(reg = default) () =
+  locked reg (fun () ->
+      Hashtbl.iter
+        (fun _ entry ->
+          match entry with
+          | E_counter c -> List.iter (fun (_, r) -> r := 0) !(c.c_cells)
+          | E_gauge g -> List.iter (fun (_, r) -> r := 0.) !(g.g_cells)
+          | E_histogram h ->
+            List.iter
+              (fun (_, c) ->
+                Array.fill c.hbuckets 0 n_buckets 0;
+                c.hcount <- 0;
+                c.hsum <- 0.;
+                c.hmin <- infinity;
+                c.hmax <- neg_infinity)
+              !(h.h_cells))
+        reg.names;
+      Hashtbl.reset reg.span_cells)
+
+(* --- snapshots --- *)
+
+type histo_view = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+}
+
+type span_view = { sv_path : string; sv_count : int; sv_wall : float; sv_cpu : float }
+
+type snapshot = {
+  counters : (string * (int * (int * int) list)) list;
+  gauges : (string * (float * (int * float) list)) list;
+  histograms : (string * histo_view) list;
+  spans : span_view list;
+}
+
+let by_fst (a, _) (b, _) = compare a b
+
+let snapshot ?(reg = default) () =
+  locked reg (fun () ->
+      let counters = ref [] and gauges = ref [] and histograms = ref [] in
+      Hashtbl.iter
+        (fun name entry ->
+          match entry with
+          | E_counter c ->
+            let cells = List.sort by_fst (List.map (fun (d, r) -> (d, !r)) !(c.c_cells)) in
+            let total = List.fold_left (fun acc (_, v) -> acc + v) 0 cells in
+            counters := (name, (total, cells)) :: !counters
+          | E_gauge g ->
+            let cells = List.sort by_fst (List.map (fun (d, r) -> (d, !r)) !(g.g_cells)) in
+            let total = List.fold_left (fun acc (_, v) -> acc +. v) 0. cells in
+            gauges := (name, (total, cells)) :: !gauges
+          | E_histogram h ->
+            let buckets = Array.make n_buckets 0 in
+            let count = ref 0 and sum = ref 0. in
+            let mn = ref infinity and mx = ref neg_infinity in
+            List.iter
+              (fun (_, c) ->
+                Array.iteri (fun i k -> buckets.(i) <- buckets.(i) + k) c.hbuckets;
+                count := !count + c.hcount;
+                sum := !sum +. c.hsum;
+                if c.hmin < !mn then mn := c.hmin;
+                if c.hmax > !mx then mx := c.hmax)
+              !(h.h_cells);
+            let nonzero = ref [] in
+            for i = n_buckets - 1 downto 0 do
+              if buckets.(i) > 0 then nonzero := (bucket_le i, buckets.(i)) :: !nonzero
+            done;
+            histograms :=
+              (name, { h_count = !count; h_sum = !sum; h_min = !mn; h_max = !mx; h_buckets = !nonzero })
+              :: !histograms)
+        reg.names;
+      let spans =
+        Hashtbl.fold
+          (fun path c acc ->
+            { sv_path = path; sv_count = c.sc_count; sv_wall = c.sc_wall; sv_cpu = c.sc_cpu } :: acc)
+          reg.span_cells []
+        |> List.sort (fun a b -> compare a.sv_path b.sv_path)
+      in
+      {
+        counters = List.sort by_fst !counters;
+        gauges = List.sort by_fst !gauges;
+        histograms = List.sort by_fst !histograms;
+        spans;
+      })
+
+let counter_total snap name = Option.map fst (List.assoc_opt name snap.counters)
+let gauge_total snap name = Option.map fst (List.assoc_opt name snap.gauges)
+let find_histogram snap name = List.assoc_opt name snap.histograms
+let find_span snap path = List.find_opt (fun s -> s.sv_path = path) snap.spans
+
+(* --- JSON --- *)
+
+let schema = "omn-metrics 1"
+
+let per_domain_json conv cells =
+  Json.Obj (List.map (fun (d, v) -> (string_of_int d, conv v)) cells)
+
+(* The span tree: recorded paths are aggregated under their
+   '/'-separated prefixes; an intermediate node that was never recorded
+   itself carries count 0 and is skipped when flattening back. *)
+type tree = { mutable t_count : int; mutable t_wall : float; mutable t_cpu : float; mutable kids : (string * tree) list }
+
+let span_tree_json spans =
+  let root = { t_count = 0; t_wall = 0.; t_cpu = 0.; kids = [] } in
+  let node_of parent name =
+    match List.assoc_opt name parent.kids with
+    | Some n -> n
+    | None ->
+      let n = { t_count = 0; t_wall = 0.; t_cpu = 0.; kids = [] } in
+      parent.kids <- parent.kids @ [ (name, n) ];
+      n
+  in
+  List.iter
+    (fun sv ->
+      let parts = String.split_on_char '/' sv.sv_path in
+      let node = List.fold_left node_of root parts in
+      node.t_count <- sv.sv_count;
+      node.t_wall <- sv.sv_wall;
+      node.t_cpu <- sv.sv_cpu)
+    spans;
+  let rec to_json node =
+    let children =
+      match node.kids with
+      | [] -> []
+      | kids -> [ ("children", Json.Obj (List.map (fun (k, n) -> (k, to_json n)) kids)) ]
+    in
+    Json.Obj
+      ([
+         ("count", Json.Int node.t_count);
+         ("wall_s", Json.Float node.t_wall);
+         ("cpu_s", Json.Float node.t_cpu);
+       ]
+      @ children)
+  in
+  Json.Obj (List.map (fun (k, n) -> (k, to_json n)) root.kids)
+
+let snapshot_to_json snap =
+  let counters =
+    Json.Obj
+      (List.map
+         (fun (name, (total, cells)) ->
+           ( name,
+             Json.Obj
+               [
+                 ("total", Json.Int total);
+                 ("per_domain", per_domain_json (fun v -> Json.Int v) cells);
+               ] ))
+         snap.counters)
+  in
+  let gauges =
+    Json.Obj
+      (List.map
+         (fun (name, (total, cells)) ->
+           ( name,
+             Json.Obj
+               [
+                 ("total", Json.Float total);
+                 ("per_domain", per_domain_json (fun v -> Json.Float v) cells);
+               ] ))
+         snap.gauges)
+  in
+  let histograms =
+    Json.Obj
+      (List.map
+         (fun (name, h) ->
+           let base = [ ("count", Json.Int h.h_count); ("sum", Json.Float h.h_sum) ] in
+           let range =
+             if h.h_count = 0 then []
+             else [ ("min", Json.Float h.h_min); ("max", Json.Float h.h_max) ]
+           in
+           let buckets =
+             [
+               ( "buckets",
+                 Json.List
+                   (List.map
+                      (fun (le, k) ->
+                        Json.Obj
+                          [
+                            ( "le",
+                              if le = infinity then Json.String "inf" else Json.Float le );
+                            ("n", Json.Int k);
+                          ])
+                      h.h_buckets) );
+             ]
+           in
+           (name, Json.Obj (base @ range @ buckets)))
+         snap.histograms)
+  in
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("counters", counters);
+      ("gauges", gauges);
+      ("histograms", histograms);
+      ("spans", span_tree_json snap.spans);
+    ]
+
+let snapshot_of_json json =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let shape what = Error ("metrics snapshot: bad " ^ what) in
+  let field name conv what j =
+    match Option.bind (Json.member name j) conv with Some v -> Ok v | None -> shape what
+  in
+  let per_domain conv what j =
+    match Json.member "per_domain" j with
+    | Some (Json.Obj fields) ->
+      let rec go acc = function
+        | [] -> Ok (List.sort by_fst (List.rev acc))
+        | (d, v) :: rest -> (
+          match (int_of_string_opt d, conv v) with
+          | Some d, Some v -> go ((d, v) :: acc) rest
+          | _ -> shape what)
+      in
+      go [] fields
+    | _ -> shape what
+  in
+  match json with
+  | Json.Obj _ -> (
+    (match Json.member "schema" json with
+    | Some (Json.String s) when s = schema -> Ok ()
+    | _ -> shape "schema")
+    |> fun schema_ok ->
+    let* () = schema_ok in
+    let obj_field name =
+      match Json.member name json with Some (Json.Obj o) -> Ok o | _ -> shape name
+    in
+    let* counter_fields = obj_field "counters" in
+    let* counters =
+      List.fold_left
+        (fun acc (name, j) ->
+          let* acc = acc in
+          let* total = field "total" Json.to_int "counter total" j in
+          let* cells = per_domain Json.to_int "counter per_domain" j in
+          Ok ((name, (total, cells)) :: acc))
+        (Ok []) counter_fields
+    in
+    let* gauge_fields = obj_field "gauges" in
+    let* gauges =
+      List.fold_left
+        (fun acc (name, j) ->
+          let* acc = acc in
+          let* total = field "total" Json.to_float "gauge total" j in
+          let* cells = per_domain Json.to_float "gauge per_domain" j in
+          Ok ((name, (total, cells)) :: acc))
+        (Ok []) gauge_fields
+    in
+    let* histo_fields = obj_field "histograms" in
+    let* histograms =
+      List.fold_left
+        (fun acc (name, j) ->
+          let* acc = acc in
+          let* count = field "count" Json.to_int "histogram count" j in
+          let* sum = field "sum" Json.to_float "histogram sum" j in
+          let min_ =
+            Option.value (Option.bind (Json.member "min" j) Json.to_float) ~default:infinity
+          in
+          let max_ =
+            Option.value
+              (Option.bind (Json.member "max" j) Json.to_float)
+              ~default:neg_infinity
+          in
+          let* buckets =
+            match Json.member "buckets" j with
+            | Some (Json.List items) ->
+              List.fold_left
+                (fun acc item ->
+                  let* acc = acc in
+                  let le =
+                    match Json.member "le" item with
+                    | Some (Json.String "inf") -> Some infinity
+                    | Some j -> Json.to_float j
+                    | None -> None
+                  in
+                  match (le, Option.bind (Json.member "n" item) Json.to_int) with
+                  | Some le, Some n -> Ok ((le, n) :: acc)
+                  | _ -> shape "histogram bucket")
+                (Ok []) items
+              |> fun r ->
+              let* items = r in
+              Ok (List.rev items)
+            | _ -> shape "histogram buckets"
+          in
+          Ok
+            ((name, { h_count = count; h_sum = sum; h_min = min_; h_max = max_; h_buckets = buckets })
+            :: acc))
+        (Ok []) histo_fields
+    in
+    let* span_fields = obj_field "spans" in
+    let rec walk_spans prefix fields acc =
+      List.fold_left
+        (fun acc (name, j) ->
+          let* acc = acc in
+          let path = match prefix with "" -> name | p -> p ^ "/" ^ name in
+          let* count = field "count" Json.to_int "span count" j in
+          let* wall = field "wall_s" Json.to_float "span wall" j in
+          let* cpu = field "cpu_s" Json.to_float "span cpu" j in
+          let acc =
+            if count = 0 then acc (* synthesised intermediate node *)
+            else { sv_path = path; sv_count = count; sv_wall = wall; sv_cpu = cpu } :: acc
+          in
+          match Json.member "children" j with
+          | Some (Json.Obj kids) -> walk_spans path kids (Ok acc)
+          | Some _ -> shape "span children"
+          | None -> Ok acc)
+        acc fields
+    in
+    let* spans = walk_spans "" span_fields (Ok []) in
+    Ok
+      {
+        counters = List.sort by_fst (List.rev counters);
+        gauges = List.sort by_fst (List.rev gauges);
+        histograms = List.sort by_fst (List.rev histograms);
+        spans = List.sort (fun a b -> compare a.sv_path b.sv_path) spans;
+      })
+  | _ -> shape "top-level object"

@@ -1,0 +1,126 @@
+(** Process-local metrics registry, safe under OCaml domains.
+
+    Counters, gauges and log-bucketed histograms for the frontier
+    pipeline. Every metric is sharded per domain: an update touches only
+    a cell owned by the calling domain (reached through domain-local
+    storage, no locks, no contention), and the shards are merged when a
+    {!snapshot} is read. A snapshot therefore also exposes the
+    per-domain breakdown — e.g. how pool busy time split across
+    workers.
+
+    A registry starts {e disabled}: every update is a single atomic
+    load and a branch (a few nanoseconds), so instrumentation can stay
+    in the hot paths permanently. Enabling ({!set_enabled}) never
+    changes computed results — instrumented code only ever {e adds}
+    observations on the side (see the bit-identity test in
+    [test/test_obs.ml]).
+
+    Reads are deliberately relaxed: a snapshot taken while domains are
+    updating may miss in-flight increments (it never tears a value —
+    cells are word-sized). Take final snapshots after the work
+    completes, as the CLI's [--metrics] does. [reset] also assumes a
+    quiescent registry. *)
+
+type t
+(** A registry. Most code uses the shared {!default} one. *)
+
+val create : unit -> t
+val default : t
+
+val set_enabled : ?reg:t -> bool -> unit
+val enabled : ?reg:t -> unit -> bool
+
+val reset : ?reg:t -> unit -> unit
+(** Zero every cell and drop all spans. Call only while no other domain
+    is updating the registry. Metric registrations survive. *)
+
+(** {1 Counters} — monotonic integers. *)
+
+type counter
+
+val counter : ?reg:t -> string -> counter
+(** Find or register. Raises [Invalid_argument] if the name is already
+    registered as a different metric type. Handles are cheap to keep in
+    module-level bindings (the intended pattern). *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+(** {1 Gauges} — per-domain floats, merged by {e sum}.
+
+    The sharded analogue of "one value per worker": each domain sets or
+    accumulates its own cell and the snapshot reports both the sum and
+    the per-domain values. Use for additive quantities (busy seconds,
+    bytes written); a last-writer-wins global float has no meaningful
+    merge across domains. *)
+
+type gauge
+
+val gauge : ?reg:t -> string -> gauge
+val set : gauge -> float -> unit
+val gadd : gauge -> float -> unit
+
+(** {1 Histograms} — log-bucketed, fixed global bucket scheme.
+
+    64 buckets, geometric with ratio 2 from 1e-9: bucket 0 holds values
+    [<= 1e-9] (including zero and negatives), bucket [i] holds
+    [(1e-9 * 2^(i-1), 1e-9 * 2^i]], the last bucket everything above.
+    The scheme is process-wide so shards and snapshots merge
+    bucket-by-bucket. NaN observations are ignored. *)
+
+type histogram
+
+val histogram : ?reg:t -> string -> histogram
+val observe : histogram -> float -> unit
+
+val bucket_le : int -> float
+(** Inclusive upper bound of bucket [i]; [infinity] for the last. *)
+
+(** {1 Spans} — aggregated by path; recorded via {!Span.with_}. *)
+
+val span_record : t -> path:string -> wall:float -> cpu:float -> unit
+(** Add one completed span occurrence to the path's aggregate. Paths
+    use ['/'] as the nesting separator, so avoid it in span names. *)
+
+val span_stack : t -> string list ref
+(** The calling domain's span-nesting stack (innermost first, each
+    entry a full path). Owned by {!Span}; exposed for it only. *)
+
+(** {1 Snapshots} *)
+
+type histo_view = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** [infinity] when empty *)
+  h_max : float;  (** [neg_infinity] when empty *)
+  h_buckets : (float * int) list;
+      (** (inclusive upper bound, count), non-empty buckets only,
+          ascending *)
+}
+
+type span_view = { sv_path : string; sv_count : int; sv_wall : float; sv_cpu : float }
+
+type snapshot = {
+  counters : (string * (int * (int * int) list)) list;
+      (** name -> (merged total, per-domain (domain id, value)) *)
+  gauges : (string * (float * (int * float) list)) list;
+  histograms : (string * histo_view) list;
+  spans : span_view list;  (** sorted by path *)
+}
+(** All association lists sorted by name; per-domain lists by domain
+    id — snapshots of equal state are structurally equal. *)
+
+val snapshot : ?reg:t -> unit -> snapshot
+
+val counter_total : snapshot -> string -> int option
+val gauge_total : snapshot -> string -> float option
+val find_histogram : snapshot -> string -> histo_view option
+val find_span : snapshot -> string -> span_view option
+
+(** {1 JSON} — schema ["omn-metrics 1"], see README "Observability". *)
+
+val snapshot_to_json : snapshot -> Json.t
+(** Spans are rendered as a nested tree keyed by span name. *)
+
+val snapshot_of_json : Json.t -> (snapshot, string) result
+(** Inverse of {!snapshot_to_json}: [snapshot_of_json (snapshot_to_json s) = Ok s]. *)

@@ -1,0 +1,69 @@
+type t = {
+  label : string;
+  total : int option;
+  out : out_channel;
+  min_interval : float;
+  tty : bool;
+  mutable count : int;
+  mutable last_print : float;
+  mutable open_line : bool;  (* a \r-style line is on screen *)
+  mutable finished : bool;
+  lock : Mutex.t;  (* updates may arrive from pool worker domains *)
+}
+
+let create ?(out = stderr) ?(min_interval = 0.5) ?total ~label () =
+  let tty =
+    try Unix.isatty (Unix.descr_of_out_channel out) with Unix.Unix_error _ | Sys_error _ -> false
+  in
+  {
+    label;
+    total;
+    out;
+    min_interval;
+    tty;
+    count = 0;
+    last_print = neg_infinity;
+    open_line = false;
+    finished = false;
+    lock = Mutex.create ();
+  }
+
+let render t =
+  match t.total with
+  | Some total when total > 0 ->
+    Printf.sprintf "%s: %d/%d (%.1f%%)" t.label t.count total
+      (100. *. float_of_int t.count /. float_of_int total)
+  | _ -> Printf.sprintf "%s: %d" t.label t.count
+
+let print t ~force =
+  let now = Unix.gettimeofday () in
+  if (force || now -. t.last_print >= t.min_interval) && not t.finished then begin
+    t.last_print <- now;
+    if t.tty then begin
+      Printf.fprintf t.out "\r%s%!" (render t);
+      t.open_line <- true
+    end
+    else Printf.fprintf t.out "%s\n%!" (render t)
+  end
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let set t k =
+  locked t @@ fun () ->
+  t.count <- max t.count k;
+  print t ~force:false
+
+let step ?(n = 1) t =
+  locked t @@ fun () ->
+  t.count <- t.count + n;
+  print t ~force:false
+
+let finish t =
+  locked t @@ fun () ->
+  if not t.finished then begin
+    print t ~force:true;
+    if t.open_line then Printf.fprintf t.out "\n%!";
+    t.finished <- true
+  end

@@ -1,0 +1,20 @@
+(** Pluggable destinations for metrics snapshots.
+
+    The file sink writes the JSON snapshot atomically (temp file +
+    rename, via {!Omn_robust.Atomic_file}), so a crash mid-write never
+    leaves a torn snapshot — the property long budgeted runs rely on
+    when they re-emit metrics after every chunk. *)
+
+type t
+
+val null : t
+val file : string -> t
+(** Atomic JSON write (pretty-printed, trailing newline). *)
+
+val channel : out_channel -> t
+val custom : (Metrics.snapshot -> unit) -> t
+
+val write : t -> Metrics.snapshot -> unit
+
+val emit : ?reg:Metrics.t -> t -> unit
+(** Snapshot the registry and {!write} it. *)

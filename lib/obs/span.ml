@@ -1,0 +1,18 @@
+let with_ ?(reg = Metrics.default) ~name f =
+  if not (Metrics.enabled ~reg ()) then f ()
+  else begin
+    let stack = Metrics.span_stack reg in
+    let path = match !stack with [] -> name | parent :: _ -> parent ^ "/" ^ name in
+    stack := path :: !stack;
+    let w0 = Unix.gettimeofday () in
+    let c0 = Sys.time () in
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with
+        | p :: rest when p == path -> stack := rest
+        | _ -> () (* unbalanced (f tampered with the stack): leave it *));
+        Metrics.span_record reg ~path
+          ~wall:(Unix.gettimeofday () -. w0)
+          ~cpu:(Sys.time () -. c0))
+      f
+  end

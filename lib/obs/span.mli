@@ -1,0 +1,14 @@
+(** Lightweight timing spans.
+
+    [with_ ~name f] runs [f] and records its wall-clock and CPU time
+    into the registry, aggregated per nesting path: spans opened inside
+    [f] (on the same domain) record under ["name/child"]. When the
+    registry is disabled the call is exactly [f ()] — no clock reads,
+    no allocation — so spans can wrap hot drivers unconditionally.
+
+    Nesting is tracked per domain: a span opened on a pool worker is a
+    root there even if the caller holds an open span. Names must not
+    contain ['/'] (the path separator). *)
+
+val with_ : ?reg:Metrics.t -> name:string -> (unit -> 'a) -> 'a
+(** Exceptions from [f] propagate; the span still records. *)

@@ -9,6 +9,16 @@ type t = {
 
 let recommended () = max 1 (Domain.recommended_domain_count ())
 
+(* [tasks_run] counts every item processed through [map]; [tasks_stolen]
+   the subset executed by a helper domain rather than the submitter.
+   [busy_seconds] accumulates per-domain wall time inside the work loop
+   (the snapshot's per-domain breakdown shows the split across workers);
+   [queue_wait_seconds] is submit-to-first-poll latency per helper. *)
+let m_tasks_run = Omn_obs.Metrics.counter "pool.tasks_run"
+let m_tasks_stolen = Omn_obs.Metrics.counter "pool.tasks_stolen"
+let m_busy = Omn_obs.Metrics.gauge "pool.busy_seconds"
+let m_queue_wait = Omn_obs.Metrics.histogram "pool.queue_wait_seconds"
+
 type spec = Auto | Fixed of int
 
 let resolve = function
@@ -97,35 +107,54 @@ let submit pool copies job =
 let map pool f xs =
   let n = Array.length xs in
   if n = 0 then [||]
-  else if pool.domains = 1 || n = 1 then Array.map f xs
+  else if pool.domains = 1 || n = 1 then begin
+    Omn_obs.Metrics.add m_tasks_run n;
+    Array.map f xs
+  end
   else begin
     let results = Array.make n None in
     let error = Atomic.make None in
     let next = Atomic.make 0 in
-    let work () =
+    let work ~stolen () =
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue := false
-        else
+        else begin
+          Omn_obs.Metrics.incr m_tasks_run;
+          if stolen then Omn_obs.Metrics.incr m_tasks_stolen;
           match f xs.(i) with
           | v -> results.(i) <- Some v
           | exception e -> ignore (Atomic.compare_and_set error None (Some e))
+        end
       done
+    in
+    (* Timing reads the clock only when metrics are on, so the disabled
+       path stays exactly the untimed work loop. *)
+    let timed = Omn_obs.Metrics.enabled () in
+    let work ~stolen () =
+      if not timed then work ~stolen ()
+      else begin
+        let t0 = Unix.gettimeofday () in
+        work ~stolen ();
+        Omn_obs.Metrics.gadd m_busy (Unix.gettimeofday () -. t0)
+      end
     in
     let helpers = min (Array.length pool.workers) (n - 1) in
     let pending = ref helpers in
     let fin_lock = Mutex.create () in
     let fin = Condition.create () in
+    let submitted_at = if timed then Unix.gettimeofday () else 0. in
     let helper () =
-      work ();
+      if timed then Omn_obs.Metrics.observe m_queue_wait (Unix.gettimeofday () -. submitted_at);
+      work ~stolen:true ();
       Mutex.lock fin_lock;
       decr pending;
       if !pending = 0 then Condition.signal fin;
       Mutex.unlock fin_lock
     in
     submit pool helpers helper;
-    work ();
+    work ~stolen:false ();
     Mutex.lock fin_lock;
     while !pending > 0 do
       Condition.wait fin fin_lock

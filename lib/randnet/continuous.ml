@@ -2,6 +2,9 @@ module Rng = Omn_stats.Rng
 module Trace = Omn_temporal.Trace
 module Contact = Omn_temporal.Contact
 
+let m_mc_runs = Omn_obs.Metrics.counter "randnet.mc_runs"
+let m_contacts = Omn_obs.Metrics.counter "randnet.contacts_generated"
+
 type params = { n : int; lambda : float; horizon : float }
 
 let check params =
@@ -25,6 +28,7 @@ let generate rng params =
     in
     contacts := Contact.make ~a ~b ~t_beg:t ~t_end:t :: !contacts
   done;
+  Omn_obs.Metrics.add m_contacts count;
   Trace.create ~name:"continuous-random-temporal" ~n_nodes:params.n ~t_start:0.
     ~t_end:params.horizon !contacts
 
@@ -44,6 +48,7 @@ let mean_delay_estimate ?pool ?(domains = 1) rng params ~runs =
   let samples =
     Omn_parallel.Pool.run ?pool ~domains
       (fun stream ->
+        Omn_obs.Metrics.incr m_mc_runs;
         let arrival = flood stream params ~source:0 in
         Float.min arrival.(1) params.horizon)
       streams

@@ -1,6 +1,8 @@
 module Rng = Omn_stats.Rng
 module Pool = Omn_parallel.Pool
 
+let m_mc_runs = Omn_obs.Metrics.counter "randnet.mc_runs"
+
 (* All estimators below pre-split one RNG stream per run, sequentially,
    then fan the runs out over the pool and reduce the per-run results in
    run order — the estimate is bit-identical for every domain count. *)
@@ -24,6 +26,7 @@ let success_probability ?pool ?(domains = 1) rng params ~case ~tau ~gamma ~runs 
   let hits =
     Pool.run ?pool ~domains
       (fun stream ->
+        Omn_obs.Metrics.incr m_mc_runs;
         let reach = Discrete.min_hops_within stream params ~source:0 ~case ~deadline in
         if reach.(1) <= hop_budget then 1 else 0)
       (split_streams rng runs)
@@ -51,6 +54,7 @@ let unconstrained_success ?pool ?(domains = 1) rng params ~case ~tau ~runs =
   let hits =
     Pool.run ?pool ~domains
       (fun stream ->
+        Omn_obs.Metrics.incr m_mc_runs;
         let reach = Discrete.min_hops_within stream params ~source:0 ~case ~deadline in
         if reach.(1) <> max_int then 1 else 0)
       (split_streams rng runs)

@@ -1,6 +1,12 @@
 module Err = Omn_robust.Err
 module Repair = Omn_robust.Repair
 
+(* Cumulative ingestion tallies over every successful parse. *)
+let m_lines = Omn_obs.Metrics.counter "ingest.lines_read"
+let m_kept = Omn_obs.Metrics.counter "ingest.contacts_kept"
+let m_repaired = Omn_obs.Metrics.counter "ingest.lines_repaired"
+let m_dropped = Omn_obs.Metrics.counter "ingest.lines_dropped"
+
 (* --- writing --- *)
 
 let output oc trace =
@@ -234,6 +240,10 @@ let parse_lines ~policy ?file lines =
               (List.rev !events);
         }
       in
+      Omn_obs.Metrics.add m_lines report.Repair.total_lines;
+      Omn_obs.Metrics.add m_kept report.Repair.kept;
+      Omn_obs.Metrics.add m_repaired (Repair.n_repaired report);
+      Omn_obs.Metrics.add m_dropped (Repair.n_dropped report);
       Ok (trace, report)
   with Err.Error e -> Error e
 

@@ -1,12 +1,21 @@
 #!/bin/sh
-# End-to-end smoke test of the robustness layer: fault-injected traces
-# must fail strict ingestion, pass lenient ingestion, and a budgeted
-# checkpointed diameter run must exit 0. Run via `make check`.
+# End-to-end smoke test. Three layers:
+#   1. robustness: fault-injected traces must fail strict ingestion,
+#      pass lenient ingestion with a repair report;
+#   2. budget/resume: a delay-cdf run truncated by --budget-seconds must
+#      exit 124 with a PARTIAL banner, and resuming from its checkpoint
+#      must reproduce the uninterrupted run byte for byte;
+#   3. observability: --metrics must emit a snapshot containing frontier
+#      prune counters, per-domain pool busy time and the span tree.
+# Run via `make check`. CI uploads $SMOKE_METRICS as an artifact.
 set -eu
 
 OMN="${OMN:-_build/default/bin/omn.exe}"
+SMOKE_METRICS="${SMOKE_METRICS:-SMOKE_metrics.json}"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+
+# --- 1. robustness ----------------------------------------------------------
 
 "$OMN" gen --preset random --nodes 12 --hours 2 --seed 7 -o "$tmp/clean.omn" >/dev/null
 
@@ -25,5 +34,57 @@ done
 
 "$OMN" diameter "$tmp/clean.omn" --budget-seconds 5 --checkpoint "$tmp/ck" >/dev/null
 "$OMN" diameter "$tmp/clean.omn" --checkpoint "$tmp/ck" --resume >/dev/null
+
+# --- 2. budget expiry (exit 124) and resume ---------------------------------
+
+# The reference: one uninterrupted run.
+"$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 -o "$tmp/full.json" >/dev/null
+
+# A zero budget must stop after the first chunk with the partial exit code.
+rc=0
+"$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 \
+  --budget-seconds 0 --checkpoint-every 1 --checkpoint "$tmp/cdf.ck" \
+  -o "$tmp/partial.json" >"$tmp/partial.out" 2>&1 || rc=$?
+if [ "$rc" -ne 124 ]; then
+  echo "smoke FAIL: budget-truncated delay-cdf exited $rc, expected 124" >&2
+  exit 1
+fi
+grep -q 'PARTIAL' "$tmp/partial.out" || {
+  echo "smoke FAIL: truncated delay-cdf printed no PARTIAL banner" >&2
+  exit 1
+}
+[ -f "$tmp/cdf.ck" ] || {
+  echo "smoke FAIL: truncated delay-cdf left no checkpoint" >&2
+  exit 1
+}
+
+# Resuming from that checkpoint must complete and agree exactly. The
+# chunk size is part of the checkpoint fingerprint, so it must match.
+"$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 \
+  --checkpoint-every 1 --checkpoint "$tmp/cdf.ck" --resume -o "$tmp/resumed.json" >/dev/null
+cmp -s "$tmp/full.json" "$tmp/resumed.json" || {
+  echo "smoke FAIL: resumed delay-cdf differs from uninterrupted run" >&2
+  exit 1
+}
+if [ -f "$tmp/cdf.ck" ]; then
+  echo "smoke FAIL: checkpoint not removed after successful resume" >&2
+  exit 1
+fi
+
+# --- 3. observability -------------------------------------------------------
+
+"$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 --domains 2 --progress \
+  --metrics "$SMOKE_METRICS" >/dev/null 2>"$tmp/progress.out"
+for key in '"schema": "omn-metrics 1"' 'frontier.points_pruned' 'frontier.points_kept' \
+  'pool.busy_seconds' 'delay_cdf.pairs_done' '"spans"' 'delay_cdf.compute_resumable'; do
+  grep -q "$key" "$SMOKE_METRICS" || {
+    echo "smoke FAIL: metrics snapshot lacks $key" >&2
+    exit 1
+  }
+done
+grep -q 'sources' "$tmp/progress.out" || {
+  echo "smoke FAIL: --progress printed nothing" >&2
+  exit 1
+}
 
 echo "smoke ok"

@@ -17,4 +17,6 @@ let () =
       ("robust", Test_robust.suite);
       ("misc", Test_misc.suite);
       ("experiments", Test_experiments.suite);
+      ("obs", Test_obs.suite);
+      ("differential", Test_differential.suite);
     ]

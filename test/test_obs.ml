@@ -1,0 +1,268 @@
+(* Observability layer: registry semantics, domain merging, spans, JSON
+   round trips — and the contract that instrumentation never perturbs
+   computed results (bit-identity of Delay_cdf with metrics on/off). *)
+
+module Metrics = Omn_obs.Metrics
+module Span = Omn_obs.Span
+module Json = Omn_obs.Json
+module Rng = Omn_stats.Rng
+
+let fresh_enabled () =
+  let reg = Metrics.create () in
+  Metrics.set_enabled ~reg true;
+  reg
+
+(* -- registry basics ----------------------------------------------------- *)
+
+let test_counter_basics () =
+  let reg = fresh_enabled () in
+  let c = Metrics.counter ~reg "jobs" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  let snap = Metrics.snapshot ~reg () in
+  Alcotest.(check (option int)) "total" (Some 5) (Metrics.counter_total snap "jobs");
+  Alcotest.(check (option int)) "absent" None (Metrics.counter_total snap "nope");
+  (* find-or-create: a second registration shares the metric *)
+  let c' = Metrics.counter ~reg "jobs" in
+  Metrics.incr c';
+  let snap = Metrics.snapshot ~reg () in
+  Alcotest.(check (option int)) "shared handle" (Some 6) (Metrics.counter_total snap "jobs")
+
+let test_kind_mismatch () =
+  let reg = fresh_enabled () in
+  let _ = Metrics.counter ~reg "x" in
+  Alcotest.check_raises "counter-vs-gauge"
+    (Invalid_argument "Metrics.gauge: x is registered as another type") (fun () ->
+      ignore (Metrics.gauge ~reg "x"))
+
+let test_disabled_noop () =
+  let reg = Metrics.create () in
+  (* registries start disabled *)
+  Alcotest.(check bool) "starts disabled" false (Metrics.enabled ~reg ());
+  let c = Metrics.counter ~reg "c" in
+  let g = Metrics.gauge ~reg "g" in
+  let h = Metrics.histogram ~reg "h" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Metrics.gadd g 3.0;
+  Metrics.set g 7.0;
+  Metrics.observe h 0.5;
+  let v = Span.with_ ~reg ~name:"s" (fun () -> 42) in
+  Alcotest.(check int) "span returns value" 42 v;
+  let snap = Metrics.snapshot ~reg () in
+  Alcotest.(check (option int)) "counter untouched" (Some 0) (Metrics.counter_total snap "c");
+  Util.check_float "gauge untouched" 0. (Option.get (Metrics.gauge_total snap "g"));
+  let hv = Option.get (Metrics.find_histogram snap "h") in
+  Alcotest.(check int) "histogram untouched" 0 hv.Metrics.h_count;
+  Alcotest.(check bool) "no spans" true (snap.Metrics.spans = [])
+
+let test_reset () =
+  let reg = fresh_enabled () in
+  let c = Metrics.counter ~reg "c" in
+  Metrics.add c 9;
+  ignore (Span.with_ ~reg ~name:"s" (fun () -> ()));
+  Metrics.reset ~reg ();
+  let snap = Metrics.snapshot ~reg () in
+  Alcotest.(check (option int)) "counter zeroed, still registered" (Some 0)
+    (Metrics.counter_total snap "c");
+  Alcotest.(check bool) "spans dropped" true (snap.Metrics.spans = [])
+
+(* -- histograms ---------------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  (* bucket bounds: geometric, ratio 2, from 1e-9; last is infinity *)
+  Util.check_float "bucket 0" 1e-9 (Metrics.bucket_le 0);
+  Util.check_float "bucket 1" 2e-9 (Metrics.bucket_le 1);
+  Alcotest.(check bool) "last bucket infinite" true (Metrics.bucket_le 63 = infinity);
+  for i = 0 to 62 do
+    if not (Metrics.bucket_le i < Metrics.bucket_le (i + 1)) then
+      Alcotest.failf "bucket bounds not increasing at %d" i
+  done;
+  let reg = fresh_enabled () in
+  let h = Metrics.histogram ~reg "lat" in
+  Metrics.observe h 0.;          (* <= 1e-9 -> bucket 0 *)
+  Metrics.observe h (-1.0);      (* negatives also land in bucket 0 *)
+  Metrics.observe h 1.5e-9;      (* (1e-9, 2e-9] -> bucket 1 *)
+  Metrics.observe h 1e30;        (* beyond 1e-9 * 2^62 -> last bucket *)
+  Metrics.observe h nan;         (* ignored *)
+  let snap = Metrics.snapshot ~reg () in
+  let hv = Option.get (Metrics.find_histogram snap "lat") in
+  Alcotest.(check int) "count (nan dropped)" 4 hv.Metrics.h_count;
+  Util.check_float "min" (-1.0) hv.Metrics.h_min;
+  Util.check_float "max" 1e30 hv.Metrics.h_max;
+  let bucket le =
+    match List.assoc_opt le hv.Metrics.h_buckets with Some n -> n | None -> 0
+  in
+  Alcotest.(check int) "bucket 1e-9" 2 (bucket 1e-9);
+  Alcotest.(check int) "bucket 2e-9" 1 (bucket 2e-9);
+  Alcotest.(check int) "overflow bucket" 1 (bucket infinity);
+  (* empty histogram: registered but never observed *)
+  let _ = Metrics.histogram ~reg "empty" in
+  let snap = Metrics.snapshot ~reg () in
+  let ev = Option.get (Metrics.find_histogram snap "empty") in
+  Alcotest.(check int) "empty count" 0 ev.Metrics.h_count;
+  Alcotest.(check bool) "empty min" true (ev.Metrics.h_min = infinity);
+  Alcotest.(check bool) "empty max" true (ev.Metrics.h_max = neg_infinity)
+
+(* -- merging across raw domains ------------------------------------------ *)
+
+let test_merge_across_domains () =
+  let reg = fresh_enabled () in
+  let c = Metrics.counter ~reg "tasks" in
+  let g = Metrics.gauge ~reg "busy" in
+  let h = Metrics.histogram ~reg "wait" in
+  Metrics.add c 5;
+  Metrics.gadd g 1.5;
+  Metrics.observe h 0.25;
+  let worker () =
+    Metrics.add c 3;
+    Metrics.gadd g 2.5;
+    Metrics.observe h 0.5;
+    ignore (Span.with_ ~reg ~name:"worker" (fun () -> 1))
+  in
+  let d1 = Domain.spawn worker in
+  let d2 = Domain.spawn worker in
+  Domain.join d1;
+  Domain.join d2;
+  let snap = Metrics.snapshot ~reg () in
+  Alcotest.(check (option int)) "counter merged" (Some 11) (Metrics.counter_total snap "tasks");
+  (match List.assoc_opt "tasks" snap.Metrics.counters with
+  | None -> Alcotest.fail "counter missing from snapshot"
+  | Some (_, per_domain) ->
+    Alcotest.(check int) "three shards contributed" 3 (List.length per_domain);
+    let ids = List.map fst per_domain in
+    Alcotest.(check bool) "per-domain ids sorted" true (List.sort compare ids = ids);
+    Alcotest.(check int) "per-domain values sum to total" 11
+      (List.fold_left (fun a (_, v) -> a + v) 0 per_domain));
+  Util.check_float "gauge merged by sum" 6.5 (Option.get (Metrics.gauge_total snap "busy"));
+  let hv = Option.get (Metrics.find_histogram snap "wait") in
+  Alcotest.(check int) "histogram count merged" 3 hv.Metrics.h_count;
+  Util.check_float "histogram sum merged" 1.25 hv.Metrics.h_sum;
+  Util.check_float "histogram min" 0.25 hv.Metrics.h_min;
+  Util.check_float "histogram max" 0.5 hv.Metrics.h_max;
+  let sv = Option.get (Metrics.find_span snap "worker") in
+  Alcotest.(check int) "spans from both domains aggregate" 2 sv.Metrics.sv_count
+
+(* -- spans ---------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let reg = fresh_enabled () in
+  let r =
+    Span.with_ ~reg ~name:"outer" (fun () ->
+        let a = Span.with_ ~reg ~name:"inner" (fun () -> 20) in
+        let b = Span.with_ ~reg ~name:"inner" (fun () -> 22) in
+        a + b)
+  in
+  Alcotest.(check int) "nested result" 42 r;
+  let snap = Metrics.snapshot ~reg () in
+  let paths = List.map (fun sv -> sv.Metrics.sv_path) snap.Metrics.spans in
+  Alcotest.(check (list string)) "paths" [ "outer"; "outer/inner" ] paths;
+  let outer = Option.get (Metrics.find_span snap "outer") in
+  let inner = Option.get (Metrics.find_span snap "outer/inner") in
+  Alcotest.(check int) "outer count" 1 outer.Metrics.sv_count;
+  Alcotest.(check int) "inner count" 2 inner.Metrics.sv_count;
+  Alcotest.(check bool) "outer wall >= inner wall" true
+    (outer.Metrics.sv_wall >= inner.Metrics.sv_wall);
+  Alcotest.(check bool) "wall non-negative" true (inner.Metrics.sv_wall >= 0.)
+
+let test_span_exception () =
+  let reg = fresh_enabled () in
+  (match Span.with_ ~reg ~name:"boom" (fun () -> failwith "expected") with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Failure m -> Alcotest.(check string) "exception propagates" "expected" m);
+  let snap = Metrics.snapshot ~reg () in
+  let sv = Option.get (Metrics.find_span snap "boom") in
+  Alcotest.(check int) "span recorded despite raise" 1 sv.Metrics.sv_count;
+  (* the stack was unwound: a subsequent span is a root, not boom/next *)
+  ignore (Span.with_ ~reg ~name:"next" (fun () -> ()));
+  let snap = Metrics.snapshot ~reg () in
+  Alcotest.(check bool) "stack unwound after raise" true
+    (Option.is_some (Metrics.find_span snap "next"))
+
+(* -- JSON ----------------------------------------------------------------- *)
+
+let test_json_parse () =
+  (match Json.of_string "  {\"a\": [1, 2.5, true, null, \"x\\u0041\\n\"], \"b\": -3} " with
+  | Ok
+      (Json.Obj
+         [
+           ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Bool true; Json.Null; Json.String "xA\n" ]);
+           ("b", Json.Int (-3));
+         ]) ->
+    ()
+  | Ok j -> Alcotest.failf "unexpected parse: %s" (Json.to_string j)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Json.of_string "{} garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  (match Json.of_string "{\"unterminated\": " with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated input accepted");
+  (* doubles survive a print/parse round trip exactly *)
+  List.iter
+    (fun v ->
+      match Json.of_string (Json.to_string (Json.Float v)) with
+      | Ok (Json.Float v') when v' = v -> ()
+      | other ->
+        Alcotest.failf "float %.17g did not round-trip: %s" v
+          (match other with Ok j -> Json.to_string j | Error e -> e))
+    [ 0.1; 1. /. 3.; 1e-300; 1.7976931348623157e308; -2.5 ];
+  (* pretty and compact printing parse back to the same value *)
+  let j = Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.String "s" ]); ("y", Json.Null) ] in
+  Alcotest.(check bool) "pretty round trip" true (Json.of_string (Json.to_string ~pretty:true j) = Ok j);
+  Alcotest.(check bool) "compact round trip" true (Json.of_string (Json.to_string j) = Ok j)
+
+let test_snapshot_roundtrip () =
+  let reg = fresh_enabled () in
+  let c = Metrics.counter ~reg "a.count" in
+  let g = Metrics.gauge ~reg "a.gauge" in
+  let h = Metrics.histogram ~reg "a.histo" in
+  let _ = Metrics.histogram ~reg "a.empty" in
+  Metrics.add c 17;
+  Metrics.gadd g 2.25;
+  Metrics.observe h 1e-3;
+  Metrics.observe h 0.125;
+  ignore (Span.with_ ~reg ~name:"top" (fun () -> Span.with_ ~reg ~name:"sub" (fun () -> ())));
+  let snap = Metrics.snapshot ~reg () in
+  let json = Metrics.snapshot_to_json snap in
+  (* schema marker present *)
+  (match Json.member "schema" json with
+  | Some (Json.String "omn-metrics 1") -> ()
+  | _ -> Alcotest.fail "schema field missing or wrong");
+  (* through a string: what --metrics writes is what we can read back *)
+  let s = Json.to_string ~pretty:true json in
+  match Json.of_string s with
+  | Error e -> Alcotest.failf "snapshot JSON does not reparse: %s" e
+  | Ok j2 -> (
+    match Metrics.snapshot_of_json j2 with
+    | Error e -> Alcotest.failf "snapshot_of_json: %s" e
+    | Ok snap2 ->
+      Alcotest.(check bool) "snapshot round-trips through JSON" true (snap = snap2))
+
+(* -- bit-identity: metrics must not perturb results ----------------------- *)
+
+let test_bit_identity () =
+  let trace = Util.random_trace (Rng.create 0xB17) ~n:8 ~m:60 ~horizon:50 in
+  let was = Metrics.enabled () in
+  let compute () = Omn_core.Delay_cdf.compute ~max_hops:4 ~domains:2 trace in
+  Metrics.set_enabled false;
+  let off = compute () in
+  Metrics.set_enabled true;
+  let on_ = compute () in
+  Metrics.set_enabled was;
+  Alcotest.(check bool) "delay-cdf curves identical with metrics on/off" true (off = on_)
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "kind mismatch raises" `Quick test_kind_mismatch;
+    Alcotest.test_case "disabled registry is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "merge across domains" `Quick test_merge_across_domains;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span survives exceptions" `Quick test_span_exception;
+    Alcotest.test_case "json parse/print" `Quick test_json_parse;
+    Alcotest.test_case "snapshot JSON round trip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "bit-identity under instrumentation" `Quick test_bit_identity;
+  ]

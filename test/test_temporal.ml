@@ -255,6 +255,58 @@ let stats_next_contact () =
   Alcotest.(check (float 1e-9)) "between" 20. (del 15.);
   Alcotest.(check bool) "after all" true (del 25. = infinity)
 
+let stats_empty_trace () =
+  let trace = Trace.create ~n_nodes:3 ~t_start:0. ~t_end:10. [] in
+  let s = Trace_stats.summary trace in
+  Alcotest.(check int) "no contacts" 0 s.n_contacts;
+  Alcotest.(check int) "no active nodes" 0 s.active_nodes;
+  Alcotest.(check int) "nodes still counted" 3 s.n_nodes;
+  Alcotest.(check bool) "median is nan" true (Float.is_nan s.median_duration);
+  Alcotest.(check bool) "mean is nan" true (Float.is_nan s.mean_duration);
+  Alcotest.(check (float 0.)) "rate" 0. s.contact_rate_per_day;
+  Alcotest.(check (float 0.)) "frac <= anything is 0" 0.
+    (Trace_stats.fraction_duration_leq trace 1e9);
+  Alcotest.(check bool) "no inter-contact gaps" true
+    (Trace_stats.inter_contact_times trace = None);
+  (match Trace_stats.duration_distribution trace with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duration_distribution on empty trace should reject");
+  (* the staircase of a node with no contacts: wait forever from t_start *)
+  (match Trace_stats.next_contact_steps trace 0 with
+  | [ (t, inf) ] ->
+    Alcotest.(check (float 0.)) "from t_start" 0. t;
+    Alcotest.(check bool) "never" true (inf = infinity)
+  | _ -> Alcotest.fail "expected a single infinite step");
+  let profile = Trace_stats.contacts_per_window trace ~window:2.5 in
+  Alcotest.(check int) "windows over empty trace" 4 (Array.length profile);
+  Array.iter (fun (_, k) -> Alcotest.(check int) "all windows empty" 0 k) profile;
+  (* degenerate window: zero span still yields one (empty) window *)
+  let point = Trace.create ~n_nodes:2 ~t_start:5. ~t_end:5. [] in
+  (match Trace_stats.contacts_per_window point ~window:1. with
+  | [| (t, 0) |] -> Alcotest.(check (float 0.)) "window starts at t_start" 5. t
+  | _ -> Alcotest.fail "zero-span trace should give one empty window");
+  match Trace_stats.contacts_per_window trace ~window:0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "window <= 0 should reject"
+
+let stats_single_contact () =
+  let trace = Util.trace_of_contacts ~n_nodes:4 ~t_start:0. ~t_end:20. [ (1, 2, 4., 10.) ] in
+  let s = Trace_stats.summary trace in
+  Alcotest.(check int) "one contact" 1 s.n_contacts;
+  Alcotest.(check int) "two active nodes" 2 s.active_nodes;
+  Alcotest.(check (float 1e-9)) "median = the duration" 6. s.median_duration;
+  Alcotest.(check (float 1e-9)) "mean = the duration" 6. s.mean_duration;
+  (* one contact per pair: no successive interval, hence no gap *)
+  Alcotest.(check bool) "no gaps from a single contact" true
+    (Trace_stats.inter_contact_times trace = None);
+  Alcotest.(check (float 1e-9)) "frac below" 0. (Trace_stats.fraction_duration_leq trace 5.9);
+  Alcotest.(check (float 1e-9)) "frac at" 1. (Trace_stats.fraction_duration_leq trace 6.);
+  let ccdf = Trace_stats.duration_ccdf trace [| 0.; 6.; 7. |] in
+  Alcotest.(check (float 1e-9)) "ccdf before" 1. ccdf.(0);
+  (* ccdf is P(X > g): at the single duration it drops to 0 *)
+  Alcotest.(check (float 1e-9)) "ccdf at" 0. ccdf.(1);
+  Alcotest.(check (float 1e-9)) "ccdf after" 0. ccdf.(2)
+
 let stats_activity_profile () =
   let trace = Util.trace_of_contacts ~t_end:100. [ (0, 1, 5., 6.); (0, 1, 15., 16.); (1, 2, 95., 96.) ] in
   let profile = Trace_stats.contacts_per_window trace ~window:10. in
@@ -280,6 +332,8 @@ let suite =
     Alcotest.test_case "duration statistics" `Quick stats_durations;
     Alcotest.test_case "inter-contact gaps" `Quick stats_inter_contact;
     Alcotest.test_case "next-contact staircase" `Quick stats_next_contact;
+    Alcotest.test_case "stats on the empty trace" `Quick stats_empty_trace;
+    Alcotest.test_case "stats on a single contact" `Quick stats_single_contact;
     Alcotest.test_case "activity profile" `Quick stats_activity_profile;
   ]
   @ List.map QCheck_alcotest.to_alcotest

@@ -91,6 +91,65 @@ let merge_counts =
       let merged = Transform.merge t1 t2 in
       Trace.n_contacts merged = Trace.n_contacts t1 + Trace.n_contacts t2)
 
+let empty_trace_transforms () =
+  let empty = Trace.create ~n_nodes:4 ~t_start:0. ~t_end:10. [] in
+  let check name t =
+    Alcotest.(check int) (name ^ ": no contacts") 0 (Trace.n_contacts t)
+  in
+  check "keep_longer" (Transform.keep_longer_than 1. empty);
+  check "keep_shorter" (Transform.keep_shorter_than 1. empty);
+  check "time_window" (Transform.time_window ~t_start:2. ~t_end:8. empty);
+  check "quantize" (Transform.quantize ~granularity:2. empty);
+  check "remove" (Transform.remove_random ~rng:(Rng.create 1) ~p:0.5 empty);
+  let shifted = Transform.shift 5. empty in
+  check "shift" shifted;
+  Alcotest.(check (float 0.)) "shift moves empty window" 5. (Trace.t_start shifted);
+  let restricted, back = Transform.restrict_nodes ~keep:(fun u -> u < 2) empty in
+  check "restrict" restricted;
+  Alcotest.(check int) "restrict keeps requested nodes" 2 (Trace.n_nodes restricted);
+  Alcotest.(check (array int)) "back map" [| 0; 1 |] back;
+  check "merge" (Transform.merge empty empty)
+
+let single_contact_transforms () =
+  let one = Util.trace_of_contacts ~n_nodes:3 ~t_start:0. ~t_end:10. [ (0, 2, 2., 6.) ] in
+  Alcotest.(check int) "longer-than keeps it" 1
+    (Trace.n_contacts (Transform.keep_longer_than 3.9 one));
+  Alcotest.(check int) "longer-than drops it (duration not strict)" 0
+    (Trace.n_contacts (Transform.keep_longer_than 4. one));
+  (* clipping a window that straddles the contact *)
+  let clipped = Transform.time_window ~t_start:4. ~t_end:10. one in
+  Alcotest.(check int) "straddled contact kept" 1 (Trace.n_contacts clipped);
+  let c = Trace.contact clipped 0 in
+  Alcotest.(check (float 0.)) "clipped start" 4. c.t_beg;
+  Alcotest.(check (float 0.)) "end untouched" 6. c.t_end;
+  (* a window wholly before the contact empties the trace *)
+  Alcotest.(check int) "disjoint window empties" 0
+    (Trace.n_contacts (Transform.time_window ~t_start:0. ~t_end:1. one));
+  (* dropping an endpoint node drops the contact *)
+  let restricted, _ = Transform.restrict_nodes ~keep:(fun u -> u <> 2) one in
+  Alcotest.(check int) "endpoint removal drops contact" 0 (Trace.n_contacts restricted)
+
+(* Removal down to the empty trace must leave every downstream consumer
+   (stats, journeys, delivery) well-defined, not crashing. *)
+let removal_to_zero_downstream () =
+  let trace = Util.random_trace (Rng.create 11) ~n:4 ~m:12 ~horizon:20 in
+  let gutted = Transform.remove_random ~rng:(Rng.create 0) ~p:1. trace in
+  Alcotest.(check int) "all contacts removed" 0 (Trace.n_contacts gutted);
+  Alcotest.(check int) "window survives" (Trace.n_nodes trace) (Trace.n_nodes gutted);
+  let s = Omn_temporal.Trace_stats.summary gutted in
+  Alcotest.(check int) "summary works" 0 s.n_contacts;
+  let frontiers, rounds = Omn_core.Journey.run gutted ~source:0 in
+  Alcotest.(check int) "journey fixpoint immediately" 0 rounds;
+  Array.iteri
+    (fun v f ->
+      if v = 0 then Alcotest.(check int) "identity at source" 1 (Omn_core.Frontier.size f)
+      else begin
+        Alcotest.(check bool) "no paths" true (Omn_core.Frontier.is_empty f);
+        Alcotest.(check bool) "delivery infinite" true
+          (Omn_core.Frontier.delivery f 0. = infinity)
+      end)
+    frontiers
+
 let restrict_remaps () =
   let trace =
     Util.trace_of_contacts ~n_nodes:5 [ (0, 1, 0., 1.); (1, 3, 2., 3.); (2, 4, 4., 5.) ]
@@ -109,6 +168,9 @@ let suite =
     Alcotest.test_case "remove p=0 / p=1" `Quick remove_edge_cases;
     Alcotest.test_case "remove statistics" `Slow remove_statistical;
     Alcotest.test_case "restrict_nodes remaps" `Quick restrict_remaps;
+    Alcotest.test_case "transforms on the empty trace" `Quick empty_trace_transforms;
+    Alcotest.test_case "transforms on a single contact" `Quick single_contact_transforms;
+    Alcotest.test_case "removal to zero stays well-defined" `Quick removal_to_zero_downstream;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [ duration_partition; window_clips; quantize_aligns; shift_translates; merge_counts ]
