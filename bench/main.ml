@@ -166,6 +166,35 @@ let bench_parallel ~quick ~enforce () =
   Omn_obs.Metrics.set_enabled globally_enabled;
   let obs_identical = obs_curves = base_curves in
   let obs_overhead = obs_time /. base_time in
+  (* Supervision overhead: the same 1-domain workload through the
+     resumable driver with supervision off and on (default fault-free
+     retry/quarantine policy). Supervision must be pure bookkeeping on
+     the happy path — bit-identical curves, wall-clock within a few
+     percent. The baseline is the unsupervised resumable driver, not
+     [compute]: the two merge sources in different orders (natural vs
+     uniform), so their float accumulations are not comparable bitwise. *)
+  Omn_obs.Metrics.set_enabled false;
+  let time_resumable ?supervise () =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      (match Omn_core.Delay_cdf.compute_resumable ~max_hops ?supervise trace with
+      | Ok (curves, _) ->
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt;
+        result := Some curves
+      | Error e ->
+        Format.fprintf fmt "FAIL: supervised bench run errored: %s@." (Omn_robust.Err.to_string e);
+        exit 1)
+    done;
+    match !result with Some c -> (c, !best) | None -> assert false
+  in
+  let unsup_curves, unsup_time = time_resumable () in
+  let sup_curves, sup_time = time_resumable ~supervise:Omn_resilience.Supervise.default () in
+  Omn_obs.Metrics.set_enabled globally_enabled;
+  let sup_identical = sup_curves = unsup_curves in
+  let sup_overhead = sup_time /. unsup_time in
   let frontiers, _ = Omn_core.Journey.run trace ~source:0 in
   let sizes = Array.map Omn_core.Frontier.size frontiers in
   let max_frontier = Array.fold_left max 0 sizes in
@@ -216,6 +245,14 @@ let bench_parallel ~quick ~enforce () =
               );
               ("spans", Option.value ~default:Null (member "spans" snap_json));
             ] );
+        ( "resilience",
+          Obj
+            [
+              ("overhead_ratio_1domain", Float sup_overhead);
+              ("bit_identical_with_supervision", Bool sup_identical);
+              ("seconds_unsupervised", Float unsup_time);
+              ("seconds_supervised", Float sup_time);
+            ] );
         ( "runs",
           List
             (List.map
@@ -238,6 +275,8 @@ let bench_parallel ~quick ~enforce () =
   Format.fprintf fmt "  curves bit-identical across domain counts: %b@." identical;
   Format.fprintf fmt "  metrics-on rerun: %.3fs (overhead x%.3f), bit-identical: %b@." obs_time
     obs_overhead obs_identical;
+  Format.fprintf fmt "  supervised rerun: %.3fs (overhead x%.3f), bit-identical: %b@." sup_time
+    sup_overhead sup_identical;
   Format.fprintf fmt "  wrote %s@." path;
   if not identical then begin
     Format.fprintf fmt "FAIL: parallel curves differ from the sequential curves@.";
@@ -247,6 +286,15 @@ let bench_parallel ~quick ~enforce () =
     Format.fprintf fmt "FAIL: enabling metrics changed the computed curves@.";
     exit 1
   end;
+  if not sup_identical then begin
+    Format.fprintf fmt "FAIL: fault-free supervision changed the computed curves@.";
+    exit 1
+  end;
+  if sup_overhead > 1.03 then
+    (* Advisory, like the metrics-overhead target: the evidence stays in
+       the JSON either way. *)
+    Format.fprintf fmt "WARN: supervision overhead x%.3f exceeds the 1.03 target@." sup_overhead
+  else Format.fprintf fmt "  supervision overhead within 3%% target@.";
   if obs_overhead > 1.05 then
     (* Advisory rather than fatal: best-of-N tames most noise, but a
        loaded CI host can still blow a 5% margin without a real

@@ -2,11 +2,14 @@ module Trace = Omn_temporal.Trace
 module Pool = Omn_parallel.Pool
 module Chunk = Omn_parallel.Chunk
 module Metrics = Omn_obs.Metrics
+module Supervise = Omn_resilience.Supervise
 
 let m_sources = Metrics.counter "delay_cdf.sources_done"
 let m_pairs = Metrics.counter "delay_cdf.pairs_done"
 let m_chunk_s = Metrics.histogram "delay_cdf.chunk_seconds"
 let m_ckpt_s = Metrics.histogram "delay_cdf.checkpoint_seconds"
+let m_ckpt_fallback = Metrics.counter "delay_cdf.ckpt_fallbacks"
+let m_quarantined = Metrics.counter "delay_cdf.sources_quarantined"
 
 type t = {
   grid_ : float array;
@@ -147,17 +150,34 @@ let compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace sources =
    source order. The task partition and the merge order are independent
    of the domain count, and [Pool.run] returns results in input order,
    so the curves are bit-identical for every [domains] (including 1):
-   parallelism changes wall-clock time only. *)
-let accumulate_sources ?pool ~domains ~max_hops ~budget_grid ~is_dest ~windows
+   parallelism changes wall-clock time only.
+
+   With [supervise], every per-source task runs under
+   [Omn_resilience.Supervise] (bounded retries, deadlines, quarantine).
+   Quarantined sources are skipped at merge time and returned as typed
+   failures; the surviving merges are exactly the sequence a fault-free
+   run restricted to the surviving sources would perform, so successful
+   results stay bit-identical. *)
+let accumulate_sources ?supervise ?pool ~domains ~max_hops ~budget_grid ~is_dest ~windows
     ~into:(hop_accs, flood_acc, rounds) trace sources =
   let per_source source = compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace [ source ] in
-  let results = Pool.run ?pool ~domains per_source (Array.of_list sources) in
-  Array.iter
-    (fun (hops', flood', rounds') ->
-      Array.iteri (fun i acc -> merge_into ~dst:hop_accs.(i) acc) hops';
-      merge_into ~dst:flood_acc flood';
-      rounds := max !rounds rounds')
-    results
+  let merge (hops', flood', rounds') =
+    Array.iteri (fun i acc -> merge_into ~dst:hop_accs.(i) acc) hops';
+    merge_into ~dst:flood_acc flood';
+    rounds := max !rounds rounds'
+  in
+  match supervise with
+  | None ->
+    Array.iter merge (Pool.run ?pool ~domains per_source (Array.of_list sources));
+    []
+  | Some policy ->
+    let results =
+      Supervise.map ?pool ~domains ~id:(fun s -> s) policy per_source (Array.of_list sources)
+    in
+    Array.iter (function Ok r -> merge r | Error (_ : Supervise.failure) -> ()) results;
+    let failed = Supervise.failures results in
+    Metrics.add m_quarantined (List.length failed);
+    failed
 
 let compute ?(max_hops = 10) ?sources ?dests ?grid:(budget_grid = Omn_stats.Grid.delay_default)
     ?pool ?(domains = 1) ?windows trace =
@@ -185,8 +205,10 @@ let compute ?(max_hops = 10) ?sources ?dests ?grid:(budget_grid = Omn_stats.Grid
   let hop_accs = Array.init max_hops (fun _ -> create ~grid:budget_grid) in
   let flood_acc = create ~grid:budget_grid in
   let rounds = ref 0 in
-  accumulate_sources ?pool ~domains ~max_hops ~budget_grid ~is_dest ~windows
-    ~into:(hop_accs, flood_acc, rounds) trace sources;
+  let (_ : Supervise.failure list) =
+    accumulate_sources ?pool ~domains ~max_hops ~budget_grid ~is_dest ~windows
+      ~into:(hop_accs, flood_acc, rounds) trace sources
+  in
   {
     grid = Array.copy budget_grid;
     hop_success = Array.map success hop_accs;
@@ -199,49 +221,49 @@ let compute ?(max_hops = 10) ?sources ?dests ?grid:(budget_grid = Omn_stats.Grid
 (* --- checkpointed / budgeted driver --- *)
 
 module Err = Omn_robust.Err
+module Checkpoint = Omn_robust.Checkpoint
 
-type progress = { sources_done : int; sources_total : int; partial : bool }
+type progress = {
+  sources_done : int;
+  sources_total : int;
+  partial : bool;
+  degraded : Supervise.failure list;
+  ckpt_fallback : bool;
+}
 
+(* [snap_degraded] stores failures as plain tuples so the Marshal layout
+   does not depend on the [Supervise.failure] record's representation. *)
 type snapshot = {
   snap_fingerprint : string;
   snap_done : int;
   snap_hops : t array;
   snap_flood : t;
   snap_rounds : int;
+  snap_degraded : (int * int * string) list;
 }
 
-(* v2: the in-chunk accumulation became per-source (deterministic under
-   any domain count), which changes float association — old snapshots
-   must not be mixed into new runs. *)
-let ckpt_magic = "omn-ckpt 2\n"
+(* v3: CRC-32-framed payload with generation rotation (see
+   [Omn_robust.Checkpoint]) and a quarantined-source list in the
+   snapshot. v2 files are rejected by the magic mismatch. *)
+let ckpt_magic = "omn-ckpt 3\n"
 
 let save_checkpoint path snap =
-  let payload = Marshal.to_string snap [] in
-  let digest = Digest.to_hex (Digest.string payload) in
-  Omn_robust.Atomic_file.write path (fun oc ->
-      output_string oc ckpt_magic;
-      output_string oc digest;
-      output_char oc '\n';
-      output_string oc payload)
+  Checkpoint.save ~magic:ckpt_magic ~path (Marshal.to_string snap [])
 
-let load_checkpoint path =
-  match Omn_robust.Atomic_file.read_to_string path with
-  | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg)
-  | data ->
-    let mlen = String.length ckpt_magic in
-    let hlen = mlen + 32 + 1 in
-    if String.length data < hlen || String.sub data 0 mlen <> ckpt_magic then
-      Error (Err.v ~file:path Err.Checkpoint "not an omn checkpoint file")
-    else begin
-      let digest = String.sub data mlen 32 in
-      let payload = String.sub data hlen (String.length data - hlen) in
-      if Digest.to_hex (Digest.string payload) <> digest then
-        Error (Err.v ~file:path Err.Checkpoint "checksum mismatch (truncated or corrupt)")
-      else
-        match (Marshal.from_string payload 0 : snapshot) with
-        | exception _ -> Error (Err.v ~file:path Err.Checkpoint "unreadable payload")
-        | snap -> Ok snap
-    end
+let decode_snapshot ~fp path payload =
+  match (Marshal.from_string payload 0 : snapshot) with
+  | exception _ -> Error (Err.v ~file:path Err.Checkpoint "unreadable payload")
+  | snap ->
+    if snap.snap_fingerprint <> fp then
+      Error
+        (Err.v ~file:path Err.Checkpoint
+           "checkpoint was built for a different trace or parameters")
+    else Ok snap
+
+(* Current generation first; any failure (corruption, bad fingerprint)
+   falls back to the rotated previous generation. *)
+let load_checkpoint ~fp path =
+  Checkpoint.load ~magic:ckpt_magic ~validate:(decode_snapshot ~fp path) path
 
 (* Reorder sources by a stride coprime to their count so that every
    prefix of the order is a near-uniform sample of the whole list —
@@ -269,7 +291,8 @@ let fingerprint ~max_hops ~budget_grid ~is_dest ~windows ~order ~chunk trace =
 
 let compute_resumable ?(max_hops = 10) ?sources ?dests
     ?grid:(budget_grid = Omn_stats.Grid.delay_default) ?pool ?(domains = 1) ?windows ?checkpoint
-    ?(resume = false) ?(checkpoint_every = 8) ?budget_seconds ?(clock = Sys.time) ?report trace =
+    ?(resume = false) ?(checkpoint_every = 8) ?budget_seconds ?(clock = Sys.time) ?report
+    ?supervise trace =
   try
     if max_hops < 1 then Err.get_exn (Err.error Err.Usage "compute_resumable: max_hops < 1");
     if domains < 1 then Err.get_exn (Err.error Err.Usage "compute_resumable: domains < 1");
@@ -309,23 +332,25 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
     in
     let loaded =
       match checkpoint with
-      | Some path when resume && Sys.file_exists path -> (
-        match load_checkpoint path with
+      | Some path
+        when resume
+             && (Sys.file_exists path || Sys.file_exists (Checkpoint.prev_path path)) -> (
+        match load_checkpoint ~fp path with
         | Error e -> Error e
-        | Ok snap ->
-          if snap.snap_fingerprint <> fp then
-            Error
-              (Err.v ~file:path Err.Checkpoint
-                 "checkpoint was built for a different trace or parameters")
-          else Ok (snap.snap_hops, snap.snap_flood, snap.snap_rounds, snap.snap_done))
+        | Ok (snap, gen) ->
+          let fallback = gen = Checkpoint.Previous in
+          if fallback then Metrics.incr m_ckpt_fallback;
+          Ok
+            ( snap.snap_hops, snap.snap_flood, snap.snap_rounds, snap.snap_done,
+              snap.snap_degraded, fallback ))
       | _ ->
         Ok
           ( Array.init max_hops (fun _ -> create ~grid:budget_grid),
-            create ~grid:budget_grid, 0, 0 )
+            create ~grid:budget_grid, 0, 0, [], false )
     in
     match loaded with
     | Error e -> Error e
-    | Ok (hop_accs, flood_acc, rounds0, done0) ->
+    | Ok (hop_accs, flood_acc, rounds0, done0, degraded0, ckpt_fallback) ->
       (* One pool for the whole run, reused chunk after chunk (spawning
          per chunk is what the old driver did). Borrowed pools are left
          to their owner; an owned one is shut down on every exit path. *)
@@ -340,14 +365,23 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
          metrics are on; the disabled path is timing-free. *)
       let timed = Metrics.enabled () in
       let done_count = ref done0 and rounds = ref rounds0 in
+      let degraded =
+        ref
+          (List.map
+             (fun (item, attempts, reason) -> { Supervise.item; attempts; reason })
+             degraded0)
+      in
       let rec loop remaining =
         match remaining with
         | [] -> ()
         | _ ->
           let chunk, rest = Chunk.split_at checkpoint_every remaining in
           let t_chunk = if timed then Unix.gettimeofday () else 0. in
-          accumulate_sources ?pool ~domains ~max_hops ~budget_grid ~is_dest ~windows
-            ~into:(hop_accs, flood_acc, rounds) trace chunk;
+          let failed =
+            accumulate_sources ?supervise ?pool ~domains ~max_hops ~budget_grid ~is_dest
+              ~windows ~into:(hop_accs, flood_acc, rounds) trace chunk
+          in
+          degraded := !degraded @ failed;
           if timed then Metrics.observe m_chunk_s (Unix.gettimeofday () -. t_chunk);
           done_count := !done_count + List.length chunk;
           (match checkpoint with
@@ -360,6 +394,10 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
                 snap_hops = hop_accs;
                 snap_flood = flood_acc;
                 snap_rounds = !rounds;
+                snap_degraded =
+                  List.map
+                    (fun (f : Supervise.failure) -> (f.item, f.attempts, f.reason))
+                    !degraded;
               };
             if timed then Metrics.observe m_ckpt_s (Unix.gettimeofday () -. t_ck)
           | None -> ());
@@ -373,11 +411,7 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
       in
       loop (Chunk.drop done0 order);
       let partial = !done_count < total in
-      if not partial then
-        (match checkpoint with
-        | Some path when Sys.file_exists path -> (
-          try Sys.remove path with Sys_error _ -> ())
-        | _ -> ());
+      if not partial then Option.iter Checkpoint.remove checkpoint;
       Ok
         ( {
             grid = Array.copy budget_grid;
@@ -387,8 +421,19 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
             flood_success_inf = success_inf flood_acc;
             max_rounds_used = !rounds;
           },
-          { sources_done = !done_count; sources_total = total; partial } )
+          {
+            sources_done = !done_count;
+            sources_total = total;
+            partial;
+            degraded = !degraded;
+            ckpt_fallback;
+          } )
   with
   | Err.Error e -> Error e
   | Invalid_argument msg -> Error (Err.v Err.Usage msg)
   | Sys_error msg -> Error (Err.v Err.Io msg)
+  | Failure msg ->
+    (* A source task failed with supervision off (or quarantine
+       disabled): fail the whole run with a typed error rather than
+       leaking the worker's exception through the result API. *)
+    Error (Err.v Err.Compute ("source task failed: " ^ msg))

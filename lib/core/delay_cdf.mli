@@ -95,7 +95,20 @@ type progress = {
   sources_done : int;
   sources_total : int;
   partial : bool;  (** true when the budget expired before all sources ran *)
+  degraded : Omn_resilience.Supervise.failure list;
+      (** sources quarantined by the [supervise] policy, in the order
+          they were processed — empty for unsupervised runs *)
+  ckpt_fallback : bool;
+      (** true when resume found the current checkpoint generation
+          corrupt (or rejected) and restarted from [*.ckpt.prev] *)
 }
+
+val uniform_order : Omn_temporal.Node.t list -> Omn_temporal.Node.t list
+(** The deterministic stride order {!compute_resumable} processes its
+    sources in: every prefix is a near-uniform sample of the whole
+    list. Exposed so harnesses can reproduce a degraded run's merge
+    sequence exactly — {!compute} over [uniform_order sources] minus
+    the quarantined ones performs the identical [merge_into] calls. *)
 
 val compute_resumable :
   ?max_hops:int ->
@@ -111,19 +124,31 @@ val compute_resumable :
   ?budget_seconds:float ->
   ?clock:(unit -> float) ->
   ?report:(done_:int -> total:int -> unit) ->
+  ?supervise:Omn_resilience.Supervise.policy ->
   Omn_temporal.Trace.t ->
   (curves * progress, Omn_robust.Err.t) result
 (** Like {!compute} (same parallelism and determinism contract; when no
     [pool] is given and [domains > 1], one pool is created up front and
     reused across every chunk), plus:
-    - [checkpoint]: write a checkpoint file after every chunk, and
-      remove it once the run completes;
+    - [checkpoint]: write a CRC-32-framed checkpoint file after every
+      chunk, rotating the previous generation to [*.prev]
+      ({!Omn_robust.Checkpoint}); both generations are removed once
+      the run completes;
     - [resume] (with [checkpoint]): load that file if it exists and
       continue from it. The checkpoint embeds a fingerprint of the
       trace and all parameters; resuming against a different trace or
-      parameters is a [Checkpoint] error, as is a corrupt file. An
-      uninterrupted run and a killed-and-resumed run produce
-      bit-identical curves (same chunking, same merge order).
+      parameters is a [Checkpoint] error, as is a corrupt file — but
+      when the {e previous} generation is still intact the run falls
+      back to it automatically ([progress.ckpt_fallback = true]),
+      re-doing at most one chunk. An uninterrupted run and a
+      killed-and-resumed run produce bit-identical curves (same
+      chunking, same merge order).
+    - [supervise]: run every per-source task under the given
+      {!Omn_resilience.Supervise.policy}. Sources that exhaust their
+      retries are quarantined and listed in [progress.degraded]; the
+      surviving sources' contribution is bit-identical to a fault-free
+      run over the source list with the quarantined ones removed
+      (see {!uniform_order}).
     - [budget_seconds]: stop after the first chunk that exhausts the
       budget, returning a clearly-labelled partial result over a
       near-uniform subset of the sources ([progress.partial = true]).

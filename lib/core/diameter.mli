@@ -49,6 +49,12 @@ type run = {
       (** the work budget expired: [result] covers a near-uniform
           subset of [sources_done] source nodes and must be labelled
           as partial *)
+  degraded : Omn_resilience.Supervise.failure list;
+      (** sources quarantined by the [supervise] policy — the run is
+          complete but degraded (CLI exit code 3) *)
+  ckpt_fallback : bool;
+      (** resume recovered from the previous checkpoint generation
+          after finding the current one corrupt *)
 }
 
 val measure_resumable :
@@ -66,10 +72,14 @@ val measure_resumable :
   ?budget_seconds:float ->
   ?clock:(unit -> float) ->
   ?report:(done_:int -> total:int -> unit) ->
+  ?supervise:Omn_resilience.Supervise.policy ->
   Omn_temporal.Trace.t ->
   (run, Omn_robust.Err.t) Stdlib.result
 (** {!measure} on top of {!Delay_cdf.compute_resumable}: periodic
-    atomic checkpoints, resume after a crash (bit-identical to an
-    uninterrupted run), and graceful degradation to a uniformly
-    sampled subset of sources under a time budget. [report] is
-    forwarded to {!Delay_cdf.compute_resumable}. *)
+    CRC-checked, generation-rotated checkpoints, resume after a crash
+    (bit-identical to an uninterrupted run, falling back to the
+    previous generation when the current one is corrupt), optional
+    per-task supervision with quarantine ([supervise]), and graceful
+    degradation to a uniformly sampled subset of sources under a time
+    budget. [report] is forwarded to
+    {!Delay_cdf.compute_resumable}. *)

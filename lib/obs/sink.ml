@@ -18,6 +18,6 @@ let write sink snap =
   | Channel oc ->
     output_string oc (render snap);
     flush oc
-  | File path -> Omn_robust.Atomic_file.write_string path (render snap)
+  | File path -> Omn_robust.Retry_io.write_string path (render snap)
 
 let emit ?reg sink = write sink (Metrics.snapshot ?reg ())

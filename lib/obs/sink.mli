@@ -1,9 +1,11 @@
 (** Pluggable destinations for metrics snapshots.
 
     The file sink writes the JSON snapshot atomically (temp file +
-    rename, via {!Omn_robust.Atomic_file}), so a crash mid-write never
-    leaves a torn snapshot — the property long budgeted runs rely on
-    when they re-emit metrics after every chunk. *)
+    rename) with transient-failure retries (via
+    {!Omn_robust.Retry_io}), so a crash mid-write never leaves a torn
+    snapshot and a stray EINTR never loses one — the properties long
+    budgeted runs rely on when they re-emit metrics after every
+    chunk. *)
 
 type t
 

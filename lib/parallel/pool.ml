@@ -101,10 +101,34 @@ let submit pool copies job =
   Condition.broadcast pool.nonempty;
   Mutex.unlock pool.lock
 
+(* The pool (if any) whose [map] is executing on this domain. Set on
+   both the submitting domain and the helpers for the duration of the
+   work loop, so a nested [map] on the same pool — which would block
+   forever waiting for helpers that can never be scheduled — is caught
+   at the call site instead of deadlocking. *)
+let current_map : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let with_current_map pool f =
+  let cell = Domain.DLS.get current_map in
+  let saved = !cell in
+  cell := Some pool;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let check_usable pool =
+  (match !(Domain.DLS.get current_map) with
+  | Some p when p == pool ->
+    invalid_arg "Pool.map: nested map on the same pool (would deadlock)"
+  | _ -> ());
+  Mutex.lock pool.lock;
+  let stopping = pool.stopping in
+  Mutex.unlock pool.lock;
+  if stopping then invalid_arg "Pool.map: pool already shut down"
+
 (* Deterministic fan-out: item [i]'s result lands in slot [i] whichever
    domain computed it, so the returned array — and any in-order reduction
    of it — is independent of the domain count and of scheduling. *)
 let map pool f xs =
+  check_usable pool;
   let n = Array.length xs in
   if n = 0 then [||]
   else if pool.domains = 1 || n = 1 then begin
@@ -147,14 +171,14 @@ let map pool f xs =
     let submitted_at = if timed then Unix.gettimeofday () else 0. in
     let helper () =
       if timed then Omn_obs.Metrics.observe m_queue_wait (Unix.gettimeofday () -. submitted_at);
-      work ~stolen:true ();
+      with_current_map pool (work ~stolen:true);
       Mutex.lock fin_lock;
       decr pending;
       if !pending = 0 then Condition.signal fin;
       Mutex.unlock fin_lock
     in
     submit pool helpers helper;
-    work ~stolen:false ();
+    with_current_map pool (work ~stolen:false);
     Mutex.lock fin_lock;
     while !pending > 0 do
       Condition.wait fin fin_lock
@@ -163,6 +187,9 @@ let map pool f xs =
     (match Atomic.get error with Some e -> raise e | None -> ());
     Array.map (function Some v -> v | None -> assert false) results
   end
+
+let map_supervised pool f xs =
+  map pool (fun x -> match f x with v -> Ok v | exception e -> Error e) xs
 
 let map_list pool f xs = Array.to_list (map pool f (Array.of_list xs))
 

@@ -29,7 +29,8 @@ val domains : t -> int
 
 val shutdown : t -> unit
 (** Stop and join the workers. Idempotent. Jobs already queued complete
-    first; calling {!map} after [shutdown] hangs — don't. *)
+    first; calling {!map} on a shut-down pool raises
+    [Invalid_argument]. *)
 
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exception). *)
@@ -37,10 +38,19 @@ val with_pool : ?domains:int -> (t -> 'a) -> 'a
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f xs] applies [f] to every element, spreading items over
     the pool's domains, and returns the results in input order. [f]
-    must be safe to call from any domain and must not touch the pool
-    (no nesting — a nested [map] can deadlock when every worker is
-    busy). The first exception raised by [f] is re-raised on the caller
-    after all items finish or are abandoned. *)
+    must be safe to call from any domain and must not touch the pool:
+    a nested [map] on the {e same} pool would deadlock when every
+    worker is busy, so it is detected and raises [Invalid_argument]
+    instead (nesting on a {e different} pool is allowed). Raises
+    [Invalid_argument] after {!shutdown}. The first exception raised
+    by [f] is re-raised on the caller after all items finish or are
+    abandoned. *)
+
+val map_supervised : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+(** Like {!map}, but an item whose [f] raises fills its slot with
+    [Error exn] instead of poisoning the whole run — every other item
+    still completes and keeps the slot-[i] bit-identity contract.
+    The building block of [Omn_resilience.Supervise]. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists (order preserved). *)

@@ -1,0 +1,105 @@
+module Pool = Omn_parallel.Pool
+module Metrics = Omn_obs.Metrics
+module Rng = Omn_stats.Rng
+
+let m_retries = Metrics.counter "supervise.retries"
+let m_failures = Metrics.counter "supervise.task_failures"
+let m_quarantined = Metrics.counter "supervise.quarantined"
+let m_deadline = Metrics.counter "supervise.deadline_giveups"
+let m_io_retries = Metrics.counter "resilience.io_retries"
+
+(* Retry_io sits below the metrics registry in the dependency order, so
+   its retry count is wired up here, where both sides are visible. *)
+let () = Omn_robust.Retry_io.on_retry := fun ~op:_ -> Metrics.incr m_io_retries
+
+type policy = {
+  retries : int;
+  backoff : float;
+  backoff_max : float;
+  jitter_seed : int;
+  task_deadline : float option;
+  run_deadline : float option;
+  quarantine : bool;
+}
+
+let default =
+  {
+    retries = 2;
+    backoff = 0.05;
+    backoff_max = 1.;
+    jitter_seed = 0;
+    task_deadline = None;
+    run_deadline = None;
+    quarantine = true;
+  }
+
+type failure = { item : int; attempts : int; reason : string }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "item %d quarantined after %d attempt(s): %s" f.item f.attempts f.reason
+
+let task_fault : (item:int -> attempt:int -> unit) option Atomic.t = Atomic.make None
+let set_task_fault h = Atomic.set task_fault h
+
+let backoff_delay policy ~item ~attempt =
+  let base = Float.min policy.backoff_max (policy.backoff *. (2. ** float_of_int attempt)) in
+  let rng = Rng.create (policy.jitter_seed lxor Hashtbl.hash (item, attempt)) in
+  base *. (0.5 +. (0.5 *. Rng.float rng))
+
+let validate policy =
+  if policy.retries < 0 then invalid_arg "Supervise: retries < 0";
+  if policy.backoff < 0. || policy.backoff_max < 0. then invalid_arg "Supervise: negative backoff";
+  (match policy.task_deadline with
+  | Some d when d < 0. -> invalid_arg "Supervise: negative task deadline"
+  | _ -> ());
+  match policy.run_deadline with
+  | Some d when d < 0. -> invalid_arg "Supervise: negative run deadline"
+  | _ -> ()
+
+let run_task ?(clock = Unix.gettimeofday) ?(sleep = Unix.sleepf) ?(give_up = fun () -> false)
+    policy ~item f =
+  validate policy;
+  let attempt_once a =
+    (match Atomic.get task_fault with Some h -> h ~item ~attempt:a | None -> ());
+    f ()
+  in
+  let rec go a =
+    let t0 = clock () in
+    match attempt_once a with
+    | v -> Ok v
+    | exception e ->
+      Metrics.incr m_failures;
+      let overran =
+        match policy.task_deadline with Some d -> clock () -. t0 > d | None -> false
+      in
+      if overran then Metrics.incr m_deadline;
+      if overran || a >= policy.retries || give_up () then
+        if policy.quarantine then begin
+          Metrics.incr m_quarantined;
+          Error { item; attempts = a + 1; reason = Printexc.to_string e }
+        end
+        else raise e
+      else begin
+        Metrics.incr m_retries;
+        sleep (backoff_delay policy ~item ~attempt:a);
+        go (a + 1)
+      end
+  in
+  go 0
+
+let map ?pool ?(domains = 1) ?(clock = Unix.gettimeofday) ?(sleep = Unix.sleepf) ?id policy f xs =
+  validate policy;
+  let start = clock () in
+  let give_up () =
+    match policy.run_deadline with Some d -> clock () -. start > d | None -> false
+  in
+  let tagged = Array.mapi (fun i x -> (i, x)) xs in
+  Pool.run ?pool ~domains
+    (fun (i, x) ->
+      let item = match id with Some g -> g x | None -> i in
+      run_task ~clock ~sleep ~give_up policy ~item (fun () -> f x))
+    tagged
+
+let failures results =
+  Array.to_list results
+  |> List.filter_map (function Error (f : failure) -> Some f | Ok _ -> None)

@@ -9,6 +9,9 @@ type fault =
   | Window_lie
   | Reorder
   | Duplicate of float
+  | Ckpt_truncate of float
+  | Ckpt_flip
+  | Ckpt_stale
 
 let name = function
   | Truncate _ -> "truncate"
@@ -19,11 +22,14 @@ let name = function
   | Window_lie -> "window-lie"
   | Reorder -> "reorder"
   | Duplicate _ -> "duplicate"
+  | Ckpt_truncate _ -> "ckpt-truncate"
+  | Ckpt_flip -> "ckpt-flip"
+  | Ckpt_stale -> "ckpt-stale"
 
 let defaults =
   [
     Truncate 0.5; Mangle 0.25; Nan_times 0.25; Self_loop 0.25; Negative_id 0.25;
-    Window_lie; Reorder; Duplicate 0.25;
+    Window_lie; Reorder; Duplicate 0.25; Ckpt_truncate 0.75; Ckpt_flip; Ckpt_stale;
   ]
 
 let of_name s = List.find_opt (fun f -> name f = String.lowercase_ascii s) defaults
@@ -191,21 +197,81 @@ let duplicate rng p lines =
       lines
   end
 
+(* --- binary checkpoint faults -----------------------------------------
+
+   These operate on raw bytes framed as in [Checkpoint]: a magic line,
+   a binary payload, and an 8-hex-char CRC-32 trailer. Trace-level line
+   plumbing would mangle the payload, so they bypass it entirely. *)
+
+let payload_start text =
+  match String.index_opt text '\n' with Some i -> i + 1 | None -> 0
+
+let ckpt_truncate frac text =
+  let keep = max 1 (int_of_float (frac *. float_of_int (String.length text))) in
+  String.sub text 0 (min keep (String.length text))
+
+let ckpt_flip rng text =
+  let start = payload_start text in
+  if String.length text <= start then text
+  else begin
+    let pos = start + Rng.int rng (String.length text - start) in
+    let b = Bytes.of_string text in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x5A));
+    Bytes.to_string b
+  end
+
+(* Corrupt the embedded fingerprint (the first 32-hex-char run of the
+   payload) and recompute the CRC trailer so the file still passes its
+   integrity check — simulating a checkpoint from other parameters. *)
+let ckpt_stale rng text =
+  let start = payload_start text in
+  let len = String.length text in
+  if len < start + 8 then ckpt_flip rng text
+  else begin
+    let header = String.sub text 0 start in
+    let payload = Bytes.of_string (String.sub text start (len - start - 8)) in
+    let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
+    let run_at i =
+      i + 32 <= Bytes.length payload
+      && (let ok = ref true in
+          for j = i to i + 31 do
+            if not (is_hex (Bytes.get payload j)) then ok := false
+          done;
+          !ok)
+    in
+    let rec find i = if i + 32 > Bytes.length payload then None else if run_at i then Some i else find (i + 1) in
+    match find 0 with
+    | None -> ckpt_flip rng text
+    | Some i ->
+      let pos = i + Rng.int rng 32 in
+      let old = Bytes.get payload pos in
+      let replacement = if old = '0' then 'f' else '0' in
+      Bytes.set payload pos replacement;
+      let payload = Bytes.to_string payload in
+      header ^ payload ^ Checkpoint.crc32_hex payload
+  end
+
 let apply ~seed fault text =
   let rng = Rng.create seed in
-  let lines = split_lines text in
-  let lines =
-    match fault with
-    | Truncate frac -> truncate frac lines
-    | Mangle p -> mangle rng p lines
-    | Nan_times p -> nan_times rng p lines
-    | Self_loop p -> self_loop rng p lines
-    | Negative_id p -> negative_id rng p lines
-    | Window_lie -> window_lie lines
-    | Reorder -> reorder rng lines
-    | Duplicate p -> duplicate rng p lines
-  in
-  unlines lines
+  match fault with
+  | Ckpt_truncate frac -> ckpt_truncate frac text
+  | Ckpt_flip -> ckpt_flip rng text
+  | Ckpt_stale -> ckpt_stale rng text
+  | _ ->
+    let lines = split_lines text in
+    let lines =
+      match fault with
+      | Truncate frac -> truncate frac lines
+      | Mangle p -> mangle rng p lines
+      | Nan_times p -> nan_times rng p lines
+      | Self_loop p -> self_loop rng p lines
+      | Negative_id p -> negative_id rng p lines
+      | Window_lie -> window_lie lines
+      | Reorder -> reorder rng lines
+      | Duplicate p -> duplicate rng p lines
+      | Ckpt_truncate _ | Ckpt_flip | Ckpt_stale -> assert false
+    in
+    unlines lines
 
 let corpus ?(seed = 1) text =
   [

@@ -19,6 +19,18 @@ type fault =
       (** shrink the declared window so records fall outside it *)
   | Reorder  (** shuffle record lines (parseable, but out of order) *)
   | Duplicate of float  (** per-record probability: emit the record twice *)
+  | Ckpt_truncate of float
+      (** binary: keep this fraction of the file's bytes — a torn
+          checkpoint write. Breaks the CRC-32 trailer; {!Checkpoint.load}
+          must fall back to the previous generation. *)
+  | Ckpt_flip
+      (** binary: XOR one byte after the magic line — a bit-rotted
+          checkpoint. Detected by the CRC-32 check. *)
+  | Ckpt_stale
+      (** binary: alter one character of the embedded 32-hex-char
+          fingerprint and {e re-seal} the CRC-32 trailer — a checkpoint
+          whose integrity check passes but that belongs to different
+          parameters. Exercises the fingerprint-mismatch fallback. *)
 
 val name : fault -> string
 
@@ -31,7 +43,9 @@ val all_names : string list
 val apply : seed:int -> fault -> string -> string
 (** Corrupt a trace text. Probabilistic faults hit at least one record
     (when any record exists), so the output is never accidentally
-    clean. *)
+    clean. The [Ckpt_*] faults treat the input as raw bytes (magic
+    line + binary payload + CRC trailer, the {!Checkpoint} framing)
+    and are meant for checkpoint files, not trace texts. *)
 
 val corpus : ?seed:int -> string -> (string * string) list
 (** Named corrupted variants of a well-formed trace text, one per fault

@@ -1,0 +1,47 @@
+exception Injected of string
+
+let inject : (op:string -> path:string -> unit) option ref = ref None
+let set_inject h = inject := h
+let on_retry : (op:string -> unit) ref = ref (fun ~op:_ -> ())
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let transient = function
+  | Injected _ -> true
+  | Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> true
+  | Sys_error msg ->
+    contains msg "Interrupted system call"
+    || contains msg "Resource temporarily unavailable"
+    || contains msg "Try again"
+  | _ -> false
+
+let with_retries ?(attempts = 3) ?(delay = 0.01) ?(delay_max = 0.5) ?(seed = 0)
+    ?(sleep = Unix.sleepf) ~op ~path f =
+  if attempts < 1 then invalid_arg "Retry_io.with_retries: attempts < 1";
+  (* One jitter stream per (seed, op, path): retries of distinct files
+     do not thunder in lockstep, yet a given operation replays the same
+     backoff schedule on every run. *)
+  let rng = Omn_stats.Rng.create (seed lxor Hashtbl.hash (op, path)) in
+  let attempt_once () =
+    (match !inject with Some h -> h ~op ~path | None -> ());
+    f ()
+  in
+  let rec go k =
+    match attempt_once () with
+    | v -> v
+    | exception e when transient e && k + 1 < attempts ->
+      !on_retry ~op;
+      let base = Float.min delay_max (delay *. (2. ** float_of_int k)) in
+      sleep (base *. (0.5 +. (0.5 *. Omn_stats.Rng.float rng)));
+      go (k + 1)
+  in
+  go 0
+
+let read_to_string ?attempts path =
+  with_retries ?attempts ~op:"read" ~path (fun () -> Atomic_file.read_to_string path)
+
+let write ?attempts path f = with_retries ?attempts ~op:"write" ~path (fun () -> Atomic_file.write path f)
+let write_string ?attempts path s = write ?attempts path (fun oc -> output_string oc s)

@@ -266,9 +266,13 @@ let input ic =
   | Ok (t, _) -> t
   | Error e -> failwith (Err.to_string e)
 
+(* Reads go through [Retry_io]: a transient EINTR/EAGAIN (or injected
+   fault) is retried with backoff before surfacing as a typed error. *)
 let load_result ?(policy = Repair.Strict) path =
-  match Omn_robust.Atomic_file.read_to_string path with
+  match Omn_robust.Retry_io.read_to_string path with
   | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg)
+  | exception Omn_robust.Retry_io.Injected msg ->
+    Error (Err.v ~file:path Err.Io ("injected fault: " ^ msg))
   | text -> parse ~policy ~file:path text
 
 let load path =
@@ -277,4 +281,4 @@ let load path =
   | Error { code = Err.Io; msg; _ } -> raise (Sys_error msg)
   | Error e -> failwith (Err.to_string e)
 
-let save trace path = Omn_robust.Atomic_file.write path (fun oc -> output oc trace)
+let save trace path = Omn_robust.Retry_io.write path (fun oc -> output oc trace)

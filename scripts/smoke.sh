@@ -6,7 +6,12 @@
 #      exit 124 with a PARTIAL banner, and resuming from its checkpoint
 #      must reproduce the uninterrupted run byte for byte;
 #   3. observability: --metrics must emit a snapshot containing frontier
-#      prune counters, per-domain pool busy time and the span tree.
+#      prune counters, per-domain pool busy time and the span tree;
+#   4. resilience: a fault-free supervised run must match the
+#      unsupervised run byte for byte; a corrupted checkpoint must fall
+#      back to the rotated .prev generation and still reproduce the
+#      uninterrupted output; the chaos harness must complete with the
+#      degraded-but-complete exit code 3.
 # Run via `make check`. CI uploads $SMOKE_METRICS as an artifact.
 set -eu
 
@@ -86,5 +91,57 @@ grep -q 'sources' "$tmp/progress.out" || {
   echo "smoke FAIL: --progress printed nothing" >&2
   exit 1
 }
+
+# --- 4. resilience -----------------------------------------------------------
+
+# Fault-free supervision is pure bookkeeping: same bytes, exit 0.
+"$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 --retries 2 \
+  -o "$tmp/supervised.json" >/dev/null
+cmp -s "$tmp/full.json" "$tmp/supervised.json" || {
+  echo "smoke FAIL: fault-free supervised run differs from unsupervised run" >&2
+  exit 1
+}
+
+# Two zero-budget runs leave two checkpoint generations on disk.
+for flag in "" "--resume"; do
+  rc=0
+  "$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 --budget-seconds 0 --checkpoint-every 1 \
+    --checkpoint "$tmp/res.ck" $flag >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 124 ]; then
+    echo "smoke FAIL: zero-budget run exited $rc, expected 124" >&2
+    exit 1
+  fi
+done
+[ -f "$tmp/res.ck.prev" ] || {
+  echo "smoke FAIL: checkpoint rotation left no .prev generation" >&2
+  exit 1
+}
+
+# Corrupt the current generation: resume must detect the bad CRC, fall
+# back to .prev, redo the lost chunk, and agree byte for byte.
+"$OMN" corrupt "$tmp/res.ck" --fault ckpt-flip --seed 3 -o "$tmp/res.ck" >/dev/null
+"$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 --checkpoint-every 1 \
+  --checkpoint "$tmp/res.ck" --resume -o "$tmp/fallback.json" >/dev/null 2>"$tmp/fallback.err"
+grep -q 'previous generation' "$tmp/fallback.err" || {
+  echo "smoke FAIL: corrupt checkpoint produced no fallback notice" >&2
+  exit 1
+}
+cmp -s "$tmp/full.json" "$tmp/fallback.json" || {
+  echo "smoke FAIL: post-fallback output differs from uninterrupted run" >&2
+  exit 1
+}
+if [ -f "$tmp/res.ck" ] || [ -f "$tmp/res.ck.prev" ]; then
+  echo "smoke FAIL: checkpoint generations not removed after completion" >&2
+  exit 1
+fi
+
+# The chaos harness injects read faults, poisoned sources and checkpoint
+# corruption; it must complete degraded (exit 3), not crash (1) or hang.
+rc=0
+"$OMN" chaos --domains 2 >/dev/null || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "smoke FAIL: omn chaos exited $rc, expected 3" >&2
+  exit 1
+fi
 
 echo "smoke ok"

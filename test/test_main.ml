@@ -15,6 +15,7 @@ let () =
       ("randnet", Test_randnet.suite);
       ("mobility", Test_mobility.suite);
       ("robust", Test_robust.suite);
+      ("chaos", Test_chaos.suite);
       ("misc", Test_misc.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);

@@ -49,6 +49,57 @@ let shutdown_idempotent () =
     Pool.shutdown p;
     Alcotest.fail "domains = 0 accepted")
 
+(* Regression: mapping on a shut-down pool used to enqueue jobs no
+   worker would ever take and hang; now it raises immediately. *)
+let map_after_shutdown_raises () =
+  let pool = Pool.create ~domains:3 () in
+  Pool.shutdown pool;
+  match Pool.map pool succ [| 1; 2; 3 |] with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "message names shutdown" true
+      (String.length msg > 0 && Util.contains_substring msg "shut down")
+  | _ -> Alcotest.fail "map on a shut-down pool did not raise"
+
+(* Regression: a nested map on the same pool deadlocked once every
+   worker was busy; now it is detected from both the caller domain and
+   the worker domains. Nesting on a different pool stays legal. *)
+let nested_map_detected () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let saw = Atomic.make 0 in
+      let f _ =
+        match Pool.map pool succ [| 1; 2; 3 |] with
+        | exception Invalid_argument _ ->
+          Atomic.incr saw;
+          0
+        | _ -> 1
+      in
+      let results = Pool.map pool f (Array.init 8 Fun.id) in
+      Alcotest.(check (array int)) "every nested map rejected" (Array.make 8 0) results;
+      Alcotest.(check int) "all sites raised" 8 (Atomic.get saw);
+      (* the pool is still usable afterwards *)
+      Alcotest.(check (array int)) "pool alive" [| 2; 3 |] (Pool.map pool succ [| 1; 2 |]);
+      (* nesting on a different pool is fine *)
+      Pool.with_pool ~domains:2 (fun inner ->
+          let g x = Array.fold_left ( + ) 0 (Pool.map inner (fun y -> x + y) [| 1; 2; 3 |]) in
+          Alcotest.(check (array int)) "different pool allowed" [| 6; 9 |]
+            (Pool.map pool g [| 0; 1 |])))
+
+let map_supervised_isolates_failures () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let f x = if x mod 5 = 2 then failwith (string_of_int x) else x * x in
+      let results = Pool.map_supervised pool f (Array.init 20 Fun.id) in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+            Alcotest.(check bool) "slot not poisoned" true (i mod 5 <> 2);
+            Alcotest.(check int) "slot value" (i * i) v
+          | Error (Failure msg) ->
+            Alcotest.(check bool) "failing slot" true (i mod 5 = 2);
+            Alcotest.(check string) "failure payload" (string_of_int i) msg
+          | Error e -> raise e)
+        results)
+
 let map_list_and_reduce () =
   Pool.with_pool ~domains:2 (fun pool ->
       Alcotest.(check (list int)) "map_list" [ 2; 3; 4 ] (Pool.map_list pool succ [ 1; 2; 3 ]);
@@ -127,6 +178,9 @@ let suite =
     Alcotest.test_case "map = Array.map, order kept, pool reusable" `Quick map_matches_sequential;
     Alcotest.test_case "worker exceptions re-raised on caller" `Quick exceptions_propagate;
     Alcotest.test_case "shutdown idempotent; bad sizes rejected" `Quick shutdown_idempotent;
+    Alcotest.test_case "map after shutdown raises" `Quick map_after_shutdown_raises;
+    Alcotest.test_case "nested map on same pool detected" `Quick nested_map_detected;
+    Alcotest.test_case "map_supervised isolates failures" `Quick map_supervised_isolates_failures;
     Alcotest.test_case "map_list and map_reduce" `Quick map_list_and_reduce;
     Alcotest.test_case "run dispatches on pool/domains" `Quick run_dispatch;
     Alcotest.test_case "--domains spec parsing" `Quick spec_parsing;
