@@ -102,6 +102,8 @@ let save_or_print trace = function
 
 (* --- observability --- *)
 
+let omn_version = "1.0.0"
+
 let metrics_arg =
   let doc =
     "Enable the metrics registry and write a JSON snapshot (counters, per-domain \
@@ -110,19 +112,101 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Enable the event timeline and export it as Chrome trace-event JSON to $(docv) when \
+     the command finishes (even if it fails midway). Open the file in Perfetto \
+     (ui.perfetto.dev) or chrome://tracing: one track per OCaml domain, duration events \
+     for driver chunks and pool work, instants for steals, retries and checkpoint \
+     operations, and a GC counter track. Enabling the timeline never changes computed \
+     results."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let progress_arg =
   let doc = "Report progress on stderr as work completes (rate-limited; in-place on a tty)." in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
-(* Enable the registry up front when a snapshot was requested, and emit
-   it on every exit path — a budget-truncated or failed run still leaves
-   a snapshot of the work it did do. *)
-let with_metrics metrics f =
-  match metrics with
-  | None -> f ()
-  | Some path ->
-    Omn_obs.Metrics.set_enabled true;
-    Fun.protect ~finally:(fun () -> Omn_obs.Sink.emit (Omn_obs.Sink.file path)) f
+(* Provenance for every artifact this process writes. Commands enrich
+   the manifest once their inputs are loaded (trace digest, seed,
+   domain count); artifacts written before that see a bare one. *)
+let manifest = ref None
+
+let set_manifest m = manifest := Some m
+
+let manifest_json ?(final = true) () =
+  let m =
+    match !manifest with Some m -> m | None -> Omn_obs.Manifest.create ~version:omn_version ()
+  in
+  let m = if final then Omn_obs.Manifest.finish m else m in
+  if final then manifest := Some m;
+  Omn_obs.Manifest.to_json m
+
+(* Digest the input bytes for file traces, the canonical serialisation
+   for synthesised ones — either way the digest pins the exact contact
+   set the numbers were computed from. *)
+let trace_manifest ?config ?seed ?domains ?path trace =
+  let trace_sha256 =
+    match path with
+    | Some p -> Omn_obs.Sha256.file p
+    | None -> Omn_obs.Sha256.string (Omn_temporal.Trace_io.to_string trace)
+  in
+  set_manifest
+    (Omn_obs.Manifest.create ?config ?seed ?domains ~trace_sha256
+       ~trace_name:(Omn_temporal.Trace.name trace)
+       ~n_nodes:(Omn_temporal.Trace.n_nodes trace)
+       ~n_contacts:(Omn_temporal.Trace.n_contacts trace) ~version:omn_version ())
+
+let json_with_manifest fields = Omn_obs.Json.Obj (("manifest", manifest_json ()) :: fields)
+
+let curve_fields (c : Omn_core.Delay_cdf.curves) =
+  let open Omn_obs.Json in
+  let farr a = List (Array.to_list (Array.map (fun v -> Float v) a)) in
+  [
+    ("grid", farr c.grid);
+    ("hop_success", List (Array.to_list (Array.map farr c.hop_success)));
+    ("hop_success_inf", farr c.hop_success_inf);
+    ("flood_success", farr c.flood_success);
+    ("flood_success_inf", Float c.flood_success_inf);
+    ("max_rounds_used", Int c.max_rounds_used);
+  ]
+
+let write_json path json =
+  Omn_robust.Retry_io.write_string path (Omn_obs.Json.to_string ~pretty:true json ^ "\n")
+
+(* Enable the requested registries up front and emit on every exit path
+   — a budget-truncated or failed run still leaves a snapshot and a
+   trace of the work it did do. Both artifacts carry the manifest. *)
+let with_obs ?metrics ?trace_out f =
+  match (metrics, trace_out) with
+  | None, None -> f ()
+  | _ ->
+    if metrics <> None then Omn_obs.Metrics.set_enabled true;
+    if trace_out <> None then Omn_obs.Timeline.set_enabled true;
+    let emit () =
+      let mjson = manifest_json () in
+      Option.iter
+        (fun path ->
+          Omn_obs.Trace_export.write ~manifest:mjson ~path (Omn_obs.Timeline.snapshot ()))
+        trace_out;
+      Option.iter
+        (fun path ->
+          match Omn_obs.Metrics.(snapshot_to_json (snapshot ())) with
+          | Omn_obs.Json.Obj fields ->
+            write_json path (Omn_obs.Json.Obj (("manifest", mjson) :: fields))
+          | j -> write_json path j)
+        metrics
+    in
+    Fun.protect ~finally:emit f
+
+(* Checkpoint files are opaque Marshal payloads; their provenance rides
+   in a JSON sidecar so a resumed or post-mortem run can be traced back
+   to its inputs. Removed together with the generations. *)
+let write_checkpoint_sidecar checkpoint =
+  Option.iter
+    (fun path ->
+      write_json (Omn_robust.Checkpoint.manifest_path path) (manifest_json ~final:false ()))
+    checkpoint
 
 (* A progress bar materialised on the first report (the total is only
    known once the computation announces it). *)
@@ -130,7 +214,7 @@ let progress_reporter ~enabled label =
   if not enabled then (None, fun () -> ())
   else begin
     let bar = ref None in
-    let report ~done_ ~total =
+    let report ~done_ ~total ~degraded ~fallback =
       let b =
         match !bar with
         | Some b -> b
@@ -139,6 +223,8 @@ let progress_reporter ~enabled label =
           bar := Some b;
           b
       in
+      if degraded > 0 then Omn_obs.Progress.set_degraded b degraded;
+      if fallback then Omn_obs.Progress.set_fallback b;
       Omn_obs.Progress.set b done_
     in
     (Some report, fun () -> Option.iter Omn_obs.Progress.finish !bar)
@@ -320,13 +406,24 @@ let resilience_exit ~partial ~ckpt_fallback degraded =
 
 let diameter_cmd =
   let run path ingest lenient epsilon max_hops domains checkpoint resume every budget metrics
-      progress retries task_deadline quarantine =
+      trace_out progress retries task_deadline quarantine output =
     protect_code @@ fun () ->
     if resume && checkpoint = None then usage_err "--resume requires --checkpoint FILE";
     let domains = Omn_parallel.Pool.resolve domains in
     let supervise = supervise_policy retries task_deadline quarantine in
-    with_metrics metrics @@ fun () ->
+    with_obs ?metrics ?trace_out @@ fun () ->
     let trace = load_trace ~policy:ingest ~lenient path in
+    trace_manifest ~path ~domains
+      ~config:
+        Omn_obs.Json.
+          [
+            ("epsilon", Float epsilon); ("max_hops", Int max_hops);
+            ("checkpoint_every", Int every);
+            ("budget_seconds", match budget with Some b -> Float b | None -> Null);
+            ("supervised", Bool (supervise <> None));
+          ]
+      trace;
+    write_checkpoint_sidecar checkpoint;
     let span = Omn_temporal.Trace.span trace in
     let grid =
       Omn_stats.Grid.logarithmic ~lo:(Float.max 1. (span /. 5000.)) ~hi:span ~n:100
@@ -350,8 +447,25 @@ let diameter_cmd =
           end)
         result.curves.grid
     in
+    let result_json (result : Omn_core.Diameter.result) extra =
+      let open Omn_obs.Json in
+      json_with_manifest
+        ([
+           ("epsilon", Float epsilon);
+           ("diameter", match result.diameter with Some d -> Int d | None -> Null);
+           ("max_hops", Int max_hops);
+         ]
+        @ extra @ curve_fields result.curves)
+    in
+    let deliver result extra =
+      match output with
+      | Some f ->
+        write_json f (result_json result extra);
+        Format.printf "wrote %s@." f
+      | None -> print_result result
+    in
     if checkpoint = None && budget = None && supervise = None && not progress then begin
-      print_result (Omn_core.Diameter.measure ~epsilon ~max_hops ~grid ~domains trace);
+      deliver (Omn_core.Diameter.measure ~epsilon ~max_hops ~grid ~domains trace) [];
       0
     end
     else begin
@@ -369,7 +483,15 @@ let diameter_cmd =
           Format.printf
             "PARTIAL result: budget exhausted after %d of %d source nodes (uniform sample)@."
             run.sources_done run.sources_total;
-        print_result run.result;
+        deliver run.result
+          Omn_obs.Json.
+            [
+              ("sources_done", Int run.sources_done);
+              ("sources_total", Int run.sources_total);
+              ("partial", Bool run.partial);
+              ("degraded_sources", Int (List.length run.degraded));
+              ("ckpt_fallback", Bool run.ckpt_fallback);
+            ];
         resilience_exit ~partial:run.partial ~ckpt_fallback:run.ckpt_fallback run.degraded
     end
   in
@@ -378,7 +500,8 @@ let diameter_cmd =
     Term.(
       const run $ trace_arg $ ingest_arg $ lenient_arg $ epsilon_arg $ max_hops_arg
       $ domains_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg $ budget_arg
-      $ metrics_arg $ progress_arg $ retries_arg $ task_deadline_arg $ quarantine_arg)
+      $ metrics_arg $ trace_out_arg $ progress_arg $ retries_arg $ task_deadline_arg
+      $ quarantine_arg $ output_arg)
 
 (* --- delay-cdf --- *)
 
@@ -390,19 +513,6 @@ let delay_cdf_cmd =
   let preset =
     let doc = "Synthesise the workload instead of reading a file (same names as `omn gen')." in
     Arg.(value & opt (some preset_conv) None & info [ "preset" ] ~docv:"NAME" ~doc)
-  in
-  let json_of_curves (c : Omn_core.Delay_cdf.curves) =
-    let open Omn_obs.Json in
-    let farr a = List (Array.to_list (Array.map (fun v -> Float v) a)) in
-    Obj
-      [
-        ("grid", farr c.grid);
-        ("hop_success", List (Array.to_list (Array.map farr c.hop_success)));
-        ("hop_success_inf", farr c.hop_success_inf);
-        ("flood_success", farr c.flood_success);
-        ("flood_success_inf", Float c.flood_success_inf);
-        ("max_rounds_used", Int c.max_rounds_used);
-      ]
   in
   let print_curves (c : Omn_core.Delay_cdf.curves) =
     Format.printf "delay        ";
@@ -420,12 +530,12 @@ let delay_cdf_cmd =
       c.flood_success_inf c.max_rounds_used
   in
   let run path preset seed ingest lenient max_hops domains checkpoint resume every budget
-      metrics progress retries task_deadline quarantine output =
+      metrics trace_out progress retries task_deadline quarantine output =
     protect_code @@ fun () ->
     if resume && checkpoint = None then usage_err "--resume requires --checkpoint FILE";
     let domains = Omn_parallel.Pool.resolve domains in
     let supervise = supervise_policy retries task_deadline quarantine in
-    with_metrics metrics @@ fun () ->
+    with_obs ?metrics ?trace_out @@ fun () ->
     let trace =
       match (path, preset) with
       | Some _, Some _ -> usage_err "give either TRACE or --preset, not both"
@@ -433,6 +543,16 @@ let delay_cdf_cmd =
       | None, Some pr -> preset_trace pr ~seed ~nodes:40 ~lambda:2. ~hours:6.
       | None, None -> usage_err "need a TRACE file or --preset NAME"
     in
+    trace_manifest ?path ~seed ~domains
+      ~config:
+        Omn_obs.Json.
+          [
+            ("max_hops", Int max_hops); ("checkpoint_every", Int every);
+            ("budget_seconds", match budget with Some b -> Float b | None -> Null);
+            ("supervised", Bool (supervise <> None));
+          ]
+      trace;
+    write_checkpoint_sidecar checkpoint;
     let span = Omn_temporal.Trace.span trace in
     let grid =
       Omn_stats.Grid.logarithmic ~lo:(Float.max 1. (span /. 5000.)) ~hi:span ~n:100
@@ -453,8 +573,7 @@ let delay_cdf_cmd =
           p.sources_done p.sources_total;
       (match output with
       | Some f ->
-        Omn_robust.Retry_io.write_string f
-          (Omn_obs.Json.to_string ~pretty:true (json_of_curves curves) ^ "\n");
+        write_json f (json_with_manifest (curve_fields curves));
         Format.printf "wrote %s@." f
       | None -> print_curves curves);
       resilience_exit ~partial:p.partial ~ckpt_fallback:p.ckpt_fallback p.degraded
@@ -467,8 +586,8 @@ let delay_cdf_cmd =
     Term.(
       const run $ trace_pos $ preset $ seed_arg $ ingest_arg $ lenient_arg $ max_hops_arg
       $ domains_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg $ budget_arg
-      $ metrics_arg $ progress_arg $ retries_arg $ task_deadline_arg $ quarantine_arg
-      $ output_arg)
+      $ metrics_arg $ trace_out_arg $ progress_arg $ retries_arg $ task_deadline_arg
+      $ quarantine_arg $ output_arg)
 
 (* --- delivery --- *)
 
@@ -595,7 +714,7 @@ let chaos_cmd =
   let run seed domains metrics =
     protect_code @@ fun () ->
     let domains = Omn_parallel.Pool.resolve domains in
-    with_metrics metrics @@ fun () ->
+    with_obs ?metrics @@ fun () ->
     let module RI = Omn_robust.Retry_io in
     let horizon = 4. *. 3600. in
     let trace =
@@ -726,11 +845,20 @@ let forward_cmd =
     Arg.(
       value & opt (some int) None & info [ "ttl" ] ~docv:"K" ~doc:"Epidemic hop TTL to include.")
   in
-  let run path ingest lenient seed messages deadline ttl domains metrics progress =
+  let run path ingest lenient seed messages deadline ttl domains metrics trace_out progress
+      output =
     protect @@ fun () ->
     let domains = Omn_parallel.Pool.resolve domains in
-    with_metrics metrics @@ fun () ->
+    with_obs ?metrics ?trace_out @@ fun () ->
     let trace = load_trace ~policy:ingest ~lenient path in
+    trace_manifest ~path ~seed ~domains
+      ~config:
+        Omn_obs.Json.
+          [
+            ("messages", Int messages); ("deadline", Float deadline);
+            ("ttl", match ttl with Some k -> Int k | None -> Null);
+          ]
+      trace;
     let protocols =
       Omn_forwarding.Protocol.
         [
@@ -740,28 +868,54 @@ let forward_cmd =
       |> List.sort_uniq compare
     in
     let report, finish = progress_reporter ~enabled:progress "messages" in
+    (* Sim reports only counts; forwarding has no supervision layer. *)
+    let report =
+      Option.map (fun r ~done_ ~total -> r ~done_ ~total ~degraded:0 ~fallback:false) report
+    in
     let stats =
       Omn_forwarding.Sim.evaluate ~domains ?progress:report (Omn_stats.Rng.create seed) trace
         ~protocols ~messages ~deadline
     in
     finish ();
-    Format.printf "%-20s %-10s %-12s %-8s %s@." "protocol" "delivered" "mean delay" "tx/msg"
-      "nodes";
-    List.iter
-      (fun (s : Omn_forwarding.Sim.stats) ->
-        Format.printf "%-20s %6.1f%%    %-12s %-8.1f %.1f@."
-          (Omn_forwarding.Protocol.name s.protocol)
-          (100. *. s.delivered_ratio)
-          (if Float.is_nan s.mean_delay then "-"
-           else Omn_stats.Timefmt.duration s.mean_delay)
-          s.mean_transmissions s.mean_nodes_reached)
-      stats
+    match output with
+    | Some f ->
+      let open Omn_obs.Json in
+      write_json f
+        (json_with_manifest
+           [
+             ( "stats",
+               List
+                 (List.map
+                    (fun (s : Omn_forwarding.Sim.stats) ->
+                      Obj
+                        [
+                          ("protocol", String (Omn_forwarding.Protocol.name s.protocol));
+                          ("delivered_ratio", Float s.delivered_ratio);
+                          ("mean_delay", Float s.mean_delay);
+                          ("mean_transmissions", Float s.mean_transmissions);
+                          ("mean_nodes_reached", Float s.mean_nodes_reached);
+                        ])
+                    stats) );
+           ]);
+      Format.printf "wrote %s@." f
+    | None ->
+      Format.printf "%-20s %-10s %-12s %-8s %s@." "protocol" "delivered" "mean delay" "tx/msg"
+        "nodes";
+      List.iter
+        (fun (s : Omn_forwarding.Sim.stats) ->
+          Format.printf "%-20s %6.1f%%    %-12s %-8.1f %.1f@."
+            (Omn_forwarding.Protocol.name s.protocol)
+            (100. *. s.delivered_ratio)
+            (if Float.is_nan s.mean_delay then "-"
+             else Omn_stats.Timefmt.duration s.mean_delay)
+            s.mean_transmissions s.mean_nodes_reached)
+        stats
   in
   Cmd.v
     (Cmd.info "forward" ~doc:"Evaluate forwarding protocols on a trace")
     Term.(
       const run $ trace_arg $ ingest_arg $ lenient_arg $ seed_arg $ messages $ deadline $ ttl
-      $ domains_arg $ metrics_arg $ progress_arg)
+      $ domains_arg $ metrics_arg $ trace_out_arg $ progress_arg $ output_arg)
 
 (* --- theory --- *)
 
@@ -795,6 +949,79 @@ let theory_cmd =
     (Cmd.info "theory" ~doc:"Closed-form predictions for random temporal networks (section 3)")
     Term.(const run $ lambda $ n)
 
+(* --- report --- *)
+
+let report_cmd =
+  let result_pos =
+    let doc = "A result JSON written by $(b,omn delay-cdf/diameter/forward -o) (manifest echo)." in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"RESULT" ~doc)
+  in
+  let metrics_in =
+    let doc = "Metrics snapshot JSON (from $(b,--metrics)) to fold into the report." in
+    Arg.(value & opt (some file) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let timeline_in =
+    let doc =
+      "Exported timeline (Chrome trace JSON from $(b,--trace-out)): per-domain \
+       busy/idle/steal breakdown, chunk straggler detection, checkpoint latency \
+       percentiles, dropped-event count."
+    in
+    Arg.(value & opt (some file) None & info [ "timeline" ] ~docv:"FILE" ~doc)
+  in
+  let json_flag =
+    let doc = "Emit the report as JSON (schema $(b,omn-report 1)) instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let fail_dropped =
+    let doc =
+      "Exit with code 1 when the timeline dropped events (ring overflow) — the trace \
+       is incomplete and CI should say so."
+    in
+    Arg.(value & flag & info [ "fail-dropped" ] ~doc)
+  in
+  let run result metrics timeline json fail_dropped output =
+    protect_code @@ fun () ->
+    if result = None && metrics = None && timeline = None then
+      usage_err "need at least one input: RESULT, --metrics FILE or --timeline FILE";
+    let parse what path =
+      match Omn_obs.Json.of_string (Omn_robust.Retry_io.read_to_string path) with
+      | Ok j -> j
+      | Error msg -> usage_err "%s %s: %s" what path msg
+    in
+    let report =
+      Omn_obs.Report.build
+        ?metrics:(Option.map (parse "metrics") metrics)
+        ?timeline:(Option.map (parse "timeline") timeline)
+        ?result:(Option.map (parse "result") result)
+        ()
+    in
+    (if json then begin
+       match output with
+       | Some f ->
+         write_json f report;
+         Format.printf "wrote %s@." f
+       | None -> print_string (Omn_obs.Json.to_string ~pretty:true report ^ "\n")
+     end
+     else Format.printf "%a" Omn_obs.Report.pp report);
+    let dropped = Omn_obs.Report.dropped_events report in
+    if fail_dropped && dropped > 0 then begin
+      Format.eprintf "omn report: %d timeline event(s) dropped (ring overflow) — raise the \
+                      ring capacity or checkpoint more often@."
+        dropped;
+      1
+    end
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Analyse a finished run from its artifacts: manifest echo, per-domain busy/idle \
+          breakdown, straggler and load-imbalance detection, checkpoint latency, \
+          retry/quarantine summary")
+    Term.(
+      const run $ result_pos $ metrics_in $ timeline_in $ json_flag $ fail_dropped
+      $ output_arg)
+
 (* --- experiments passthrough --- *)
 
 let experiment_cmd =
@@ -819,11 +1046,11 @@ let experiment_cmd =
 
 let () =
   let doc = "The diameter of opportunistic mobile networks — toolkit" in
-  let info = Cmd.info "omn" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "omn" ~version:omn_version ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
           [
             gen_cmd; stats_cmd; diameter_cmd; delay_cdf_cmd; delivery_cmd; transform_cmd;
-            corrupt_cmd; chaos_cmd; forward_cmd; theory_cmd; experiment_cmd;
+            corrupt_cmd; chaos_cmd; forward_cmd; theory_cmd; report_cmd; experiment_cmd;
           ]))

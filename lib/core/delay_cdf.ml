@@ -2,6 +2,7 @@ module Trace = Omn_temporal.Trace
 module Pool = Omn_parallel.Pool
 module Chunk = Omn_parallel.Chunk
 module Metrics = Omn_obs.Metrics
+module Timeline = Omn_obs.Timeline
 module Supervise = Omn_resilience.Supervise
 
 let m_sources = Metrics.counter "delay_cdf.sources_done"
@@ -339,7 +340,10 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
         | Error e -> Error e
         | Ok (snap, gen) ->
           let fallback = gen = Checkpoint.Previous in
-          if fallback then Metrics.incr m_ckpt_fallback;
+          if fallback then begin
+            Metrics.incr m_ckpt_fallback;
+            Timeline.record (Ckpt_fallback { path })
+          end;
           Ok
             ( snap.snap_hops, snap.snap_flood, snap.snap_rounds, snap.snap_done,
               snap.snap_degraded, fallback ))
@@ -362,8 +366,9 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
       Omn_obs.Span.with_ ~name:"delay_cdf.compute_resumable" @@ fun () ->
       let t0 = clock () in
       (* Clock reads for chunk/checkpoint latency happen only when
-         metrics are on; the disabled path is timing-free. *)
-      let timed = Metrics.enabled () in
+         metrics or the timeline are on; the disabled path is
+         timing-free. *)
+      let timed = Metrics.enabled () || Timeline.enabled () in
       let done_count = ref done0 and rounds = ref rounds0 in
       let degraded =
         ref
@@ -376,13 +381,29 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
         | [] -> ()
         | _ ->
           let chunk, rest = Chunk.split_at checkpoint_every remaining in
+          let chunk_index = !done_count / checkpoint_every in
           let t_chunk = if timed then Unix.gettimeofday () else 0. in
           let failed =
             accumulate_sources ?supervise ?pool ~domains ~max_hops ~budget_grid ~is_dest
               ~windows ~into:(hop_accs, flood_acc, rounds) trace chunk
           in
           degraded := !degraded @ failed;
-          if timed then Metrics.observe m_chunk_s (Unix.gettimeofday () -. t_chunk);
+          if timed then begin
+            let t1 = Unix.gettimeofday () in
+            Metrics.observe m_chunk_s (t1 -. t_chunk);
+            Timeline.record ~ts:t1
+              (Chunk { index = chunk_index; items = List.length chunk; start = t_chunk });
+            if Timeline.enabled () then begin
+              let gc = Gc.quick_stat () in
+              Timeline.record ~ts:t1
+                (Gc_sample
+                   {
+                     minor = gc.Gc.minor_collections;
+                     major = gc.Gc.major_collections;
+                     heap_words = gc.Gc.heap_words;
+                   })
+            end
+          end;
           done_count := !done_count + List.length chunk;
           (match checkpoint with
           | Some path ->
@@ -399,10 +420,16 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
                     (fun (f : Supervise.failure) -> (f.item, f.attempts, f.reason))
                     !degraded;
               };
-            if timed then Metrics.observe m_ckpt_s (Unix.gettimeofday () -. t_ck)
+            if timed then begin
+              let t1 = Unix.gettimeofday () in
+              Metrics.observe m_ckpt_s (t1 -. t_ck);
+              Timeline.record ~ts:t1 (Ckpt_write { path; seconds = t1 -. t_ck })
+            end
           | None -> ());
           (match report with
-          | Some r -> r ~done_:!done_count ~total
+          | Some r ->
+            r ~done_:!done_count ~total ~degraded:(List.length !degraded)
+              ~fallback:ckpt_fallback
           | None -> ());
           let out_of_budget =
             match budget_seconds with Some b -> clock () -. t0 >= b | None -> false

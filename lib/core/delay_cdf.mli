@@ -123,7 +123,7 @@ val compute_resumable :
   ?checkpoint_every:int ->
   ?budget_seconds:float ->
   ?clock:(unit -> float) ->
-  ?report:(done_:int -> total:int -> unit) ->
+  ?report:(done_:int -> total:int -> degraded:int -> fallback:bool -> unit) ->
   ?supervise:Omn_resilience.Supervise.policy ->
   Omn_temporal.Trace.t ->
   (curves * progress, Omn_robust.Err.t) result
@@ -159,5 +159,7 @@ val compute_resumable :
     - [checkpoint_every]: chunk size in sources (default 8). Part of
       the fingerprint — resuming requires the same value.
     - [report]: called after every chunk with the cumulative source
-      count (the CLI's [--progress] hooks in here). Purely
+      count, the cumulative quarantined-source count and whether the
+      run resumed from a fallback checkpoint generation (the CLI's
+      [--progress] hooks in here and surfaces all three). Purely
       observational — it must not mutate the computation's inputs. *)

@@ -71,7 +71,7 @@ val measure_resumable :
   ?checkpoint_every:int ->
   ?budget_seconds:float ->
   ?clock:(unit -> float) ->
-  ?report:(done_:int -> total:int -> unit) ->
+  ?report:(done_:int -> total:int -> degraded:int -> fallback:bool -> unit) ->
   ?supervise:Omn_resilience.Supervise.policy ->
   Omn_temporal.Trace.t ->
   (run, Omn_robust.Err.t) Stdlib.result

@@ -24,14 +24,18 @@ let escape buf s =
     s;
   Buffer.add_char buf '"'
 
+(* JSON has no non-finite numbers. Encode them as the conventional
+   string sentinels (what Python's json and many JS serialisers accept)
+   so they survive a round trip deterministically instead of collapsing
+   to null; to_float maps the sentinels back. *)
+let nonfinite_repr f =
+  if Float.is_nan f then "NaN" else if f > 0. then "Infinity" else "-Infinity"
+
 let float_repr f =
-  if not (Float.is_finite f) then "null"
-  else begin
-    let s = Printf.sprintf "%.17g" f in
-    (* trim to the shortest representation that still round-trips *)
-    let shorter = Printf.sprintf "%.12g" f in
-    if float_of_string shorter = f then shorter else s
-  end
+  let s = Printf.sprintf "%.17g" f in
+  (* trim to the shortest representation that still round-trips *)
+  let shorter = Printf.sprintf "%.12g" f in
+  if float_of_string shorter = f then shorter else s
 
 let to_string ?(pretty = false) v =
   let buf = Buffer.create 256 in
@@ -41,6 +45,7 @@ let to_string ?(pretty = false) v =
     | Null -> Buffer.add_string buf "null"
     | Bool b -> Buffer.add_string buf (if b then "true" else "false")
     | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f when not (Float.is_finite f) -> escape buf (nonfinite_repr f)
     | Float f -> Buffer.add_string buf (float_repr f)
     | String s -> escape buf s
     | List [] -> Buffer.add_string buf "[]"
@@ -250,6 +255,9 @@ let to_int = function Int i -> Some i | _ -> None
 let to_float = function
   | Float f -> Some f
   | Int i -> Some (float_of_int i)
+  | String "NaN" -> Some nan
+  | String "Infinity" -> Some infinity
+  | String "-Infinity" -> Some neg_infinity
   | _ -> None
 
 let to_bool = function Bool b -> Some b | _ -> None

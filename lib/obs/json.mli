@@ -2,10 +2,13 @@
 
     Just enough of RFC 8259 for metrics snapshots and bench reports:
     a value type, a printer, and a recursive-descent parser. Non-finite
-    floats have no JSON representation and are printed as [null];
-    integers survive a print/parse round trip as {!Int}, finite floats
-    as {!Float} (printed with ["%.17g"], which round-trips doubles
-    exactly). *)
+    floats have no JSON representation; they are printed as the string
+    sentinels ["NaN"], ["Infinity"] and ["-Infinity"] (the convention
+    Python's [json] module emits and most tooling accepts), and
+    {!to_float} maps those sentinels back, so non-finite values survive
+    a print/parse round trip deterministically. Integers survive a
+    round trip as {!Int}, finite floats as {!Float} (printed with
+    ["%.17g"], which round-trips doubles exactly). *)
 
 type t =
   | Null
@@ -31,7 +34,8 @@ val member : string -> t -> t option
 
 val to_int : t -> int option
 val to_float : t -> float option
-(** {!Int} widens to float. *)
+(** {!Int} widens to float; the strings ["NaN"], ["Infinity"] and
+    ["-Infinity"] decode to the non-finite floats they denote. *)
 
 val to_bool : t -> bool option
 val to_str : t -> string option

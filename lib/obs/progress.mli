@@ -6,7 +6,14 @@
     cosmetic — never touches the metrics registry and works whether or
     not metrics are enabled. Safe to update from multiple domains
     (pool workers report concurrently); [set] keeps the maximum, so
-    out-of-order completion reports never move the bar backwards. *)
+    out-of-order completion reports never move the bar backwards.
+
+    When a [total] is known the line carries an ETA derived from an
+    exponentially-weighted moving average of the completion rate, and
+    every line appends the run's health — [degraded N] once any source
+    degrades and [ckpt-fallback] once a checkpoint falls back to its
+    previous generation — so an operator watching a long sweep sees
+    trouble as it happens rather than in the final summary. *)
 
 type t
 
@@ -18,6 +25,13 @@ val set : t -> int -> unit
 
 val step : ?n:int -> t -> unit
 (** Advance by [n] (default 1). *)
+
+val set_degraded : t -> int -> unit
+(** Raise the degraded-source count shown on the line (monotone). *)
+
+val set_fallback : t -> unit
+(** Mark that a checkpoint load fell back to the previous generation;
+    sticky for the rest of the bar's life. *)
 
 val finish : t -> unit
 (** Force a final line (and terminate the tty line). Idempotent. *)

@@ -1,0 +1,12 @@
+(** SHA-256 (FIPS 180-4), self-contained.
+
+    Used by {!Manifest} to fingerprint input traces so result files
+    carry a provenance digest that survives renames and copies. Not a
+    performance-critical path: manifests hash one trace file per run. *)
+
+val string : string -> string
+(** Lowercase hex digest (64 characters) of the bytes of the string. *)
+
+val file : string -> string
+(** Digest of a file's contents, read with transient-failure retries
+    ({!Omn_robust.Retry_io}). Raises [Sys_error] if unreadable. *)

@@ -1,0 +1,147 @@
+let schema = "omn-timeline 1"
+
+(* The viewer expects integer-ish microseconds; floats are accepted but
+   rounding here keeps files small and diff-friendly. *)
+let micros t = Json.Float (Float.round (t *. 1e6))
+
+(* Event start time: duration events carry their own start, instants
+   start at their stamp. Used to anchor the trace at ts = 0. *)
+let start_of (e : Timeline.entry) =
+  match e.ev with
+  | Chunk { start; _ } | Pool_work { start; _ } -> start
+  | Queue_wait { seconds } | Ckpt_write { seconds; _ } -> e.ts -. seconds
+  | _ -> e.ts
+
+let duration_event ~t0 ~tid ~name ~cat ~start ~finish args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("cat", Json.String cat);
+       ("ph", Json.String "X");
+       ("ts", micros (start -. t0));
+       ("dur", micros (Float.max 0. (finish -. start)));
+       ("pid", Json.Int 1);
+       ("tid", Json.Int tid);
+     ]
+    @ match args with [] -> [] | _ -> [ ("args", Json.Obj args) ])
+
+let instant_event ~t0 ~tid ~name ~cat ~ts args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("cat", Json.String cat);
+       ("ph", Json.String "i");
+       ("s", Json.String "t");
+       ("ts", micros (ts -. t0));
+       ("pid", Json.Int 1);
+       ("tid", Json.Int tid);
+     ]
+    @ match args with [] -> [] | _ -> [ ("args", Json.Obj args) ])
+
+let counter_event ~t0 ~tid ~ts args =
+  Json.Obj
+    [
+      ("name", Json.String "gc");
+      ("cat", Json.String "gc");
+      ("ph", Json.String "C");
+      ("ts", micros (ts -. t0));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj args);
+    ]
+
+let metadata ~name ~tid args =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj args);
+    ]
+
+let event_json ~t0 (domain, (e : Timeline.entry)) =
+  let tid = domain in
+  match e.ev with
+  | Timeline.Chunk { index; items; start } ->
+    duration_event ~t0 ~tid ~name:"chunk" ~cat:"driver" ~start ~finish:e.ts
+      [ ("index", Json.Int index); ("items", Json.Int items) ]
+  | Pool_work { start; stolen } ->
+    duration_event ~t0 ~tid ~name:"pool.work" ~cat:"pool" ~start ~finish:e.ts
+      [ ("stolen", Json.Bool stolen) ]
+  | Steal -> instant_event ~t0 ~tid ~name:"steal" ~cat:"pool" ~ts:e.ts []
+  | Queue_wait { seconds } ->
+    duration_event ~t0 ~tid ~name:"queue.wait" ~cat:"pool" ~start:(e.ts -. seconds)
+      ~finish:e.ts []
+  | Ckpt_write { path; seconds } ->
+    duration_event ~t0 ~tid ~name:"checkpoint.write" ~cat:"checkpoint"
+      ~start:(e.ts -. seconds) ~finish:e.ts
+      [ ("path", Json.String path) ]
+  | Ckpt_rotate { path } ->
+    instant_event ~t0 ~tid ~name:"checkpoint.rotate" ~cat:"checkpoint" ~ts:e.ts
+      [ ("path", Json.String path) ]
+  | Ckpt_fallback { path } ->
+    instant_event ~t0 ~tid ~name:"checkpoint.fallback" ~cat:"checkpoint" ~ts:e.ts
+      [ ("path", Json.String path) ]
+  | Retry { item; attempt } ->
+    instant_event ~t0 ~tid ~name:"retry" ~cat:"supervise" ~ts:e.ts
+      [ ("item", Json.Int item); ("attempt", Json.Int attempt) ]
+  | Quarantine { item; attempts } ->
+    instant_event ~t0 ~tid ~name:"quarantine" ~cat:"supervise" ~ts:e.ts
+      [ ("item", Json.Int item); ("attempts", Json.Int attempts) ]
+  | Io_retry { op } ->
+    instant_event ~t0 ~tid ~name:"io.retry" ~cat:"io" ~ts:e.ts
+      [ ("op", Json.String op) ]
+  | Gc_sample { minor; major; heap_words } ->
+    counter_event ~t0 ~tid ~ts:e.ts
+      [
+        ("minor_collections", Json.Int minor);
+        ("major_collections", Json.Int major);
+        ("heap_words", Json.Int heap_words);
+      ]
+  | Mark { name } -> instant_event ~t0 ~tid ~name ~cat:"mark" ~ts:e.ts []
+
+let to_json ?manifest (view : Timeline.view) =
+  let t0 =
+    List.fold_left
+      (fun acc (_, e) -> Float.min acc (start_of e))
+      infinity view.events
+  in
+  let t0 = if t0 = infinity then 0. else t0 in
+  let domains =
+    List.sort_uniq compare
+      (List.map fst view.dropped @ List.map fst view.events)
+  in
+  let meta =
+    metadata ~name:"process_name" ~tid:0 [ ("name", Json.String "omn") ]
+    :: List.concat_map
+         (fun d ->
+           [
+             metadata ~name:"thread_name" ~tid:d
+               [ ("name", Json.String (Printf.sprintf "domain %d" d)) ];
+             metadata ~name:"thread_sort_index" ~tid:d [ ("sort_index", Json.Int d) ];
+           ])
+         domains
+  in
+  let events = List.map (event_json ~t0) view.events in
+  let omn =
+    [
+      ("schema", Json.String schema);
+      ("t0_unix_s", Json.Float t0);
+      ("events", Json.Int (List.length view.events));
+      ("dropped_events", Json.Int (Timeline.total_dropped view));
+      ( "dropped_per_domain",
+        Json.Obj (List.map (fun (d, n) -> (string_of_int d, Json.Int n)) view.dropped) );
+      ("ring_capacity", Json.Int view.capacity);
+    ]
+    @ match manifest with Some m -> [ ("manifest", m) ] | None -> []
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ events));
+      ("displayTimeUnit", Json.String "ms");
+      ("omn", Json.Obj omn);
+    ]
+
+let write ?manifest ~path view =
+  Omn_robust.Retry_io.write_string path (Json.to_string ~pretty:true (to_json ?manifest view) ^ "\n")

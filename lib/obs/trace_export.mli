@@ -1,0 +1,20 @@
+(** Chrome trace-event JSON export of a {!Timeline} snapshot.
+
+    The output opens directly in Perfetto (ui.perfetto.dev) or
+    [chrome://tracing]: one track (thread) per OCaml domain, duration
+    ("ph":"X") events for chunks and pool work loops, instant ("ph":"i")
+    events for steals, retries, quarantines and checkpoint operations,
+    and a counter ("ph":"C") track for GC samples. Timestamps are
+    microseconds relative to the earliest event; the absolute epoch
+    start and the dropped-event counts live in a top-level ["omn"]
+    object (schema ["omn-timeline 1"]), alongside the run manifest when
+    one is supplied — extra top-level keys are explicitly allowed by the
+    trace-event format. *)
+
+val to_json : ?manifest:Json.t -> Timeline.view -> Json.t
+
+val write : ?manifest:Json.t -> path:string -> Timeline.view -> unit
+(** Atomic write (temp file + rename) with transient-failure retries. *)
+
+val schema : string
+(** ["omn-timeline 1"], the value of ["omn"."schema"]. *)

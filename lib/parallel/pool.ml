@@ -153,15 +153,20 @@ let map pool f xs =
         end
       done
     in
-    (* Timing reads the clock only when metrics are on, so the disabled
-       path stays exactly the untimed work loop. *)
-    let timed = Omn_obs.Metrics.enabled () in
+    (* Timing reads the clock only when metrics or the timeline are on,
+       so the disabled path stays exactly the untimed work loop. The
+       busy gauge and the timeline's pool.work span share the same two
+       clock reads, so the exported spans cover the measured busy time
+       exactly. *)
+    let timed = Omn_obs.Metrics.enabled () || Omn_obs.Timeline.enabled () in
     let work ~stolen () =
       if not timed then work ~stolen ()
       else begin
         let t0 = Unix.gettimeofday () in
         work ~stolen ();
-        Omn_obs.Metrics.gadd m_busy (Unix.gettimeofday () -. t0)
+        let t1 = Unix.gettimeofday () in
+        Omn_obs.Metrics.gadd m_busy (t1 -. t0);
+        Omn_obs.Timeline.record ~ts:t1 (Pool_work { start = t0; stolen })
       end
     in
     let helpers = min (Array.length pool.workers) (n - 1) in
@@ -170,7 +175,12 @@ let map pool f xs =
     let fin = Condition.create () in
     let submitted_at = if timed then Unix.gettimeofday () else 0. in
     let helper () =
-      if timed then Omn_obs.Metrics.observe m_queue_wait (Unix.gettimeofday () -. submitted_at);
+      if timed then begin
+        let now = Unix.gettimeofday () in
+        Omn_obs.Metrics.observe m_queue_wait (now -. submitted_at);
+        Omn_obs.Timeline.record ~ts:now (Queue_wait { seconds = now -. submitted_at });
+        Omn_obs.Timeline.record ~ts:now Steal
+      end;
       with_current_map pool (work ~stolen:true);
       Mutex.lock fin_lock;
       decr pending;

@@ -1,5 +1,6 @@
 module Pool = Omn_parallel.Pool
 module Metrics = Omn_obs.Metrics
+module Timeline = Omn_obs.Timeline
 module Rng = Omn_stats.Rng
 
 let m_retries = Metrics.counter "supervise.retries"
@@ -8,9 +9,15 @@ let m_quarantined = Metrics.counter "supervise.quarantined"
 let m_deadline = Metrics.counter "supervise.deadline_giveups"
 let m_io_retries = Metrics.counter "resilience.io_retries"
 
-(* Retry_io sits below the metrics registry in the dependency order, so
-   its retry count is wired up here, where both sides are visible. *)
-let () = Omn_robust.Retry_io.on_retry := fun ~op:_ -> Metrics.incr m_io_retries
+(* Retry_io and Checkpoint sit below the metrics/timeline registry in
+   the dependency order, so their hooks are wired up here, where both
+   sides are visible. *)
+let () =
+  Omn_robust.Retry_io.on_retry :=
+    (fun ~op ->
+      Metrics.incr m_io_retries;
+      Timeline.record (Io_retry { op }));
+  Omn_robust.Checkpoint.on_rotate := fun ~path -> Timeline.record (Ckpt_rotate { path })
 
 type policy = {
   retries : int;
@@ -76,11 +83,13 @@ let run_task ?(clock = Unix.gettimeofday) ?(sleep = Unix.sleepf) ?(give_up = fun
       if overran || a >= policy.retries || give_up () then
         if policy.quarantine then begin
           Metrics.incr m_quarantined;
+          Timeline.record (Quarantine { item; attempts = a + 1 });
           Error { item; attempts = a + 1; reason = Printexc.to_string e }
         end
         else raise e
       else begin
         Metrics.incr m_retries;
+        Timeline.record (Retry { item; attempt = a });
         sleep (backoff_delay policy ~item ~attempt:a);
         go (a + 1)
       end

@@ -37,6 +37,12 @@ let decode ~magic ~path data =
     else Ok payload
   end
 
+(* Observability hook: invoked after a current generation is promoted
+   to .prev. This library sits below the metrics/timeline registry in
+   the dependency order, so the journal wires itself in from above
+   (see Supervise), mirroring Retry_io.on_retry. *)
+let on_rotate : (path:string -> unit) ref = ref (fun ~path:_ -> ())
+
 (* Promote the current generation only if it still decodes — rotating a
    corrupt file over a good .prev would destroy the last recovery
    point. *)
@@ -47,7 +53,12 @@ let rotate ~magic path =
       | exception Sys_error _ -> false
       | data -> Result.is_ok (decode ~magic ~path data)
     in
-    try if ok then Sys.rename path (prev_path path) else Sys.remove path
+    try
+      if ok then begin
+        Sys.rename path (prev_path path);
+        !on_rotate ~path
+      end
+      else Sys.remove path
     with Sys_error _ -> ()
   end
 
@@ -73,7 +84,9 @@ let load ~magic ~validate path =
     if not (Sys.file_exists prev) then Error current_err
     else match read prev with Ok v -> Ok (v, Previous) | Error _ -> Error current_err)
 
+let manifest_path path = path ^ ".manifest.json"
+
 let remove path =
   List.iter
     (fun p -> if Sys.file_exists p then try Sys.remove p with Sys_error _ -> ())
-    [ path; prev_path path ]
+    [ path; prev_path path; manifest_path path ]

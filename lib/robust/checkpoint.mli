@@ -27,6 +27,17 @@ val crc32_hex : string -> string
 val prev_path : string -> string
 (** [path ^ ".prev"], the previous-generation file of [path]. *)
 
+val manifest_path : string -> string
+(** [path ^ ".manifest.json"], the provenance sidecar drivers write
+    next to a checkpoint. This module never writes it, but {!remove}
+    deletes it along with the generations. *)
+
+val on_rotate : (path:string -> unit) ref
+(** Called after the current generation of [path] is promoted to
+    [.prev] during {!save}. Defaults to a no-op; the observability
+    layer (which this library cannot depend on) hooks its event journal
+    in here, exactly like {!Retry_io.on_retry}. *)
+
 val decode : magic:string -> path:string -> string -> (string, Err.t) result
 (** Strip and verify the framing of raw file bytes: magic prefix, CRC
     trailer. Returns the payload, or a typed [Checkpoint] error
@@ -51,4 +62,5 @@ val load :
     fallback state — report it. *)
 
 val remove : string -> unit
-(** Delete both generations of [path], ignoring I/O errors. *)
+(** Delete both generations of [path] and its manifest sidecar,
+    ignoring I/O errors. *)

@@ -11,14 +11,31 @@
 #      unsupervised run byte for byte; a corrupted checkpoint must fall
 #      back to the rotated .prev generation and still reproduce the
 #      uninterrupted output; the chaos harness must complete with the
-#      degraded-but-complete exit code 3.
-# Run via `make check`. CI uploads $SMOKE_METRICS as an artifact.
+#      degraded-but-complete exit code 3;
+#   5. timeline: --trace-out must emit a Chrome trace with per-domain
+#      tracks and chunk/pool duration events, and `omn report
+#      --fail-dropped` must digest it with zero dropped events.
+# Run via `make check`. CI uploads $SMOKE_METRICS, $SMOKE_TRACE and
+# $SMOKE_REPORT as artifacts.
 set -eu
 
 OMN="${OMN:-_build/default/bin/omn.exe}"
 SMOKE_METRICS="${SMOKE_METRICS:-SMOKE_metrics.json}"
+SMOKE_TRACE="${SMOKE_TRACE:-SMOKE_trace.json}"
+SMOKE_REPORT="${SMOKE_REPORT:-SMOKE_report.json}"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+
+# Every result JSON now opens with a provenance manifest whose cmdline,
+# hostname and timestamps legitimately differ between runs; strip that
+# one block (it is always the first key, closed at two-space indent)
+# before any bit-identity comparison.
+strip_manifest() {
+  sed '/^  "manifest": {/,/^  },$/d' "$1"
+}
+same_result() {
+  [ "$(strip_manifest "$1")" = "$(strip_manifest "$2")" ]
+}
 
 # --- 1. robustness ----------------------------------------------------------
 
@@ -67,7 +84,7 @@ grep -q 'PARTIAL' "$tmp/partial.out" || {
 # chunk size is part of the checkpoint fingerprint, so it must match.
 "$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 \
   --checkpoint-every 1 --checkpoint "$tmp/cdf.ck" --resume -o "$tmp/resumed.json" >/dev/null
-cmp -s "$tmp/full.json" "$tmp/resumed.json" || {
+same_result "$tmp/full.json" "$tmp/resumed.json" || {
   echo "smoke FAIL: resumed delay-cdf differs from uninterrupted run" >&2
   exit 1
 }
@@ -97,7 +114,7 @@ grep -q 'sources' "$tmp/progress.out" || {
 # Fault-free supervision is pure bookkeeping: same bytes, exit 0.
 "$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 --retries 2 \
   -o "$tmp/supervised.json" >/dev/null
-cmp -s "$tmp/full.json" "$tmp/supervised.json" || {
+same_result "$tmp/full.json" "$tmp/supervised.json" || {
   echo "smoke FAIL: fault-free supervised run differs from unsupervised run" >&2
   exit 1
 }
@@ -126,7 +143,7 @@ grep -q 'previous generation' "$tmp/fallback.err" || {
   echo "smoke FAIL: corrupt checkpoint produced no fallback notice" >&2
   exit 1
 }
-cmp -s "$tmp/full.json" "$tmp/fallback.json" || {
+same_result "$tmp/full.json" "$tmp/fallback.json" || {
   echo "smoke FAIL: post-fallback output differs from uninterrupted run" >&2
   exit 1
 }
@@ -134,6 +151,36 @@ if [ -f "$tmp/res.ck" ] || [ -f "$tmp/res.ck.prev" ]; then
   echo "smoke FAIL: checkpoint generations not removed after completion" >&2
   exit 1
 fi
+
+# --- 5. timeline + report ----------------------------------------------------
+
+# One traced run, then the report analyzer over its trace + metrics.
+# --fail-dropped turns any ring overflow into a failing exit code, so a
+# trace too small for its run can never pass silently.
+"$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 --domains 2 \
+  --trace-out "$SMOKE_TRACE" --metrics "$SMOKE_METRICS" -o "$tmp/traced.json" >/dev/null
+for key in '"omn-timeline 1"' 'traceEvents' 'thread_name' '"chunk"' 'pool.work' \
+  '"manifest"' 'trace_sha256'; do
+  grep -q "$key" "$SMOKE_TRACE" || {
+    echo "smoke FAIL: trace export lacks $key" >&2
+    exit 1
+  }
+done
+same_result "$tmp/full.json" "$tmp/traced.json" || {
+  echo "smoke FAIL: traced run differs from untraced run" >&2
+  exit 1
+}
+"$OMN" report "$tmp/traced.json" --timeline "$SMOKE_TRACE" --metrics "$SMOKE_METRICS" \
+  --json --fail-dropped -o "$SMOKE_REPORT" >/dev/null || {
+  echo "smoke FAIL: omn report rejected the traced run (dropped events?)" >&2
+  exit 1
+}
+for key in '"omn-report 1"' '"dropped_events": 0' '"domains"' '"chunks"' '"manifest"'; do
+  grep -q "$key" "$SMOKE_REPORT" || {
+    echo "smoke FAIL: report lacks $key" >&2
+    exit 1
+  }
+done
 
 # The chaos harness injects read faults, poisoned sources and checkpoint
 # corruption; it must complete degraded (exit 3), not crash (1) or hang.

@@ -19,5 +19,6 @@ let () =
       ("misc", Test_misc.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("timeline", Test_timeline.suite);
       ("differential", Test_differential.suite);
     ]

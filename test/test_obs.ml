@@ -212,6 +212,67 @@ let test_json_parse () =
   Alcotest.(check bool) "pretty round trip" true (Json.of_string (Json.to_string ~pretty:true j) = Ok j);
   Alcotest.(check bool) "compact round trip" true (Json.of_string (Json.to_string j) = Ok j)
 
+let test_json_nonfinite () =
+  (* non-finite floats print as string sentinels, never as bare nan/inf
+     (which no JSON parser accepts) *)
+  Alcotest.(check string) "nan" "\"NaN\"" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf" "\"Infinity\"" (Json.to_string (Json.Float Float.infinity));
+  Alcotest.(check string) "-inf" "\"-Infinity\""
+    (Json.to_string (Json.Float Float.neg_infinity));
+  (* and to_float maps the sentinels back *)
+  (match Option.map Float.is_nan (Json.to_float (Json.String "NaN")) with
+  | Some true -> ()
+  | _ -> Alcotest.fail "NaN sentinel did not decode");
+  Alcotest.(check (option (float 0.))) "Infinity decodes" (Some Float.infinity)
+    (Json.to_float (Json.String "Infinity"));
+  Alcotest.(check (option (float 0.))) "-Infinity decodes" (Some Float.neg_infinity)
+    (Json.to_float (Json.String "-Infinity"));
+  Alcotest.(check (option (float 0.))) "other strings do not" None
+    (Json.to_float (Json.String "Inf"));
+  (* the full print -> parse -> decode path, nested in a value *)
+  let j = Json.Obj [ ("v", Json.Float Float.infinity); ("w", Json.Float 2.5) ] in
+  match Json.of_string (Json.to_string ~pretty:true j) with
+  | Error e -> Alcotest.failf "reparse: %s" e
+  | Ok j' ->
+    Alcotest.(check (option (float 0.))) "survives round trip" (Some Float.infinity)
+      (Option.bind (Json.member "v" j') Json.to_float);
+    Alcotest.(check (option (float 0.))) "finite neighbour intact" (Some 2.5)
+      (Option.bind (Json.member "w" j') Json.to_float)
+
+(* Spans recorded inside pool tasks land on whichever domain ran the
+   task: the submitter sees them under its current stack ("outer/task"),
+   helper domains as roots ("task"). The split is nondeterministic, but
+   the total across both paths is exact and the outer span stays
+   single. *)
+let test_span_across_pool () =
+  let reg = fresh_enabled () in
+  let n = 64 in
+  Omn_parallel.Pool.with_pool ~domains:3 (fun pool ->
+      let out =
+        Span.with_ ~reg ~name:"outer" (fun () ->
+            Omn_parallel.Pool.map pool
+              (fun i -> Span.with_ ~reg ~name:"task" (fun () -> i * 2))
+              (Array.init n Fun.id))
+      in
+      Alcotest.(check bool) "results correct" true
+        (out = Array.init n (fun i -> i * 2)));
+  let snap = Metrics.snapshot ~reg () in
+  let count path =
+    match Metrics.find_span snap path with Some sv -> sv.Metrics.sv_count | None -> 0
+  in
+  Alcotest.(check int) "outer ran once" 1 (count "outer");
+  Alcotest.(check int) "every task span recorded exactly once" n
+    (count "task" + count "outer/task");
+  Alcotest.(check int) "no other task paths" 0
+    (List.length
+       (List.filter
+          (fun sv ->
+            (match sv.Metrics.sv_path with
+            | "task" | "outer/task" | "outer" -> false
+            | _ -> true)
+            && sv.Metrics.sv_count > 0)
+          snap.Metrics.spans))
+
 let test_snapshot_roundtrip () =
   let reg = fresh_enabled () in
   let c = Metrics.counter ~reg "a.count" in
@@ -263,6 +324,8 @@ let suite =
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
     Alcotest.test_case "span survives exceptions" `Quick test_span_exception;
     Alcotest.test_case "json parse/print" `Quick test_json_parse;
+    Alcotest.test_case "json non-finite sentinels" `Quick test_json_nonfinite;
+    Alcotest.test_case "spans aggregate across pool workers" `Quick test_span_across_pool;
     Alcotest.test_case "snapshot JSON round trip" `Quick test_snapshot_roundtrip;
     Alcotest.test_case "bit-identity under instrumentation" `Quick test_bit_identity;
   ]
