@@ -157,15 +157,26 @@ let bench_parallel ~quick ~enforce () =
   let runs = List.map (fun d -> (d, time_compute d)) [ 1; 2; 4 ] in
   let base_curves, base_time = List.assoc 1 runs in
   let identical = List.for_all (fun (_, (c, _)) -> c = base_curves) runs in
-  (* Observability overhead: the same 1-domain workload with every
-     counter, histogram and span live. Also checks bit-identity —
-     instrumentation must never perturb results. *)
+  (* Observability overhead: the same workload with every counter,
+     histogram and span live, against the matching-domain uninstrumented
+     baseline. Instrumented at 2 domains when the host has them:
+     [Pool.run] takes a sequential shortcut at 1 domain, so a 1-domain
+     rerun never touches the pool counters and [pool.tasks_run] reads 0
+     — the measured path must exercise the pool it claims to observe.
+     Also checks bit-identity — instrumentation must never perturb
+     results. *)
+  let recommended = Omn_parallel.Pool.recommended () in
+  let obs_domains = if recommended >= 2 then 2 else 1 in
   Omn_obs.Metrics.set_enabled true;
-  let obs_curves, obs_time = time_compute 1 in
+  let obs_curves, obs_time = time_compute obs_domains in
   let snap = Omn_obs.Metrics.snapshot () in
   Omn_obs.Metrics.set_enabled globally_enabled;
   let obs_identical = obs_curves = base_curves in
-  let obs_overhead = obs_time /. base_time in
+  let _, obs_base_time = List.assoc obs_domains runs in
+  let obs_overhead = obs_time /. obs_base_time in
+  let pool_tasks_run =
+    Option.value ~default:0 (Omn_obs.Metrics.counter_total snap "pool.tasks_run")
+  in
   (* Supervision overhead: the same 1-domain workload through the
      resumable driver with supervision off and on (default fault-free
      retry/quarantine policy). Supervision must be pure bookkeeping on
@@ -239,7 +250,6 @@ let bench_parallel ~quick ~enforce () =
   let mean_frontier =
     float_of_int (Array.fold_left ( + ) 0 sizes) /. float_of_int (max 1 (Array.length sizes))
   in
-  let recommended = Omn_parallel.Pool.recommended () in
   let json =
     let open Omn_obs.Json in
     let snap_json = Omn_obs.Metrics.snapshot_to_json snap in
@@ -275,7 +285,8 @@ let bench_parallel ~quick ~enforce () =
         ( "obs",
           Obj
             [
-              ("overhead_ratio_1domain", Float obs_overhead);
+              ("domains", Int obs_domains);
+              ("overhead_ratio", Float obs_overhead);
               ("bit_identical_with_metrics", Bool obs_identical);
               ( "counters",
                 Obj
@@ -327,8 +338,10 @@ let bench_parallel ~quick ~enforce () =
       Format.fprintf fmt "  %d domain(s): %8.3fs  (%.2fx vs 1 domain)@." d t (base_time /. t))
     runs;
   Format.fprintf fmt "  curves bit-identical across domain counts: %b@." identical;
-  Format.fprintf fmt "  metrics-on rerun: %.3fs (overhead x%.3f), bit-identical: %b@." obs_time
-    obs_overhead obs_identical;
+  Format.fprintf fmt
+    "  metrics-on rerun (%d domain(s)): %.3fs (overhead x%.3f), bit-identical: %b, \
+     pool.tasks_run: %d@."
+    obs_domains obs_time obs_overhead obs_identical pool_tasks_run;
   Format.fprintf fmt "  supervised rerun: %.3fs (overhead x%.3f), bit-identical: %b@." sup_time
     sup_overhead sup_identical;
   Format.fprintf fmt
@@ -343,6 +356,13 @@ let bench_parallel ~quick ~enforce () =
   end;
   if not obs_identical then begin
     Format.fprintf fmt "FAIL: enabling metrics changed the computed curves@.";
+    exit 1
+  end;
+  if obs_domains > 1 && pool_tasks_run = 0 then begin
+    (* The instrumented rerun ran on a real pool; zero means the
+       measured path bypassed it and the bench is lying about what it
+       observes. *)
+    Format.fprintf fmt "FAIL: pool.tasks_run is 0 on a %d-domain instrumented run@." obs_domains;
     exit 1
   end;
   if not sup_identical then begin

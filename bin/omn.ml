@@ -48,8 +48,10 @@ let protect f =
       f ();
       0)
 
-let exit_partial = 124
-let exit_degraded = 3
+(* The partial (124) / degraded (3) precedence itself lives in
+   [Supervise.exit_code]; this constant only labels the chaos
+   harness's own deliberate exit. *)
+let exit_degraded = Omn_resilience.Supervise.exit_code ~partial:false ~degraded:true
 
 let usage_err fmt = Format.kasprintf (fun msg -> raise (Err.Error (Err.v Err.Usage msg))) fmt
 
@@ -133,6 +135,10 @@ let progress_arg =
 let manifest = ref None
 
 let set_manifest m = manifest := Some m
+
+(* Enrich the current manifest in place — sharded runs stamp their
+   worker count and shard-map digest once the coordinator computed it. *)
+let update_manifest f = match !manifest with Some m -> manifest := Some (f m) | None -> ()
 
 let manifest_json ?(final = true) () =
   let m =
@@ -392,8 +398,83 @@ let supervise_policy retries task_deadline quarantine =
         quarantine = Option.value quarantine ~default:d.Supervise.quarantine;
       }
 
+(* --- sharded execution (omn_shard) --- *)
+
+module Shard = Omn_shard.Coord
+
+let workers_arg =
+  let doc =
+    "Shard source nodes over $(docv) worker processes (consistent hashing with \
+     successor-list failover, Unix-domain sockets, CRC-framed wire protocol). \
+     $(b,0) (default) computes in-process. Results are byte-identical to the \
+     in-process run at any worker count, even when workers are killed mid-run and \
+     their shard reassigned. With workers, $(b,--domains) sets each worker's own \
+     domain-pool size. Incompatible with $(b,--checkpoint)/$(b,--resume); see \
+     $(b,--worker-ckpt-dir) for the sharded equivalent."
+  in
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"W" ~doc)
+
+let heartbeat_timeout_arg =
+  let doc =
+    "Declare a worker dead (and reassign its shard) after $(docv) seconds of silence. \
+     Must exceed the longest single-source compute time."
+  in
+  Arg.(value & opt float 5. & info [ "heartbeat-timeout" ] ~docv:"S" ~doc)
+
+let worker_ckpt_dir_arg =
+  let doc =
+    "Directory for per-worker shard checkpoints: a killed-and-respawned worker resumes \
+     its completed sources from here instead of recomputing them."
+  in
+  Arg.(value & opt (some string) None & info [ "worker-ckpt-dir" ] ~docv:"DIR" ~doc)
+
+let shard_fault_conv =
+  let parse s =
+    let err () =
+      Error
+        (`Msg
+           (Printf.sprintf "expected KIND[:AFTER[:VICTIM]] with KIND one of %s, got %S"
+              (String.concat "|" Faultgen.shard_fault_names)
+              s))
+    in
+    match String.split_on_char ':' s with
+    | kind :: rest -> (
+      match (Faultgen.shard_fault_of_name kind, rest) with
+      | Some shard_fault, [] -> Ok { Faultgen.after_results = 1; victim = 0; shard_fault }
+      | Some shard_fault, [ a ] -> (
+        match int_of_string_opt a with
+        | Some after_results when after_results >= 0 ->
+          Ok { Faultgen.after_results; victim = 0; shard_fault }
+        | _ -> err ())
+      | Some shard_fault, [ a; v ] -> (
+        match (int_of_string_opt a, int_of_string_opt v) with
+        | Some after_results, Some victim when after_results >= 0 && victim >= 0 ->
+          Ok { Faultgen.after_results; victim; shard_fault }
+        | _ -> err ())
+      | _ -> err ())
+    | [] -> err ()
+  in
+  Arg.conv (parse, Faultgen.pp_shard_event)
+
+let shard_fault_arg =
+  let doc =
+    "Chaos: after AFTER acknowledged results (default 1), apply KIND ($(b,worker-kill), \
+     $(b,worker-hang) or $(b,sock-corrupt)) to worker VICTIM (default 0); $(docv) is \
+     KIND[:AFTER[:VICTIM]]. Repeatable; requires $(b,--workers). Results must stay \
+     byte-identical — this flag exists to prove it."
+  in
+  Arg.(value & opt_all shard_fault_conv [] & info [ "shard-fault" ] ~docv:"SPEC" ~doc)
+
+let shard_supervise (p : Supervise.policy option) =
+  Option.map
+    (fun (p : Supervise.policy) ->
+      (p.Supervise.retries, p.Supervise.backoff, p.Supervise.backoff_max, p.Supervise.jitter_seed))
+    p
+
 (* Report fallback/quarantine outcomes and pick the documented exit
-   code: partial (124) beats degraded (3) beats success (0). *)
+   code via the one shared precedence rule: partial (124) beats
+   degraded (3) beats success (0) — [Supervise.exit_code], so the
+   single-process and sharded drivers can never drift apart. *)
 let resilience_exit ~partial ~ckpt_fallback degraded =
   if ckpt_fallback then
     Format.eprintf "omn: checkpoint was corrupt; resumed from the previous generation@.";
@@ -402,7 +483,7 @@ let resilience_exit ~partial ~ckpt_fallback degraded =
   | fs ->
     Format.printf "DEGRADED result: %d source task(s) quarantined@." (List.length fs);
     List.iter (fun f -> Format.printf "  %a@." Supervise.pp_failure f) fs);
-  if partial then exit_partial else if degraded <> [] then exit_degraded else 0
+  Supervise.exit_code ~partial ~degraded:(degraded <> [])
 
 let diameter_cmd =
   let run path ingest lenient epsilon max_hops domains checkpoint resume every budget metrics
@@ -530,9 +611,15 @@ let delay_cdf_cmd =
       c.flood_success_inf c.max_rounds_used
   in
   let run path preset seed ingest lenient max_hops domains checkpoint resume every budget
-      metrics trace_out progress retries task_deadline quarantine output =
+      metrics trace_out progress retries task_deadline quarantine workers hb_timeout
+      worker_ckpt_dir shard_faults output =
     protect_code @@ fun () ->
     if resume && checkpoint = None then usage_err "--resume requires --checkpoint FILE";
+    if workers > 0 && (checkpoint <> None || resume) then
+      usage_err
+        "--workers is incompatible with --checkpoint/--resume (workers keep their own \
+         shard checkpoints; see --worker-ckpt-dir)";
+    if shard_faults <> [] && workers = 0 then usage_err "--shard-fault requires --workers";
     let domains = Omn_parallel.Pool.resolve domains in
     let supervise = supervise_policy retries task_deadline quarantine in
     with_obs ?metrics ?trace_out @@ fun () ->
@@ -559,9 +646,42 @@ let delay_cdf_cmd =
     in
     let report, finish = progress_reporter ~enabled:progress "sources" in
     let outcome =
-      Omn_core.Delay_cdf.compute_resumable ~max_hops ~grid ~domains ?checkpoint ~resume
-        ~checkpoint_every:every ?budget_seconds:budget ~clock:Unix.gettimeofday ?report
-        ?supervise trace
+      if workers > 0 then begin
+        let cfg =
+          {
+            (Shard.default ~workers) with
+            Shard.worker_domains = domains;
+            heartbeat_timeout = hb_timeout;
+            supervise = shard_supervise supervise;
+            ckpt_dir = worker_ckpt_dir;
+            budget_seconds = budget;
+            chaos =
+              List.sort
+                (fun (a : Faultgen.shard_event) b -> compare a.after_results b.after_results)
+                shard_faults;
+          }
+        in
+        match Shard.run ~max_hops ~grid cfg trace with
+        | Error e -> Error e
+        | Ok (curves, p, stats) ->
+          update_manifest (fun m ->
+              {
+                m with
+                Omn_obs.Manifest.workers = Some workers;
+                shard_map_sha256 = Some stats.Shard.shard_map_sha256;
+              });
+          if stats.Shard.reassigned > 0 || stats.Shard.rejoins > 0 then
+            Format.eprintf
+              "omn: shard failover: %d source(s) reassigned, %d worker spawn(s), %d \
+               rejoin(s), %d duplicate result(s) dropped@."
+              stats.Shard.reassigned stats.Shard.spawns stats.Shard.rejoins
+              stats.Shard.duplicates;
+          Ok (curves, p)
+      end
+      else
+        Omn_core.Delay_cdf.compute_resumable ~max_hops ~grid ~domains ?checkpoint ~resume
+          ~checkpoint_every:every ?budget_seconds:budget ~clock:Unix.gettimeofday ?report
+          ?supervise trace
     in
     finish ();
     match outcome with
@@ -587,7 +707,8 @@ let delay_cdf_cmd =
       const run $ trace_pos $ preset $ seed_arg $ ingest_arg $ lenient_arg $ max_hops_arg
       $ domains_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg $ budget_arg
       $ metrics_arg $ trace_out_arg $ progress_arg $ retries_arg $ task_deadline_arg
-      $ quarantine_arg $ output_arg)
+      $ quarantine_arg $ workers_arg $ heartbeat_timeout_arg $ worker_ckpt_dir_arg
+      $ shard_fault_arg $ output_arg)
 
 (* --- delivery --- *)
 
@@ -706,12 +827,37 @@ let corrupt_cmd =
           the lenient ingestion and recovery paths)")
     Term.(const run $ trace_arg $ seed_arg $ fault $ output_arg)
 
+(* --- worker (shard worker process, spawned by the coordinator) --- *)
+
+let worker_cmd =
+  let id =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "id" ] ~docv:"N" ~doc:"Worker index assigned by the coordinator.")
+  in
+  let sock =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "sock" ] ~docv:"PATH" ~doc:"Coordinator's Unix-domain socket path.")
+  in
+  let run id sock = protect @@ fun () -> Omn_shard.Worker.main ~worker:id ~sock () in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Internal: shard worker process. Spawned by the coordinator behind $(b,delay-cdf \
+          --workers); connects back over the given Unix-domain socket, computes \
+          per-source partials on demand and ships them back CRC-framed. Not meant to be \
+          invoked by hand.")
+    Term.(const run $ id $ sock)
+
 (* --- chaos (resilience harness) --- *)
 
 let chaos_cmd =
   let fail fmt = Format.kasprintf (fun msg -> raise (Err.Error (Err.v Err.Compute msg))) fmt in
   let ok what = Format.printf "chaos: %-46s OK@." what in
-  let run seed domains metrics =
+  let run seed domains shard metrics =
     protect_code @@ fun () ->
     let domains = Omn_parallel.Pool.resolve domains in
     with_obs ?metrics @@ fun () ->
@@ -820,8 +966,93 @@ let chaos_cmd =
     in
     if stats = [] then fail "forwarding simulation returned no stats";
     ok "forwarding pipeline completed";
+    (* 5-8. Sharded execution under process-level faults (--shard):
+       worker crashes, hangs and corrupted frames must never lose or
+       double-count a source, and the merged curves must stay
+       byte-identical to the single-process run. *)
+    if shard then begin
+      let sh_workers = 3 in
+      let sh_n = 12 in
+      let strace =
+        Omn_randnet.Continuous.generate
+          (Omn_stats.Rng.create (seed + 1))
+          { n = sh_n; lambda = 6. /. 3600.; horizon = 3600. }
+      in
+      let sgrid = Omn_stats.Grid.logarithmic ~lo:10. ~hi:3600. ~n:20 in
+      let smax = 4 in
+      let reference =
+        Omn_core.Delay_cdf.compute ~max_hops:smax ~grid:sgrid
+          ~sources:(Omn_core.Delay_cdf.uniform_order (List.init sh_n Fun.id))
+          strace
+      in
+      let sh_cfg ?(workers = sh_workers) ?(chaos = []) ?ckpt_dir () =
+        {
+          (Shard.default ~workers) with
+          Shard.heartbeat_interval = 0.05;
+          heartbeat_timeout = 2.;
+          respawn_backoff = 0.05;
+          (* a 2-source in-flight window makes every fault observable by
+             construction: at most 6 initial + 3 ack-freed dispatches can
+             precede the last chaos event, so a killed or hung victim
+             always strands undispatched work — completion then requires
+             failover, never just draining the socket buffer *)
+          max_inflight = 2;
+          chaos;
+          ckpt_dir;
+        }
+      in
+      let run_shard label cfg =
+        match Shard.run ~max_hops:smax ~grid:sgrid cfg strace with
+        | Error e -> fail "%s: %s" label (Err.to_string e)
+        | Ok (curves, p, st) ->
+          if p.Omn_core.Delay_cdf.partial then fail "%s: unexpectedly partial" label;
+          if p.degraded <> [] then fail "%s: unexpectedly degraded" label;
+          if p.sources_done <> sh_n then
+            fail "%s: %d of %d sources acknowledged" label p.sources_done sh_n;
+          if curves <> reference then
+            fail "%s: curves differ from the single-process run" label;
+          st
+      in
+      let _ = run_shard "clean sharded run" (sh_cfg ()) in
+      ok "sharded run bit-identical (3 workers)";
+      let dir = Filename.temp_file "omn-chaos-shard" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o700;
+      let kill_all =
+        [
+          { Faultgen.after_results = 1; victim = 0; shard_fault = Faultgen.Worker_kill };
+          { Faultgen.after_results = 2; victim = 1; shard_fault = Faultgen.Worker_kill };
+          { Faultgen.after_results = 3; victim = 2; shard_fault = Faultgen.Worker_kill };
+        ]
+      in
+      let st = run_shard "kill-every-worker run" (sh_cfg ~chaos:kill_all ~ckpt_dir:dir ()) in
+      if st.Shard.spawns <= sh_workers then
+        fail "kill-every-worker run finished without a respawn";
+      ok "every worker killed: respawn + failover, no source lost";
+      let hang = [ { Faultgen.after_results = 1; victim = 0; shard_fault = Faultgen.Worker_hang } ] in
+      let st = run_shard "hung-worker run" (sh_cfg ~workers:1 ~chaos:hang ~ckpt_dir:dir ()) in
+      if st.Shard.heartbeat_misses < 1 then fail "hung worker was never detected";
+      ok "hung worker detected by heartbeat and replaced";
+      let corrupt =
+        [ { Faultgen.after_results = 1; victim = 0; shard_fault = Faultgen.Sock_corrupt } ]
+      in
+      let st = run_shard "corrupt-frame run" (sh_cfg ~workers:1 ~chaos:corrupt ~ckpt_dir:dir ()) in
+      if st.Shard.frame_corrupts < 1 then fail "corrupt frame was never rejected";
+      ok "corrupt frame rejected by CRC, connection replaced";
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end;
     Format.printf "chaos: all scenarios passed; exit %d (degraded-but-complete)@." exit_degraded;
     exit_degraded
+  in
+  let shard_flag =
+    let doc =
+      "Also run the sharded-execution scenarios: worker-kill, worker-hang and \
+       sock-corrupt faults against multi-process runs (spawns real worker processes)."
+    in
+    Arg.(value & flag & info [ "shard" ] ~doc)
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -829,7 +1060,7 @@ let chaos_cmd =
          "Run the delay-cdf / diameter / forwarding pipeline under injected faults and \
           assert the resilience guarantees (internal testing harness). Exits with code 3: \
           the run completes degraded by construction.")
-    Term.(const run $ seed_arg $ domains_arg $ metrics_arg)
+    Term.(const run $ seed_arg $ domains_arg $ shard_flag $ metrics_arg)
 
 (* --- forward --- *)
 
@@ -1052,5 +1283,6 @@ let () =
        (Cmd.group info
           [
             gen_cmd; stats_cmd; diameter_cmd; delay_cdf_cmd; delivery_cmd; transform_cmd;
-            corrupt_cmd; chaos_cmd; forward_cmd; theory_cmd; report_cmd; experiment_cmd;
+            corrupt_cmd; chaos_cmd; worker_cmd; forward_cmd; theory_cmd; report_cmd;
+            experiment_cmd;
           ]))

@@ -180,6 +180,91 @@ let accumulate_sources ?supervise ?pool ~domains ~max_hops ~budget_grid ~is_dest
     Metrics.add m_quarantined (List.length failed);
     failed
 
+(* --- per-source partials (the distributed-merge building block) ---
+
+   A [partial] is the contribution of one batch of sources to the final
+   curves, exactly as [compute_batch] produces it. The sharded driver
+   ([Omn_shard]) computes partials on worker processes, ships them as
+   Marshal payloads, and merges them on the coordinator with [Merger] in
+   the same slot order the single-process driver uses — [merge_into] is
+   plain float addition in an identical sequence, so the result is
+   bit-identical at any worker count. *)
+
+type partial = { p_hops : t array; p_flood : t; p_rounds : int }
+
+let partial_magic = "omn-partial 1\n"
+
+let source_partial ?(max_hops = 10) ?dests ?grid:(budget_grid = Omn_stats.Grid.delay_default)
+    ?windows trace source =
+  if max_hops < 1 then invalid_arg "Delay_cdf.source_partial: max_hops < 1";
+  let windows =
+    match windows with
+    | None -> [ (Trace.t_start trace, Trace.t_end trace) ]
+    | Some [] -> invalid_arg "Delay_cdf.source_partial: empty window list"
+    | Some ws -> ws
+  in
+  let n = Trace.n_nodes trace in
+  if source < 0 || source >= n then invalid_arg "Delay_cdf.source_partial: source out of range";
+  let is_dest =
+    match dests with
+    | None -> Array.make n true
+    | Some ds ->
+      let mask = Array.make n false in
+      List.iter (fun d -> mask.(d) <- true) ds;
+      mask
+  in
+  let p_hops, p_flood, p_rounds =
+    compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace [ source ]
+  in
+  { p_hops; p_flood; p_rounds }
+
+(* Marshal is safe here: both ends run the same binary (the coordinator
+   spawns its own executable as workers) and the magic prefix rejects
+   frames from anything else. Floats round-trip bit-exactly. *)
+let partial_to_string p = partial_magic ^ Marshal.to_string p []
+
+let partial_of_string s =
+  let m = String.length partial_magic in
+  if String.length s < m || String.sub s 0 m <> partial_magic then
+    Error "not an omn-partial payload"
+  else
+    match (Marshal.from_string s m : partial) with
+    | p -> Ok p
+    | exception _ -> Error "unreadable omn-partial payload"
+
+type merger = {
+  mg_hops : t array;
+  mg_flood : t;
+  mutable mg_rounds : int;
+  mg_grid : float array;
+}
+
+let merger_create ?(max_hops = 10) ?grid:(budget_grid = Omn_stats.Grid.delay_default) () =
+  if max_hops < 1 then invalid_arg "Delay_cdf.merger_create: max_hops < 1";
+  {
+    mg_hops = Array.init max_hops (fun _ -> create ~grid:budget_grid);
+    mg_flood = create ~grid:budget_grid;
+    mg_rounds = 0;
+    mg_grid = budget_grid;
+  }
+
+let merger_add m p =
+  if Array.length p.p_hops <> Array.length m.mg_hops then
+    invalid_arg "Delay_cdf.merger_add: max_hops mismatch";
+  Array.iteri (fun i acc -> merge_into ~dst:m.mg_hops.(i) acc) p.p_hops;
+  merge_into ~dst:m.mg_flood p.p_flood;
+  m.mg_rounds <- max m.mg_rounds p.p_rounds
+
+let merger_curves m =
+  {
+    grid = Array.copy m.mg_grid;
+    hop_success = Array.map success m.mg_hops;
+    hop_success_inf = Array.map success_inf m.mg_hops;
+    flood_success = success m.mg_flood;
+    flood_success_inf = success_inf m.mg_flood;
+    max_rounds_used = m.mg_rounds;
+  }
+
 let compute ?(max_hops = 10) ?sources ?dests ?grid:(budget_grid = Omn_stats.Grid.delay_default)
     ?pool ?(domains = 1) ?windows trace =
   if max_hops < 1 then invalid_arg "Delay_cdf.compute: max_hops < 1";
@@ -370,12 +455,7 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
          timing-free. *)
       let timed = Metrics.enabled () || Timeline.enabled () in
       let done_count = ref done0 and rounds = ref rounds0 in
-      let degraded =
-        ref
-          (List.map
-             (fun (item, attempts, reason) -> { Supervise.item; attempts; reason })
-             degraded0)
-      in
+      let degraded = ref (List.map Supervise.failure_of_tuple degraded0) in
       let rec loop remaining =
         match remaining with
         | [] -> ()
@@ -415,10 +495,7 @@ let compute_resumable ?(max_hops = 10) ?sources ?dests
                 snap_hops = hop_accs;
                 snap_flood = flood_acc;
                 snap_rounds = !rounds;
-                snap_degraded =
-                  List.map
-                    (fun (f : Supervise.failure) -> (f.item, f.attempts, f.reason))
-                    !degraded;
+                snap_degraded = List.map Supervise.failure_to_tuple !degraded;
               };
             if timed then begin
               let t1 = Unix.gettimeofday () in

@@ -82,6 +82,48 @@ val compute :
     (e.g. day-time hours only, as in the paper's §5.3.1 aside) instead
     of the whole trace window. *)
 
+(** {1 Per-source partials (distributed merge)}
+
+    The sharded driver ([Omn_shard]) computes one {!partial} per source
+    on worker processes, ships them as opaque payloads, and folds them
+    into a {!merger} on the coordinator in slot order. Because
+    {!merger_add} performs exactly the [merge_into] sequence the
+    single-process drivers perform, a sharded run is bit-identical to a
+    single-process run at any worker count. *)
+
+type partial
+(** One batch of sources' contribution to the final curves. *)
+
+val source_partial :
+  ?max_hops:int ->
+  ?dests:Omn_temporal.Node.t list ->
+  ?grid:float array ->
+  ?windows:(float * float) list ->
+  Omn_temporal.Trace.t ->
+  Omn_temporal.Node.t ->
+  partial
+(** The contribution of one source, with the same defaults as
+    {!compute}. Raises [Invalid_argument] on a bad source or
+    parameters. *)
+
+val partial_to_string : partial -> string
+val partial_of_string : string -> (partial, string) result
+(** Magic-prefixed Marshal payload — floats round-trip bit-exactly.
+    Only payloads produced by the same binary are safe to decode; the
+    magic rejects everything else cheaply. *)
+
+type merger
+
+val merger_create : ?max_hops:int -> ?grid:float array -> unit -> merger
+(** Fresh accumulators, same defaults as {!compute}. *)
+
+val merger_add : merger -> partial -> unit
+(** Fold one partial in. Call in slot order — the merge sequence is
+    what the bit-identity contract is defined over. Raises
+    [Invalid_argument] on a [max_hops] mismatch. *)
+
+val merger_curves : merger -> curves
+
 (** {1 Checkpointed / budgeted driver}
 
     The long-run variant of {!compute} for multi-day traces: sources

@@ -29,6 +29,11 @@ type t = {
   git_describe : string option;  (** [None] outside a git checkout *)
   ocaml_version : string;
   domains : int option;
+  workers : int option;  (** sharded runs: worker-process count *)
+  shard_map_sha256 : string option;
+      (** sharded runs: digest of the consistent-hash assignment
+          (source -> worker), so two runs can be checked for identical
+          placement *)
   hostname : string;
   started : float;  (** Unix epoch seconds *)
   finished : float option;
@@ -45,6 +50,8 @@ val create :
   ?n_nodes:int ->
   ?n_contacts:int ->
   ?domains:int ->
+  ?workers:int ->
+  ?shard_map_sha256:string ->
   ?cmdline:string list ->
   version:string ->
   unit ->

@@ -37,6 +37,11 @@ type tally = {
   mutable quarantines : int;
   mutable io_retries : int;
   mutable gc_samples : int;
+  mutable spawns : int;
+  mutable heartbeat_misses : int;
+  mutable frame_corrupts : int;
+  mutable reassigns : int;
+  mutable rejoins : int;
   mutable t_min_us : float;
   mutable t_max_us : float;
   mutable events : int;
@@ -79,6 +84,11 @@ let tally_event t ev =
     | _, "retry" -> t.retries <- t.retries + 1
     | _, "quarantine" -> t.quarantines <- t.quarantines + 1
     | _, "io.retry" -> t.io_retries <- t.io_retries + 1
+    | _, "worker.spawn" -> t.spawns <- t.spawns + 1
+    | _, "heartbeat.miss" -> t.heartbeat_misses <- t.heartbeat_misses + 1
+    | _, "frame.corrupt" -> t.frame_corrupts <- t.frame_corrupts + 1
+    | _, "reassign" -> t.reassigns <- t.reassigns + 1
+    | _, "worker.rejoin" -> t.rejoins <- t.rejoins + 1
     | "C", "gc" -> t.gc_samples <- t.gc_samples + 1
     | _ -> ())
 
@@ -94,6 +104,11 @@ let tally_timeline tl =
       quarantines = 0;
       io_retries = 0;
       gc_samples = 0;
+      spawns = 0;
+      heartbeat_misses = 0;
+      frame_corrupts = 0;
+      reassigns = 0;
+      rejoins = 0;
       t_min_us = infinity;
       t_max_us = neg_infinity;
       events = 0;
@@ -206,6 +221,26 @@ let counter_totals metrics =
         Option.map (fun total -> (name, total)) (Option.bind (Json.member "total" v) Json.to_int))
       fields
 
+let shard_section t counters =
+  let c name = Option.value ~default:0 (List.assoc_opt name counters) in
+  let spawns = max t.spawns (c "shard.worker_spawns") in
+  let misses = max t.heartbeat_misses (c "shard.heartbeat_misses") in
+  let corrupts = max t.frame_corrupts (c "shard.frame_corrupt") in
+  let reassigns = max t.reassigns (c "shard.reassigned_sources") in
+  let rejoins = max t.rejoins (c "shard.worker_rejoins") in
+  let dupes = c "shard.duplicate_results" in
+  if spawns + misses + corrupts + reassigns + rejoins + dupes = 0 then Json.Null
+  else
+    Json.Obj
+      [
+        ("worker_spawns", Json.Int spawns);
+        ("heartbeat_misses", Json.Int misses);
+        ("frame_corrupts", Json.Int corrupts);
+        ("reassigned_sources", Json.Int reassigns);
+        ("worker_rejoins", Json.Int rejoins);
+        ("duplicate_results_dropped", Json.Int dupes);
+      ]
+
 let resilience_section t counters =
   let c name = Option.value ~default:0 (List.assoc_opt name counters) in
   (* The timeline can undercount (ring overflow); metrics counters never
@@ -259,6 +294,7 @@ let build ?metrics ?timeline ?result () =
       ("chunks", chunks_section t);
       ("checkpoints", checkpoints_section t);
       ("resilience", resilience_section t counters);
+      ("shard", shard_section t counters);
       ( "counters",
         Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) counters) );
     ]
@@ -332,4 +368,12 @@ let pp ppf report =
     line "  resil.   : %a retries, %a quarantined, %a io retries, %a degraded, %a ckpt fallbacks@."
       pp_float (get "retries" r) pp_float (get "quarantined" r) pp_float (get "io_retries" r)
       pp_float (get "degraded_sources" r) pp_float (get "checkpoint_fallbacks" r)
+  | _ -> ());
+  (match Json.member "shard" report with
+  | Some (Json.Obj _ as s) ->
+    line
+      "  shard    : %a spawns, %a hb misses, %a frame corrupts, %a reassigned, %a rejoins, %a dup results dropped@."
+      pp_float (get "worker_spawns" s) pp_float (get "heartbeat_misses" s) pp_float
+      (get "frame_corrupts" s) pp_float (get "reassigned_sources" s) pp_float
+      (get "worker_rejoins" s) pp_float (get "duplicate_results_dropped" s)
   | _ -> ())

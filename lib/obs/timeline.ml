@@ -18,6 +18,11 @@ type event =
   | Io_retry of { op : string }
   | Gc_sample of { minor : int; major : int; heap_words : int }
   | Mark of { name : string }
+  | Worker_spawn of { worker : int; pid : int }
+  | Heartbeat_miss of { worker : int }
+  | Frame_corrupt of { worker : int }
+  | Reassign of { source : int; from_worker : int; to_worker : int }
+  | Worker_rejoin of { worker : int; resumed : int }
 
 type entry = { ts : float; ev : event }
 

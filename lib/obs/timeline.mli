@@ -43,6 +43,20 @@ type event =
   | Gc_sample of { minor : int; major : int; heap_words : int }
       (** cumulative collection counts and major-heap words *)
   | Mark of { name : string }  (** generic instant *)
+  | Worker_spawn of { worker : int; pid : int }
+      (** shard coordinator started (or respawned) a worker process *)
+  | Heartbeat_miss of { worker : int }
+      (** a worker went silent past the heartbeat timeout and was
+          declared dead *)
+  | Frame_corrupt of { worker : int }
+      (** a wire frame from this worker failed its CRC / framing check
+          and the connection was dropped *)
+  | Reassign of { source : int; from_worker : int; to_worker : int }
+      (** an unacknowledged source moved to its ring successor after
+          its worker died *)
+  | Worker_rejoin of { worker : int; resumed : int }
+      (** a respawned worker came back up, with [resumed] results
+          recovered from its shard checkpoint *)
 
 type entry = { ts : float; ev : event }
 

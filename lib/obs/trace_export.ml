@@ -100,6 +100,25 @@ let event_json ~t0 (domain, (e : Timeline.entry)) =
         ("heap_words", Json.Int heap_words);
       ]
   | Mark { name } -> instant_event ~t0 ~tid ~name ~cat:"mark" ~ts:e.ts []
+  | Worker_spawn { worker; pid } ->
+    instant_event ~t0 ~tid ~name:"worker.spawn" ~cat:"shard" ~ts:e.ts
+      [ ("worker", Json.Int worker); ("pid", Json.Int pid) ]
+  | Heartbeat_miss { worker } ->
+    instant_event ~t0 ~tid ~name:"heartbeat.miss" ~cat:"shard" ~ts:e.ts
+      [ ("worker", Json.Int worker) ]
+  | Frame_corrupt { worker } ->
+    instant_event ~t0 ~tid ~name:"frame.corrupt" ~cat:"shard" ~ts:e.ts
+      [ ("worker", Json.Int worker) ]
+  | Reassign { source; from_worker; to_worker } ->
+    instant_event ~t0 ~tid ~name:"reassign" ~cat:"shard" ~ts:e.ts
+      [
+        ("source", Json.Int source);
+        ("from_worker", Json.Int from_worker);
+        ("to_worker", Json.Int to_worker);
+      ]
+  | Worker_rejoin { worker; resumed } ->
+    instant_event ~t0 ~tid ~name:"worker.rejoin" ~cat:"shard" ~ts:e.ts
+      [ ("worker", Json.Int worker); ("resumed", Json.Int resumed) ]
 
 let to_json ?manifest (view : Timeline.view) =
   let t0 =

@@ -45,6 +45,14 @@ type failure = { item : int; attempts : int; reason : string }
 let pp_failure ppf f =
   Format.fprintf ppf "item %d quarantined after %d attempt(s): %s" f.item f.attempts f.reason
 
+(* Checkpoint snapshots and wire messages store failures as plain tuples
+   so their Marshal layout does not depend on this record's
+   representation. *)
+let failure_to_tuple f = (f.item, f.attempts, f.reason)
+let failure_of_tuple (item, attempts, reason) = { item; attempts; reason }
+
+let exit_code ~partial ~degraded = if partial then 124 else if degraded then 3 else 0
+
 let task_fault : (item:int -> attempt:int -> unit) option Atomic.t = Atomic.make None
 let set_task_fault h = Atomic.set task_fault h
 

@@ -51,6 +51,19 @@ type failure = {
 
 val pp_failure : Format.formatter -> failure -> unit
 
+val failure_to_tuple : failure -> int * int * string
+val failure_of_tuple : int * int * string -> failure
+(** Stable tuple form for checkpoint snapshots and wire messages, so
+    Marshal payloads do not depend on the record's representation.
+    [failure_of_tuple (failure_to_tuple f) = f]. *)
+
+val exit_code : partial:bool -> degraded:bool -> int
+(** The documented CLI exit-code precedence for a completed run:
+    partial (124, the [timeout(1)] convention) beats degraded-but-
+    complete (3) beats success (0). All drivers — single-process and
+    sharded — report through this one function so the precedence can
+    never drift between them. *)
+
 val set_task_fault : (item:int -> attempt:int -> unit) option -> unit
 (** Chaos hook: install (or clear) a process-wide function called at
     the start of every supervised attempt with the task's [item] id and

@@ -273,6 +273,58 @@ let apply ~seed fault text =
     in
     unlines lines
 
+(* --- shard faults ------------------------------------------------------
+
+   Process-level faults for the multi-process shard layer. Unlike the
+   text/binary faults above these are not transformations of bytes but
+   *events in time*: at a deterministic point in a sharded run (measured
+   in acknowledged per-source results, the only monotone clock every
+   run shares), a chosen worker is killed, stopped, or has one wire
+   frame corrupted. The schedule is pure data; [Omn_shard.Coord]
+   interprets it. *)
+
+type shard_fault = Worker_kill | Worker_hang | Sock_corrupt
+
+let shard_fault_name = function
+  | Worker_kill -> "worker-kill"
+  | Worker_hang -> "worker-hang"
+  | Sock_corrupt -> "sock-corrupt"
+
+let all_shard_faults = [ Worker_kill; Worker_hang; Sock_corrupt ]
+let shard_fault_names = List.map shard_fault_name all_shard_faults
+
+let shard_fault_of_name s =
+  List.find_opt (fun f -> shard_fault_name f = String.lowercase_ascii s) all_shard_faults
+
+type shard_event = { after_results : int; victim : int; shard_fault : shard_fault }
+
+let pp_shard_event ppf e =
+  Format.fprintf ppf "%s worker %d after %d result(s)" (shard_fault_name e.shard_fault) e.victim
+    e.after_results
+
+(* [n] events over the first half of the run (so failover has work left
+   to prove itself on), at distinct trigger points, victims and kinds
+   drawn from the seeded stream — a given (seed, workers, results,
+   kinds, n) always yields the same schedule. *)
+let shard_schedule ~seed ~workers ~results ?(kinds = all_shard_faults) n =
+  if workers < 1 then invalid_arg "Faultgen.shard_schedule: workers < 1";
+  if kinds = [] then invalid_arg "Faultgen.shard_schedule: empty kinds";
+  let rng = Rng.create (0x5ad lxor seed) in
+  let horizon = max 1 (results / 2) in
+  let n = min n horizon in
+  let kinds = Array.of_list kinds in
+  let points = Array.init horizon (fun i -> i) in
+  Rng.shuffle rng points;
+  let triggers = Array.sub points 0 n in
+  Array.sort compare triggers;
+  Array.to_list triggers
+  |> List.map (fun after_results ->
+         {
+           after_results;
+           victim = Rng.int rng workers;
+           shard_fault = kinds.(Rng.int rng (Array.length kinds));
+         })
+
 let corpus ?(seed = 1) text =
   [
     Truncate 0.5; Mangle 0.25; Nan_times 0.25; Self_loop 0.25; Negative_id 0.25;

@@ -52,3 +52,44 @@ val corpus : ?seed:int -> string -> (string * string) list
     that a [Strict] parse must reject: truncate, mangle, nan,
     self-loop, negative-id, window-lie. ([Reorder] and [Duplicate] are
     excluded: a strict parse legitimately accepts them.) *)
+
+(** {1 Shard faults}
+
+    Process-level faults for the multi-process shard layer
+    ([Omn_shard]). Unlike the faults above these are not byte
+    transformations but {e events in time}: at a deterministic point in
+    a sharded run — measured in acknowledged per-source results, the
+    only monotone clock every run shares — a chosen worker is killed,
+    stopped, or has one wire frame corrupted. A schedule is pure data;
+    the shard coordinator interprets it. *)
+
+type shard_fault =
+  | Worker_kill  (** SIGKILL the worker process — a hard crash *)
+  | Worker_hang
+      (** SIGSTOP the worker — alive but unresponsive; must be detected
+          by heartbeat timeout, then killed and failed over *)
+  | Sock_corrupt
+      (** flip a byte inside the next result frame from that worker —
+          the CRC check must reject it and the connection be treated as
+          broken *)
+
+val shard_fault_name : shard_fault -> string
+val shard_fault_of_name : string -> shard_fault option
+val all_shard_faults : shard_fault list
+val shard_fault_names : string list
+
+type shard_event = { after_results : int; victim : int; shard_fault : shard_fault }
+(** Fire [shard_fault] at worker index [victim] (modulo the live worker
+    count at interpretation time) once [after_results] per-source
+    results have been acknowledged. *)
+
+val pp_shard_event : Format.formatter -> shard_event -> unit
+
+val shard_schedule :
+  seed:int -> workers:int -> results:int -> ?kinds:shard_fault list -> int -> shard_event list
+(** [shard_schedule ~seed ~workers ~results n]: [n] events at distinct
+    trigger points within the first half of a [results]-source run (so
+    failover still has work left to prove itself on), victims and kinds
+    drawn from the seeded stream. Deterministic in all arguments;
+    ascending by [after_results]. Raises [Invalid_argument] on
+    [workers < 1] or empty [kinds]. *)

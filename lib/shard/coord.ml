@@ -1,0 +1,543 @@
+module Delay_cdf = Omn_core.Delay_cdf
+module Trace = Omn_temporal.Trace
+module Trace_io = Omn_temporal.Trace_io
+module Supervise = Omn_resilience.Supervise
+module Faultgen = Omn_robust.Faultgen
+module Err = Omn_robust.Err
+module Timeline = Omn_obs.Timeline
+module Metrics = Omn_obs.Metrics
+
+let m_spawns = Metrics.counter "shard.worker_spawns"
+let m_misses = Metrics.counter "shard.heartbeat_misses"
+let m_corrupt = Metrics.counter "shard.frame_corrupt"
+let m_reassigned = Metrics.counter "shard.reassigned_sources"
+let m_rejoins = Metrics.counter "shard.worker_rejoins"
+let m_duplicates = Metrics.counter "shard.duplicate_results"
+
+type spawn = Spawn_exec | Spawn_fork
+
+type config = {
+  workers : int;
+  worker_domains : int;
+  vnodes : int;
+  max_inflight : int;
+  spawn : spawn;
+  heartbeat_interval : float;
+  heartbeat_timeout : float;
+  max_respawns : int;
+  respawn_backoff : float;
+  supervise : (int * float * float * int) option;
+  ckpt_dir : string option;
+  budget_seconds : float option;
+  chaos : Faultgen.shard_event list;
+  sock_path : string option;
+}
+
+let default ~workers =
+  {
+    workers;
+    worker_domains = 1;
+    vnodes = 64;
+    max_inflight = 32;
+    spawn = Spawn_exec;
+    heartbeat_interval = 0.25;
+    heartbeat_timeout = 5.;
+    max_respawns = 2;
+    respawn_backoff = 0.1;
+    supervise = None;
+    ckpt_dir = None;
+    budget_seconds = None;
+    chaos = [];
+    sock_path = None;
+  }
+
+type stats = {
+  spawns : int;
+  heartbeat_misses : int;
+  frame_corrupts : int;
+  reassigned : int;
+  rejoins : int;
+  duplicates : int;
+  shard_map_sha256 : string;
+}
+
+(* per-worker runtime state *)
+type wstate = {
+  id : int;
+  mutable pid : int;  (* 0 = not running *)
+  mutable conn : Unix.file_descr option;
+  mutable ready : bool;
+  mutable last_seen : float;
+  mutable respawns : int;  (* -1 before the first spawn *)
+  mutable next_spawn_at : float;
+  mutable gone : bool;  (* respawn budget exhausted *)
+  mutable mangle_next : bool;  (* sock-corrupt chaos flag *)
+  mutable inflight : int;  (* slots currently Assigned to this worker *)
+}
+
+type sstate =
+  | Pending
+  | Assigned of int
+  | Acked of string
+  | Degr of Supervise.failure
+
+let spawn_worker cfg ~sock ~id =
+  match cfg.spawn with
+  | Spawn_exec ->
+    let argv = [| Sys.executable_name; "worker"; "--id"; string_of_int id; "--sock"; sock |] in
+    Unix.create_process Sys.executable_name argv Unix.stdin Unix.stdout Unix.stderr
+  | Spawn_fork -> (
+    match Unix.fork () with
+    | 0 ->
+      (try Worker.main ~worker:id ~sock () with _ -> ());
+      Unix._exit 0
+    | pid -> pid)
+
+let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeofday) cfg trace =
+  if cfg.workers < 1 then Err.error Usage "shard: workers < 1"
+  else if cfg.heartbeat_timeout <= 0. || cfg.heartbeat_interval <= 0. then
+    Err.error Usage "shard: non-positive heartbeat parameters"
+  else if cfg.max_inflight < 1 then Err.error Usage "shard: max_inflight < 1"
+  else begin
+    match
+      (* workers checkpoint into cfg.ckpt_dir from their first batch on;
+         create it up front so a missing directory can't crash-loop them
+         through the whole respawn budget *)
+      match cfg.ckpt_dir with
+      | Some d when not (Sys.file_exists d) -> (
+        try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+      | _ -> ()
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      Err.errorf Io "shard: cannot create checkpoint dir: %s"
+        (Unix.error_message e)
+    | () ->
+    let n = Trace.n_nodes trace in
+    let sources = Option.value sources ~default:(List.init n (fun i -> i)) in
+    let order = Delay_cdf.uniform_order sources in
+    let slots = Array.of_list order in
+    let nslots = Array.length slots in
+    let trace_text = Trace_io.to_string trace in
+    let fingerprint = Proto.job_fingerprint ~trace_text ~max_hops ~dests ~grid ~windows in
+    let ring = Ring.create ~vnodes:cfg.vnodes ~workers:cfg.workers () in
+    let all_workers = List.init cfg.workers Fun.id in
+    let shard_map_sha256 = Ring.map_sha256 ring ~alive:all_workers ~sources:order in
+    let merge_result ~partial ~slot_state ~acked ~stats_of =
+      let merger = Delay_cdf.merger_create ~max_hops ?grid () in
+      let degraded = ref [] in
+      let bad = ref None in
+      Array.iter
+        (fun st ->
+          match st with
+          | Acked s -> (
+            match Delay_cdf.partial_of_string s with
+            | Ok p -> Delay_cdf.merger_add merger p
+            | Error msg -> if !bad = None then bad := Some msg)
+          | Degr f -> degraded := f :: !degraded
+          | Pending | Assigned _ -> ())
+        slot_state;
+      match !bad with
+      | Some msg -> Err.error Compute ("shard: " ^ msg)
+      | None ->
+        let progress =
+          {
+            Delay_cdf.sources_done = acked;
+            sources_total = nslots;
+            partial;
+            degraded = List.rev !degraded;
+            ckpt_fallback = false;
+          }
+        in
+        Ok (Delay_cdf.merger_curves merger, progress, stats_of ())
+    in
+    let empty_stats () =
+      {
+        spawns = 0;
+        heartbeat_misses = 0;
+        frame_corrupts = 0;
+        reassigned = 0;
+        rejoins = 0;
+        duplicates = 0;
+        shard_map_sha256;
+      }
+    in
+    if nslots = 0 then merge_result ~partial:false ~slot_state:[||] ~acked:0 ~stats_of:empty_stats
+    else begin
+      let sock =
+        match cfg.sock_path with
+        | Some p -> p
+        | None ->
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "omn-shard-%d-%d.sock" (Unix.getpid ()) (Hashtbl.hash fingerprint))
+      in
+      (try Unix.unlink sock with Unix.Unix_error _ -> ());
+      let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+      let restore () =
+        Sys.set_signal Sys.sigpipe old_sigpipe;
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        try Unix.unlink sock with Unix.Unix_error _ -> ()
+      in
+      match
+        Unix.bind listen_fd (Unix.ADDR_UNIX sock);
+        Unix.listen listen_fd (cfg.workers + 4)
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+        restore ();
+        Err.errorf Io "shard: cannot bind %s: %s" sock (Unix.error_message e)
+      | () ->
+        let ws =
+          Array.init cfg.workers (fun id ->
+              {
+                id;
+                pid = 0;
+                conn = None;
+                ready = false;
+                last_seen = 0.;
+                respawns = -1;
+                next_spawn_at = 0.;
+                gone = false;
+                mangle_next = false;
+                inflight = 0;
+              })
+        in
+        let slot_state = Array.make nslots Pending in
+        let acked = ref 0 and degraded_n = ref 0 in
+        let st_spawns = ref 0
+        and st_misses = ref 0
+        and st_corrupt = ref 0
+        and st_reassigned = ref 0
+        and st_rejoins = ref 0
+        and st_dups = ref 0 in
+        let stats_of () =
+          {
+            spawns = !st_spawns;
+            heartbeat_misses = !st_misses;
+            frame_corrupts = !st_corrupt;
+            reassigned = !st_reassigned;
+            rejoins = !st_rejoins;
+            duplicates = !st_dups;
+            shard_map_sha256;
+          }
+        in
+        let chaos = ref cfg.chaos in
+        let dispatched = ref false in
+        let job =
+          Proto.Job
+            {
+              trace_text;
+              max_hops;
+              dests;
+              grid;
+              windows;
+              supervise = cfg.supervise;
+              ckpt_path =
+                (match cfg.ckpt_dir with
+                | Some d ->
+                  (* the path is per worker-id; filled in at send time *)
+                  Some d
+                | None -> None);
+              fingerprint;
+              domains = cfg.worker_domains;
+            }
+        in
+        let job_for w =
+          match job with
+          | Proto.Job j ->
+            Proto.Job
+              {
+                j with
+                ckpt_path =
+                  Option.map
+                    (fun d -> Filename.concat d (Printf.sprintf "shard-worker-%d.ckpt" w))
+                    j.ckpt_path;
+              }
+          | m -> m
+        in
+        let ready_ids () =
+          Array.to_list ws
+          |> List.filter_map (fun w -> if w.ready && w.conn <> None then Some w.id else None)
+        in
+        let rec kill_and_reap w =
+          (match w.conn with
+          | Some fd ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            w.conn <- None
+          | None -> ());
+          w.ready <- false;
+          if w.pid > 0 then begin
+            (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+            (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+            w.pid <- 0
+          end
+        and send_to w msg =
+          match w.conn with
+          | None -> false
+          | Some fd -> (
+            try
+              Frame.write fd (Proto.encode_to_worker msg);
+              true
+            with Unix.Unix_error _ ->
+              handle_death w;
+              false)
+        and handle_death w =
+          kill_and_reap w;
+          if w.respawns >= cfg.max_respawns then w.gone <- true
+          else
+            w.next_spawn_at <-
+              clock () +. (cfg.respawn_backoff *. (2. ** float_of_int (max 0 w.respawns)));
+          (* move this worker's unacknowledged sources to ring successors;
+             a successor at its in-flight window keeps the slot Pending and
+             the main loop's dispatch_pending sends it as acks free space *)
+          w.inflight <- 0;
+          Array.iteri
+            (fun i st ->
+              match st with
+              | Assigned owner when owner = w.id ->
+                incr st_reassigned;
+                Metrics.incr m_reassigned;
+                slot_state.(i) <- Pending;
+                let targets = ready_ids () in
+                if targets <> [] then begin
+                  let source = slots.(i) in
+                  let to_worker = Ring.assign ring ~alive:targets source in
+                  Timeline.record (Reassign { source; from_worker = w.id; to_worker });
+                  let succ = ws.(to_worker) in
+                  if
+                    succ.inflight < cfg.max_inflight
+                    && send_to succ (Proto.Compute { slot = i; source })
+                  then begin
+                    slot_state.(i) <- Assigned to_worker;
+                    succ.inflight <- succ.inflight + 1
+                  end
+                end
+              | _ -> ())
+            slot_state
+        in
+        let dispatch_pending () =
+          if not !dispatched then
+            dispatched :=
+              Array.for_all (fun w -> w.gone || w.ready) ws
+              && Array.exists (fun w -> w.ready) ws;
+          if !dispatched then begin
+            let targets = ready_ids () in
+            if targets <> [] then
+              Array.iteri
+                (fun i st ->
+                  match st with
+                  | Pending ->
+                    let source = slots.(i) in
+                    let to_worker = Ring.assign ring ~alive:targets source in
+                    let owner = ws.(to_worker) in
+                    if
+                      owner.inflight < cfg.max_inflight
+                      && send_to owner (Proto.Compute { slot = i; source })
+                    then begin
+                      slot_state.(i) <- Assigned to_worker;
+                      owner.inflight <- owner.inflight + 1
+                    end
+                  | _ -> ())
+                slot_state
+          end
+        in
+        let fire_chaos () =
+          let rec go () =
+            match !chaos with
+            | e :: rest when e.Faultgen.after_results <= !acked ->
+              chaos := rest;
+              let w = ws.(e.victim mod cfg.workers) in
+              Timeline.record
+                (Mark
+                   {
+                     name =
+                       Printf.sprintf "chaos:%s:worker-%d"
+                         (Faultgen.shard_fault_name e.shard_fault)
+                         w.id;
+                   });
+              (match e.shard_fault with
+              | Faultgen.Worker_kill ->
+                if w.pid > 0 then ( try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
+              | Faultgen.Worker_hang ->
+                if w.pid > 0 then ( try Unix.kill w.pid Sys.sigstop with Unix.Unix_error _ -> ())
+              | Faultgen.Sock_corrupt -> w.mangle_next <- true);
+              go ()
+            | _ -> ()
+          in
+          go ()
+        in
+        let handle_msg w msg =
+          w.last_seen <- clock ();
+          match (msg : Proto.from_worker) with
+          | Hello _ -> ()
+          | Pong -> ()
+          | Ready { worker = _; resumed } ->
+            let rejoin = w.ready = false && w.respawns > 0 in
+            w.ready <- true;
+            if rejoin then begin
+              incr st_rejoins;
+              Metrics.incr m_rejoins;
+              Timeline.record (Worker_rejoin { worker = w.id; resumed })
+            end;
+            dispatch_pending ()
+          | Result { slot; source = _; partial } ->
+            if slot < 0 || slot >= nslots then handle_death w
+            else begin
+              match slot_state.(slot) with
+              | Acked _ | Degr _ ->
+                incr st_dups;
+                Metrics.incr m_duplicates
+              | Pending | Assigned _ ->
+                (match slot_state.(slot) with
+                | Assigned owner -> ws.(owner).inflight <- max 0 (ws.(owner).inflight - 1)
+                | _ -> ());
+                slot_state.(slot) <- Acked partial;
+                incr acked;
+                fire_chaos ()
+            end
+          | Failed { slot; source; attempts; reason } ->
+            if slot < 0 || slot >= nslots then handle_death w
+            else begin
+              match slot_state.(slot) with
+              | Acked _ | Degr _ ->
+                incr st_dups;
+                Metrics.incr m_duplicates
+              | Pending | Assigned _ ->
+                (match slot_state.(slot) with
+                | Assigned owner -> ws.(owner).inflight <- max 0 (ws.(owner).inflight - 1)
+                | _ -> ());
+                slot_state.(slot) <- Degr { Supervise.item = source; attempts; reason };
+                incr degraded_n;
+                Timeline.record (Quarantine { item = source; attempts })
+            end
+        in
+        let handle_fd w =
+          match w.conn with
+          | None -> ()
+          | Some fd -> (
+            let mangle = w.mangle_next in
+            w.mangle_next <- false;
+            match Frame.read ~mangle fd with
+            | Error `Eof -> handle_death w
+            | Error `Corrupt ->
+              incr st_corrupt;
+              Metrics.incr m_corrupt;
+              Timeline.record (Frame_corrupt { worker = w.id });
+              handle_death w
+            | Error `Timeout -> handle_death w (* stalled mid-frame *)
+            | Ok s -> (
+              match Proto.decode_from_worker s with
+              | Error _ -> handle_death w
+              | Ok msg -> handle_msg w msg))
+        in
+        let accept_conn () =
+          match Unix.accept listen_fd with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ -> (
+            (try
+               Unix.setsockopt_float fd Unix.SO_RCVTIMEO cfg.heartbeat_timeout;
+               Unix.setsockopt_float fd Unix.SO_SNDTIMEO cfg.heartbeat_timeout
+             with Unix.Unix_error _ -> ());
+            match Frame.read fd with
+            | Ok s -> (
+              match Proto.decode_from_worker s with
+              | Ok (Hello { worker }) when worker >= 0 && worker < cfg.workers && not ws.(worker).gone ->
+                let w = ws.(worker) in
+                (match w.conn with
+                | Some old -> ( try Unix.close old with Unix.Unix_error _ -> ())
+                | None -> ());
+                w.conn <- Some fd;
+                w.ready <- false;
+                w.last_seen <- clock ();
+                ignore (send_to w (job_for worker))
+              | _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+            | Error _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+        in
+        let respawn_due () =
+          Array.iter
+            (fun w ->
+              if (not w.gone) && w.pid = 0 && clock () >= w.next_spawn_at then begin
+                w.respawns <- w.respawns + 1;
+                w.pid <- spawn_worker cfg ~sock ~id:w.id;
+                w.ready <- false;
+                w.last_seen <- clock ();
+                incr st_spawns;
+                Metrics.incr m_spawns;
+                Timeline.record (Worker_spawn { worker = w.id; pid = w.pid })
+              end)
+            ws
+        in
+        let check_timeouts () =
+          Array.iter
+            (fun w ->
+              if w.pid > 0 && clock () -. w.last_seen > cfg.heartbeat_timeout then begin
+                incr st_misses;
+                Metrics.incr m_misses;
+                Timeline.record (Heartbeat_miss { worker = w.id });
+                handle_death w
+              end)
+            ws
+        in
+        let last_ping = ref 0. in
+        let heartbeats () =
+          let now = clock () in
+          if now -. !last_ping >= cfg.heartbeat_interval then begin
+            last_ping := now;
+            Array.iter (fun w -> if w.ready then ignore (send_to w Proto.Ping)) ws
+          end
+        in
+        let started = clock () in
+        let budget_expired () =
+          match cfg.budget_seconds with Some b -> clock () -. started > b | None -> false
+        in
+        let shutdown_all () =
+          Array.iter
+            (fun w ->
+              ignore (match w.conn with Some _ -> send_to w Proto.Shutdown | None -> false))
+            ws;
+          Array.iter kill_and_reap ws;
+          restore ()
+        in
+        let finish r =
+          shutdown_all ();
+          r
+        in
+        let rec loop () =
+          if !acked + !degraded_n >= nslots then
+            finish (merge_result ~partial:false ~slot_state ~acked:!acked ~stats_of)
+          else if budget_expired () then
+            finish (merge_result ~partial:true ~slot_state ~acked:!acked ~stats_of)
+          else if Array.for_all (fun w -> w.gone) ws then
+            finish
+              (Err.errorf Compute
+                 "shard: all %d workers lost (respawn budget exhausted) with %d/%d sources \
+                  unaccounted"
+                 cfg.workers
+                 (nslots - !acked - !degraded_n)
+                 nslots)
+          else begin
+            respawn_due ();
+            let conns = Array.to_list ws |> List.filter_map (fun w -> w.conn) in
+            let readable =
+              match Unix.select (listen_fd :: conns) [] [] (cfg.heartbeat_interval /. 2.) with
+              | r, _, _ -> r
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+            in
+            if List.memq listen_fd readable then accept_conn ();
+            Array.iter
+              (fun w ->
+                match w.conn with
+                | Some fd when List.memq fd readable -> handle_fd w
+                | _ -> ())
+              ws;
+            heartbeats ();
+            check_timeouts ();
+            dispatch_pending ();
+            loop ()
+          end
+        in
+        (try loop ()
+         with e ->
+           shutdown_all ();
+           raise e)
+    end
+  end

@@ -1,0 +1,106 @@
+(** Shard coordinator: sources over worker processes, with failover.
+
+    [run] consistent-hashes the (stride-ordered) source list over [N]
+    worker processes ({!Ring}), streams [Compute] requests over
+    Unix-domain sockets ({!Frame}/{!Proto}), and folds the per-source
+    partials back together {e in slot order} — so the final curves are
+    bit-identical to a single-process [Delay_cdf] run at any worker
+    count, under any failure schedule that still completes.
+
+    Failure semantics:
+    - a worker that closes its connection, sends a corrupt frame, or
+      misses the heartbeat timeout (it may be hung — [SIGSTOP]ed — not
+      dead) is [SIGKILL]ed and reaped; its {e unacknowledged} sources
+      are reassigned to their ring successors; a bounded number of
+      respawns with exponential backoff brings it back, and its shard
+      checkpoint lets it resume rather than recompute;
+    - duplicate results (a reassignment race) are dropped at the
+      accounting table — a source is merged {e at most once};
+    - a source that exhausts the worker-side supervision policy comes
+      back as [Failed] and is excluded from the merge exactly like a
+      quarantined source in the single-process driver ([progress.
+      degraded], CLI exit 3);
+    - when the optional budget expires, the acknowledged subset is
+      merged ([progress.partial], CLI exit 124 — precedence over 3 via
+      {!Omn_resilience.Supervise.exit_code});
+    - when every worker has exhausted its respawns and sources remain,
+      [run] returns a [Compute] error (CLI exit 1): results are never
+      silently incomplete.
+
+    The chaos schedule ({!Omn_robust.Faultgen.shard_event}) is
+    interpreted here: after the scheduled number of acknowledged
+    results, the victim worker is killed, stopped, or has its next
+    frame corrupted. All shard events (spawns, heartbeat misses, frame
+    corruptions, reassignments, rejoins) are recorded in
+    {!Omn_obs.Timeline} and counted in [Omn_obs.Metrics] under
+    [shard.*]. *)
+
+type spawn =
+  | Spawn_exec
+      (** re-execute [Sys.executable_name worker --id I --sock PATH] —
+          the CLI path; requires the running binary to expose the
+          [worker] subcommand *)
+  | Spawn_fork
+      (** [Unix.fork] and call {!Worker.main} in the child — the test
+          path; only safe while no other domains are running *)
+
+type config = {
+  workers : int;
+  worker_domains : int;  (** domain-pool size inside each worker *)
+  vnodes : int;  (** ring points per worker *)
+  max_inflight : int;
+      (** flow-control window: max unacknowledged [Compute]s per worker.
+          Bounds socket buffering on large runs, and guarantees a worker
+          that dies or hangs mid-run leaves undispatched work behind —
+          so failover (not a drained socket buffer) is what completes
+          the run under chaos schedules *)
+  spawn : spawn;
+  heartbeat_interval : float;  (** seconds between [Ping]s *)
+  heartbeat_timeout : float;
+      (** silence past this declares a worker dead; must exceed the
+          longest single-source compute time *)
+  max_respawns : int;  (** respawns per worker after its first spawn *)
+  respawn_backoff : float;  (** base respawn delay, doubled per respawn *)
+  supervise : (int * float * float * int) option;
+      (** worker-side policy (retries, backoff, backoff_max,
+          jitter_seed); [None] = fail-fast (0 retries) *)
+  ckpt_dir : string option;
+      (** directory for per-worker shard checkpoints; created if missing *)
+  budget_seconds : float option;
+  chaos : Omn_robust.Faultgen.shard_event list;  (** must be ascending *)
+  sock_path : string option;  (** default: a fresh path under [TMPDIR] *)
+}
+
+val default : workers:int -> config
+(** 1 domain per worker, 64 vnodes, a 32-source in-flight window,
+    [Spawn_exec], 0.25 s heartbeat interval, 5 s timeout, 2 respawns
+    with 0.1 s base backoff, no supervision retries, no checkpoints, no
+    budget, no chaos. *)
+
+type stats = {
+  spawns : int;  (** worker processes started, including respawns *)
+  heartbeat_misses : int;
+  frame_corrupts : int;
+  reassigned : int;  (** sources moved off a dead worker *)
+  rejoins : int;  (** respawned workers that completed the handshake *)
+  duplicates : int;  (** duplicate results dropped by the acked table *)
+  shard_map_sha256 : string;
+      (** digest of the initial source->worker assignment *)
+}
+
+val run :
+  ?max_hops:int ->
+  ?sources:Omn_temporal.Node.t list ->
+  ?dests:Omn_temporal.Node.t list ->
+  ?grid:float array ->
+  ?windows:(float * float) list ->
+  ?clock:(unit -> float) ->
+  config ->
+  Omn_temporal.Trace.t ->
+  ( Omn_core.Delay_cdf.curves * Omn_core.Delay_cdf.progress * stats,
+    Omn_robust.Err.t )
+  result
+(** Same computation and defaults as {!Omn_core.Delay_cdf.compute},
+    executed across [config.workers] processes. [progress.ckpt_fallback]
+    is always [false] (worker checkpoints have their own generations).
+    [clock] is the budget time base (default wall clock). *)

@@ -1,0 +1,72 @@
+let version = '\001'
+let max_payload = 1 lsl 28
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let write fd payload =
+  let crc = Omn_robust.Checkpoint.crc32_hex payload in
+  let plen = String.length payload in
+  let len = 1 + plen + 8 in
+  let buf = Bytes.create (4 + len) in
+  Bytes.set buf 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set buf 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set buf 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set buf 3 (Char.chr (len land 0xff));
+  Bytes.set buf 4 version;
+  Bytes.blit_string payload 0 buf 5 plen;
+  Bytes.blit_string crc 0 buf (5 + plen) 8;
+  write_all fd buf 0 (Bytes.length buf)
+
+(* Returns bytes read (< wanted only at EOF); EAGAIN/EWOULDBLOCK from a
+   receive timeout surface as `Timeout via the exception below. *)
+exception Timeout
+
+let read_exact fd buf len =
+  let rec go off =
+    if off >= len then off
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> off
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> raise Timeout
+  in
+  go 0
+
+let read ?(mangle = false) fd =
+  match
+    let hdr = Bytes.create 4 in
+    match read_exact fd hdr 4 with
+    | 0 -> Error `Eof
+    | n when n < 4 -> Error `Corrupt
+    | _ ->
+      let b i = Char.code (Bytes.get hdr i) in
+      let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      if len < 9 || len > max_payload + 9 then Error `Corrupt
+      else begin
+        let body = Bytes.create len in
+        if read_exact fd body len < len then Error `Corrupt
+        else if Bytes.get body 0 <> version then Error `Corrupt
+        else begin
+          let plen = len - 9 in
+          if mangle && plen > 0 then begin
+            let pos = 1 + (plen / 2) in
+            Bytes.set body pos (Char.chr (Char.code (Bytes.get body pos) lxor 0x5a))
+          end;
+          let payload = Bytes.sub_string body 1 plen in
+          let crc = Bytes.sub_string body (1 + plen) 8 in
+          if Omn_robust.Checkpoint.crc32_hex payload <> crc then Error `Corrupt
+          else Ok payload
+        end
+      end
+  with
+  | r -> r
+  | exception Timeout -> Error `Timeout
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> Error `Eof

@@ -1,0 +1,53 @@
+type job = {
+  trace_text : string;
+  max_hops : int;
+  dests : int list option;
+  grid : float array option;
+  windows : (float * float) list option;
+  supervise : (int * float * float * int) option;
+  ckpt_path : string option;
+  fingerprint : string;
+  domains : int;
+}
+
+type to_worker =
+  | Job of job
+  | Compute of { slot : int; source : int }
+  | Ping
+  | Shutdown
+
+type from_worker =
+  | Hello of { worker : int }
+  | Ready of { worker : int; resumed : int }
+  | Result of { slot : int; source : int; partial : string }
+  | Failed of { slot : int; source : int; attempts : int; reason : string }
+  | Pong
+
+let encode_to_worker (m : to_worker) = Marshal.to_string m []
+let encode_from_worker (m : from_worker) = Marshal.to_string m []
+
+let decode_to_worker s : (to_worker, string) result =
+  try Ok (Marshal.from_string s 0) with
+  | Failure m -> Error ("shard: undecodable message: " ^ m)
+  | Invalid_argument m -> Error ("shard: undecodable message: " ^ m)
+
+let decode_from_worker s : (from_worker, string) result =
+  try Ok (Marshal.from_string s 0) with
+  | Failure m -> Error ("shard: undecodable message: " ^ m)
+  | Invalid_argument m -> Error ("shard: undecodable message: " ^ m)
+
+let job_fingerprint ~trace_text ~max_hops ~dests ~grid ~windows =
+  let b = Buffer.create (String.length trace_text + 256) in
+  Buffer.add_string b trace_text;
+  Buffer.add_string b (Printf.sprintf "|max_hops=%d" max_hops);
+  (match dests with
+  | None -> Buffer.add_string b "|dests=all"
+  | Some ds -> List.iter (fun d -> Buffer.add_string b (Printf.sprintf "|d%d" d)) ds);
+  (match grid with
+  | None -> Buffer.add_string b "|grid=default"
+  | Some g -> Array.iter (fun v -> Buffer.add_string b (Printf.sprintf "|g%.17g" v)) g);
+  (match windows with
+  | None -> Buffer.add_string b "|windows=full"
+  | Some ws ->
+    List.iter (fun (a, z) -> Buffer.add_string b (Printf.sprintf "|w%.17g,%.17g" a z)) ws);
+  Omn_obs.Sha256.string (Buffer.contents b)

@@ -1,0 +1,68 @@
+(** Shard wire protocol: message types and their encoding.
+
+    Messages are OCaml values Marshalled to strings and shipped inside
+    {!Frame} frames, which add the length prefix, version byte and
+    CRC-32. Marshal is safe here because both ends are always the
+    {e same binary} — the coordinator spawns workers by re-executing
+    itself (or forking) — and the frame CRC rejects corrupted bytes
+    before they reach [Marshal.from_string]. Decoding still catches
+    [Failure] defensively and returns [Error].
+
+    Handshake: worker connects and sends {!from_worker.Hello}; the
+    coordinator replies with {!to_worker.Job}; the worker loads its
+    shard checkpoint (if the fingerprint matches) and answers
+    {!from_worker.Ready} with the number of cached results it resumed;
+    only then does the coordinator stream [Compute] messages. *)
+
+type job = {
+  trace_text : string;
+      (** the full trace, via [Omn_temporal.Trace_io.to_string] —
+          [%.17g] float printing makes the round-trip bit-exact *)
+  max_hops : int;
+  dests : int list option;
+  grid : float array option;
+  windows : (float * float) list option;
+  supervise : (int * float * float * int) option;
+      (** (retries, backoff, backoff_max, jitter_seed) — worker-side
+          supervision policy; [None] means fail-fast with 0 retries
+          (the failure still arrives as [Failed], not a worker crash) *)
+  ckpt_path : string option;  (** per-worker shard checkpoint file *)
+  fingerprint : string;
+      (** digest of trace + parameters; a checkpoint from any other
+          fingerprint is ignored on rejoin *)
+  domains : int;  (** size of the worker's own domain pool *)
+}
+
+type to_worker =
+  | Job of job
+  | Compute of { slot : int; source : int }
+      (** [slot] is the position in the coordinator's merge order; the
+          worker echoes it back untouched *)
+  | Ping
+  | Shutdown
+
+type from_worker =
+  | Hello of { worker : int }
+  | Ready of { worker : int; resumed : int }
+  | Result of { slot : int; source : int; partial : string }
+      (** [partial] is [Delay_cdf.partial_to_string] output — opaque
+          here *)
+  | Failed of { slot : int; source : int; attempts : int; reason : string }
+      (** worker-side supervision exhausted its retries on this source *)
+  | Pong
+
+val encode_to_worker : to_worker -> string
+val decode_to_worker : string -> (to_worker, string) result
+val encode_from_worker : from_worker -> string
+val decode_from_worker : string -> (from_worker, string) result
+
+val job_fingerprint :
+  trace_text:string ->
+  max_hops:int ->
+  dests:int list option ->
+  grid:float array option ->
+  windows:(float * float) list option ->
+  string
+(** The parameter digest embedded in {!job} and in worker checkpoints:
+    any change to the trace or to a result-affecting parameter changes
+    it, so stale shard checkpoints can never leak into a run. *)

@@ -1,0 +1,46 @@
+type t = { n_workers : int; points : (int * int) array (* (hash, worker), sorted *) }
+
+(* First 15 hex chars of SHA-256 = 60 bits — fits an OCaml int on every
+   64-bit platform and is uniform enough for placement. *)
+let hash_str s = int_of_string ("0x" ^ String.sub (Omn_obs.Sha256.string s) 0 15)
+
+let create ?(vnodes = 64) ~workers () =
+  if workers < 1 then invalid_arg "Ring.create: workers < 1";
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
+  let points =
+    Array.init (workers * vnodes) (fun i ->
+        let w = i / vnodes and v = i mod vnodes in
+        (hash_str (Printf.sprintf "worker:%d:vnode:%d" w v), w))
+  in
+  Array.sort compare points;
+  { n_workers = workers; points }
+
+let workers t = t.n_workers
+
+let assign t ~alive source =
+  if alive = [] then invalid_arg "Ring.assign: no alive workers";
+  List.iter
+    (fun w ->
+      if w < 0 || w >= t.n_workers then invalid_arg "Ring.assign: unknown worker")
+    alive;
+  let h = hash_str (Printf.sprintf "source:%d" source) in
+  let n = Array.length t.points in
+  (* first point with hash >= h, wrapping *)
+  let rec bs lo hi = if lo >= hi then lo else
+      let mid = (lo + hi) / 2 in
+      if fst t.points.(mid) < h then bs (mid + 1) hi else bs lo mid
+  in
+  let start = match bs 0 n with i when i = n -> 0 | i -> i in
+  let rec walk i =
+    if i >= n then List.hd alive (* every point's owner dead: any alive worker *)
+    else
+      let _, w = t.points.((start + i) mod n) in
+      if List.mem w alive then w else walk (i + 1)
+  in
+  walk 0
+
+let map_sha256 t ~alive ~sources =
+  sources
+  |> List.map (fun s -> Printf.sprintf "%d->%d" s (assign t ~alive s))
+  |> String.concat ";"
+  |> Omn_obs.Sha256.string

@@ -1,0 +1,34 @@
+(** Consistent-hash ring with virtual nodes and successor failover.
+
+    Chord-style placement for the shard coordinator: each worker owns
+    [vnodes] points on a 2{^60}-point ring (SHA-256 of
+    ["worker:<w>:vnode:<v>"], truncated), and a source is owned by the
+    first point at or clockwise-after its own hash. Failover is the
+    successor walk: when the owning worker is dead, ownership passes to
+    the next point whose worker is alive — so a worker's death moves
+    only {e its} sources, and moves them to (roughly) uniformly spread
+    successors rather than one unlucky neighbour.
+
+    Placement is pure metadata here: it decides which worker {e
+    computes} a source, never how results are merged, so the final
+    curves are bit-identical at any worker count or death schedule (the
+    coordinator merges per-source partials in slot order). *)
+
+type t
+
+val create : ?vnodes:int -> workers:int -> unit -> t
+(** [vnodes] defaults to 64 points per worker. Raises
+    [Invalid_argument] on [workers < 1] or [vnodes < 1]. *)
+
+val workers : t -> int
+
+val assign : t -> alive:int list -> int -> int
+(** [assign t ~alive source]: the owning worker among [alive]
+    (successor walk past points owned by dead workers). Deterministic
+    in [(t, alive, source)]. Raises [Invalid_argument] when [alive] is
+    empty or names an unknown worker. *)
+
+val map_sha256 : t -> alive:int list -> sources:int list -> string
+(** Digest of the full assignment [source -> worker] over [sources],
+    in list order — recorded in the run manifest so two runs can be
+    checked for identical placement. *)

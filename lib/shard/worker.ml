@@ -1,0 +1,158 @@
+module Delay_cdf = Omn_core.Delay_cdf
+module Trace_io = Omn_temporal.Trace_io
+module Supervise = Omn_resilience.Supervise
+module Pool = Omn_parallel.Pool
+module Checkpoint = Omn_robust.Checkpoint
+module Err = Omn_robust.Err
+
+let ckpt_magic = "omn-shard-ckpt 1\n"
+
+(* The coordinator binds the socket before spawning, but the spawned
+   process can still race the listen() call on a loaded box. *)
+let connect ~sock =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX sock) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when attempt < 100 ->
+      Unix.close fd;
+      Unix.sleepf 0.05;
+      go (attempt + 1)
+    | exception e ->
+      Unix.close fd;
+      raise e
+  in
+  go 0
+
+let load_cache ~path ~fingerprint =
+  let validate payload =
+    match (Marshal.from_string payload 0 : string * (int * string) list) with
+    | fp, entries when fp = fingerprint -> Ok entries
+    | _ -> Err.error Checkpoint "shard checkpoint fingerprint mismatch"
+    | exception _ -> Err.error Checkpoint "shard checkpoint undecodable"
+  in
+  match Checkpoint.load ~magic:ckpt_magic ~validate path with
+  | Ok (entries, _) -> entries
+  | Error _ -> []
+
+let save_cache ~path ~fingerprint cache =
+  let entries = Hashtbl.fold (fun s v acc -> (s, v) :: acc) cache [] in
+  let entries = List.sort compare entries in
+  Checkpoint.save ~magic:ckpt_magic ~path (Marshal.to_string (fingerprint, entries) [])
+
+let main ~worker ~sock () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = connect ~sock in
+  let send m = Frame.write fd (Proto.encode_from_worker m) in
+  send (Hello { worker });
+  let job =
+    match Frame.read fd with
+    | Ok s -> (
+      match Proto.decode_to_worker s with
+      | Ok (Job j) -> Some j
+      | Ok _ | Error _ -> None)
+    | Error _ -> None
+  in
+  match job with
+  | None -> Unix.close fd
+  | Some job ->
+    let trace = Trace_io.of_string job.trace_text in
+    let policy =
+      match job.supervise with
+      | Some (retries, backoff, backoff_max, jitter_seed) ->
+        { Supervise.default with retries; backoff; backoff_max; jitter_seed }
+      | None -> { Supervise.default with retries = 0 }
+    in
+    let cache : (int, string) Hashtbl.t = Hashtbl.create 64 in
+    (match job.ckpt_path with
+    | Some p ->
+      List.iter (fun (s, v) -> Hashtbl.replace cache s v) (load_cache ~path:p ~fingerprint:job.fingerprint)
+    | None -> ());
+    send (Ready { worker; resumed = Hashtbl.length cache });
+    let pool = if job.domains > 1 then Some (Pool.create ~domains:job.domains ()) else None in
+    let compute_source source =
+      Delay_cdf.source_partial ~max_hops:job.max_hops ?dests:job.dests ?grid:job.grid
+        ?windows:job.windows trace source
+      |> Delay_cdf.partial_to_string
+    in
+    (* Batch order = arrival order; the cache is read-only during the
+       pool run and mutated only afterwards, on this domain. *)
+    let run_batch batch =
+      let arr = Array.of_list batch in
+      let out =
+        Pool.run ?pool
+          (fun (slot, source) ->
+            match Hashtbl.find_opt cache source with
+            | Some s -> Ok (slot, source, s, true)
+            | None -> (
+              match Supervise.run_task policy ~item:source (fun () -> compute_source source) with
+              | Ok s -> Ok (slot, source, s, false)
+              | Error f -> Error (slot, source, f)))
+          arr
+      in
+      let dirty = ref false in
+      Array.iter
+        (function
+          | Ok (_, source, s, false) ->
+            Hashtbl.replace cache source s;
+            dirty := true
+          | Ok _ | Error _ -> ())
+        out;
+      (match job.ckpt_path with
+      | Some p when !dirty -> save_cache ~path:p ~fingerprint:job.fingerprint cache
+      | _ -> ());
+      Array.iter
+        (fun r ->
+          send
+            (match r with
+            | Ok (slot, source, partial, _) -> Result { slot; source; partial }
+            | Error (slot, source, (f : Supervise.failure)) ->
+              Failed { slot; source; attempts = f.attempts; reason = f.reason }))
+        out
+    in
+    (* Cap batches so queued Pings are answered between pool runs — a
+       worker deep in a huge batch must not look heartbeat-dead. *)
+    let batch_cap = max 8 (2 * job.domains) in
+    let pending = ref [] in
+    let flush () =
+      if !pending <> [] then begin
+        let rec take k = function
+          | x :: rest when k > 0 ->
+            let batch, keep = take (k - 1) rest in
+            (x :: batch, keep)
+          | rest -> ([], rest)
+        in
+        let batch, keep = take batch_cap (List.rev !pending) in
+        run_batch batch;
+        pending := List.rev keep
+      end
+    in
+    let readable () =
+      match Unix.select [ fd ] [] [] 0. with [ _ ], _, _ -> true | _ -> false
+    in
+    let rec loop () =
+      if !pending <> [] && not (readable ()) then begin
+        flush ();
+        loop ()
+      end
+      else
+        match Frame.read fd with
+        | Error (`Eof | `Corrupt) -> () (* coordinator gone: orderly exit *)
+        | Error `Timeout ->
+          flush ();
+          loop ()
+        | Ok s -> (
+          match Proto.decode_to_worker s with
+          | Error _ -> ()
+          | Ok Ping ->
+            send Pong;
+            loop ()
+          | Ok Shutdown -> ()
+          | Ok (Compute { slot; source }) ->
+            pending := (slot, source) :: !pending;
+            loop ()
+          | Ok (Job _) -> loop ())
+    in
+    (try loop () with Unix.Unix_error _ -> ());
+    (match pool with Some p -> Pool.shutdown p | None -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())

@@ -1,0 +1,33 @@
+(** Shard worker process: computes per-source partials on demand.
+
+    Lifecycle (see {!Proto} for the handshake): connect to the
+    coordinator's Unix-domain socket, send [Hello], receive the [Job]
+    (trace + parameters), load the shard checkpoint when its
+    fingerprint matches, answer [Ready], then serve [Compute] requests
+    until [Shutdown] or the connection closes.
+
+    Batching: the worker drains every [Compute] already queued on the
+    socket before computing, and runs the batch through its own domain
+    {!Omn_parallel.Pool} ([job.domains]); results are sent back in
+    batch order. Merge order lives entirely on the coordinator, so
+    worker-side parallelism cannot affect the final curves.
+
+    Checkpointing: every computed [(source, partial)] is cached and the
+    cache persisted (CRC-framed, rotated — {!Omn_robust.Checkpoint})
+    after each batch, so a worker that is killed and respawned {e
+    resumes}: re-requested sources are answered from the cache instead
+    of recomputed. A failing source is retried under the job's
+    supervision policy and, once exhausted, reported as [Failed] — the
+    worker itself survives poison sources.
+
+    The worker ignores [SIGPIPE] and treats a closed or corrupt
+    coordinator connection as an orderly shutdown. *)
+
+val ckpt_magic : string
+(** Framing magic of worker shard checkpoints. *)
+
+val main : worker:int -> sock:string -> unit -> unit
+(** Run the worker loop to completion. Returns normally on [Shutdown]
+    or coordinator disconnect; raises only on unrecoverable local
+    errors (e.g. the socket path never appearing). Callers that forked
+    must follow with [Unix._exit]. *)

@@ -14,15 +14,21 @@
 #      degraded-but-complete exit code 3;
 #   5. timeline: --trace-out must emit a Chrome trace with per-domain
 #      tracks and chunk/pool duration events, and `omn report
-#      --fail-dropped` must digest it with zero dropped events.
-# Run via `make check`. CI uploads $SMOKE_METRICS, $SMOKE_TRACE and
-# $SMOKE_REPORT as artifacts.
+#      --fail-dropped` must digest it with zero dropped events;
+#   6. sharding: a 3-worker sharded run must be byte-identical (modulo
+#      manifest) to the single-process run, and must stay byte-identical
+#      with exit 0 when a worker is killed mid-run (failover).
+# Run via `make check`. CI uploads $SMOKE_METRICS, $SMOKE_TRACE,
+# $SMOKE_REPORT, $SMOKE_SHARD_TRACE and $SMOKE_SHARD_REPORT as
+# artifacts.
 set -eu
 
 OMN="${OMN:-_build/default/bin/omn.exe}"
 SMOKE_METRICS="${SMOKE_METRICS:-SMOKE_metrics.json}"
 SMOKE_TRACE="${SMOKE_TRACE:-SMOKE_trace.json}"
 SMOKE_REPORT="${SMOKE_REPORT:-SMOKE_report.json}"
+SMOKE_SHARD_TRACE="${SMOKE_SHARD_TRACE:-SMOKE_shard_trace.json}"
+SMOKE_SHARD_REPORT="${SMOKE_SHARD_REPORT:-SMOKE_shard_report.json}"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -190,5 +196,60 @@ if [ "$rc" -ne 3 ]; then
   echo "smoke FAIL: omn chaos exited $rc, expected 3" >&2
   exit 1
 fi
+
+# --- 6. sharded execution -----------------------------------------------------
+
+# Results must not depend on how the work is placed: a 3-worker sharded
+# run is the same bytes as the single-process run, and the manifest
+# records the worker count and the placement digest.
+"$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 --workers 3 \
+  -o "$tmp/sharded.json" >/dev/null
+same_result "$tmp/full.json" "$tmp/sharded.json" || {
+  echo "smoke FAIL: 3-worker sharded run differs from single-process run" >&2
+  exit 1
+}
+grep -q '"workers": 3' "$tmp/sharded.json" || {
+  echo "smoke FAIL: sharded manifest lacks the worker count" >&2
+  exit 1
+}
+grep -q '"shard_map_sha256"' "$tmp/sharded.json" || {
+  echo "smoke FAIL: sharded manifest lacks the shard map digest" >&2
+  exit 1
+}
+
+# Killing a worker mid-run must not cost a source, a byte of output, or
+# the exit code: its unacknowledged sources fail over to ring
+# successors and the worker is respawned.
+rc=0
+"$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 --workers 3 \
+  --shard-fault worker-kill:2:1 --trace-out "$SMOKE_SHARD_TRACE" \
+  -o "$tmp/sharded-kill.json" >/dev/null 2>"$tmp/shard.err" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "smoke FAIL: worker-kill sharded run exited $rc, expected 0" >&2
+  exit 1
+fi
+same_result "$tmp/full.json" "$tmp/sharded-kill.json" || {
+  echo "smoke FAIL: worker-kill sharded run differs from single-process run" >&2
+  exit 1
+}
+grep -q 'shard failover' "$tmp/shard.err" || {
+  echo "smoke FAIL: worker-kill run printed no failover summary" >&2
+  exit 1
+}
+grep -q 'worker.spawn' "$SMOKE_SHARD_TRACE" || {
+  echo "smoke FAIL: shard trace lacks worker.spawn events" >&2
+  exit 1
+}
+"$OMN" report "$tmp/sharded-kill.json" --timeline "$SMOKE_SHARD_TRACE" \
+  --json -o "$SMOKE_SHARD_REPORT" >/dev/null || {
+  echo "smoke FAIL: omn report rejected the sharded run" >&2
+  exit 1
+}
+for key in '"shard"' '"worker_spawns"' '"reassigned_sources"'; do
+  grep -q "$key" "$SMOKE_SHARD_REPORT" || {
+    echo "smoke FAIL: shard report lacks $key" >&2
+    exit 1
+  }
+done
 
 echo "smoke ok"

@@ -1,4 +1,27 @@
 let () =
+  (* Worker-mode escape hatch for the shard suite: the coordinator's
+     [Spawn_exec] re-executes [Sys.executable_name worker --id I --sock P],
+     and under the test runner that is this binary. Intercept the worker
+     argv before Alcotest sees it. ([Spawn_fork] is unusable from the
+     full suite: earlier suites create domains, and OCaml 5 forbids
+     [Unix.fork] in a process with more than one domain.) *)
+  if Array.length Sys.argv >= 2 && Sys.argv.(1) = "worker" then begin
+    let arg flag =
+      let rec find i =
+        if i >= Array.length Sys.argv - 1 then None
+        else if Sys.argv.(i) = flag then Some Sys.argv.(i + 1)
+        else find (i + 1)
+      in
+      find 2
+    in
+    match (arg "--id", arg "--sock") with
+    | Some id, Some sock ->
+      Omn_shard.Worker.main ~worker:(int_of_string id) ~sock ();
+      exit 0
+    | _ -> exit 2
+  end
+
+let () =
   Alcotest.run "omnet-diameter"
     [
       ("stats", Test_stats.suite);
@@ -16,6 +39,7 @@ let () =
       ("mobility", Test_mobility.suite);
       ("robust", Test_robust.suite);
       ("chaos", Test_chaos.suite);
+      ("shard", Test_shard.suite);
       ("misc", Test_misc.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);

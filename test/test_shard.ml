@@ -1,0 +1,331 @@
+(* The multi-process shard layer: ring placement, wire framing, the
+   protocol round-trip, the per-source partial merge, and the
+   coordinator's end-to-end guarantees — a 3-worker run is
+   bit-identical to the single-process driver, and stays bit-identical
+   (with every source accounted for exactly once) under any single
+   worker-kill/restart schedule. *)
+
+module Ring = Omn_shard.Ring
+module Frame = Omn_shard.Frame
+module Proto = Omn_shard.Proto
+module Coord = Omn_shard.Coord
+module Faultgen = Omn_robust.Faultgen
+module S = Omn_resilience.Supervise
+module Delay_cdf = Omn_core.Delay_cdf
+module Trace_io = Omn_temporal.Trace_io
+module Rng = Omn_stats.Rng
+
+let curves_equal (a : Delay_cdf.curves) (b : Delay_cdf.curves) =
+  a.grid = b.grid && a.hop_success = b.hop_success && a.hop_success_inf = b.hop_success_inf
+  && a.flood_success = b.flood_success && a.flood_success_inf = b.flood_success_inf
+  && a.max_rounds_used = b.max_rounds_used
+
+(* --- Ring --- *)
+
+let ring_assign_deterministic () =
+  let r = Ring.create ~workers:4 () in
+  let alive = [ 0; 1; 2; 3 ] in
+  let sources = List.init 50 Fun.id in
+  let m1 = List.map (Ring.assign r ~alive) sources in
+  let m2 = List.map (Ring.assign (Ring.create ~workers:4 ()) ~alive) sources in
+  Alcotest.(check (list int)) "same assignment from a fresh ring" m1 m2;
+  List.iter
+    (fun w -> Alcotest.(check bool) "owner is a live worker" true (w >= 0 && w < 4))
+    m1;
+  (* every worker owns something at 50 sources and 64 vnodes *)
+  List.iter
+    (fun w -> Alcotest.(check bool) (Printf.sprintf "worker %d owns sources" w) true (List.mem w m1))
+    alive
+
+let ring_successor_moves_only_dead () =
+  let r = Ring.create ~workers:4 () in
+  let all = [ 0; 1; 2; 3 ] in
+  let sources = List.init 80 Fun.id in
+  let dead = 2 in
+  let alive = List.filter (fun w -> w <> dead) all in
+  List.iter
+    (fun s ->
+      let before = Ring.assign r ~alive:all s in
+      let after = Ring.assign r ~alive s in
+      if before <> dead then
+        Alcotest.(check int) (Printf.sprintf "source %d stays put" s) before after
+      else Alcotest.(check bool) "moved to a survivor" true (List.mem after alive))
+    sources;
+  (* the dead worker's sources spread over more than one successor *)
+  let moved =
+    List.filter_map
+      (fun s -> if Ring.assign r ~alive:all s = dead then Some (Ring.assign r ~alive s) else None)
+      sources
+  in
+  Alcotest.(check bool) "vnodes spread the failover load" true
+    (List.length (List.sort_uniq compare moved) > 1)
+
+let ring_validation () =
+  (match Ring.create ~workers:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "workers=0 accepted");
+  let r = Ring.create ~workers:2 () in
+  (match Ring.assign r ~alive:[] 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty alive accepted");
+  match Ring.assign r ~alive:[ 0; 5 ] 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown worker accepted"
+
+let ring_map_digest () =
+  let r = Ring.create ~workers:3 () in
+  let sources = List.init 20 Fun.id in
+  let d1 = Ring.map_sha256 r ~alive:[ 0; 1; 2 ] ~sources in
+  let d2 = Ring.map_sha256 r ~alive:[ 0; 1; 2 ] ~sources in
+  Alcotest.(check string) "digest stable" d1 d2;
+  Alcotest.(check int) "hex sha256" 64 (String.length d1);
+  let d3 = Ring.map_sha256 r ~alive:[ 0; 1 ] ~sources in
+  Alcotest.(check bool) "digest tracks the assignment" true (d1 <> d3)
+
+(* --- Frame --- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let frame_roundtrip () =
+  with_socketpair @@ fun a b ->
+  let payload = "the quick brown fox \x00\xff jumps" in
+  Frame.write a payload;
+  Frame.write a "";
+  (match Frame.read b with
+  | Ok s -> Alcotest.(check string) "payload intact" payload s
+  | Error _ -> Alcotest.fail "clean frame rejected");
+  match Frame.read b with
+  | Ok s -> Alcotest.(check string) "empty payload ok" "" s
+  | Error _ -> Alcotest.fail "empty frame rejected"
+
+let frame_corrupt_and_eof () =
+  with_socketpair @@ fun a b ->
+  Frame.write a "payload-to-mangle";
+  (match Frame.read ~mangle:true b with
+  | Error `Corrupt -> ()
+  | Ok _ -> Alcotest.fail "mangled frame passed the CRC"
+  | Error _ -> Alcotest.fail "mangled frame misclassified");
+  Unix.close a;
+  match Frame.read b with
+  | Error `Eof -> ()
+  | _ -> Alcotest.fail "closed peer must read as Eof"
+
+(* --- Proto --- *)
+
+let proto_roundtrip () =
+  let job =
+    {
+      Proto.trace_text = "trace"; max_hops = 4; dests = Some [ 1; 2 ]; grid = Some [| 1.; 2. |];
+      windows = Some [ (0., 10.) ]; supervise = Some (2, 0.05, 1., 0); ckpt_path = None;
+      fingerprint = "fp"; domains = 2;
+    }
+  in
+  List.iter
+    (fun m ->
+      match Proto.decode_to_worker (Proto.encode_to_worker m) with
+      | Ok m' -> Alcotest.(check bool) "to_worker round-trips" true (m = m')
+      | Error e -> Alcotest.failf "to_worker decode failed: %s" e)
+    [ Proto.Job job; Proto.Compute { slot = 3; source = 7 }; Proto.Ping; Proto.Shutdown ];
+  List.iter
+    (fun m ->
+      match Proto.decode_from_worker (Proto.encode_from_worker m) with
+      | Ok m' -> Alcotest.(check bool) "from_worker round-trips" true (m = m')
+      | Error e -> Alcotest.failf "from_worker decode failed: %s" e)
+    [
+      Proto.Hello { worker = 1 }; Proto.Ready { worker = 1; resumed = 4 };
+      Proto.Result { slot = 0; source = 5; partial = "bytes" };
+      Proto.Failed { slot = 1; source = 6; attempts = 3; reason = "poison" }; Proto.Pong;
+    ];
+  match Proto.decode_to_worker "not a marshal payload" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage decoded"
+
+let fingerprint_sensitivity () =
+  let fp ?(trace = "t") ?(max_hops = 10) ?dests ?grid ?windows () =
+    Proto.job_fingerprint ~trace_text:trace ~max_hops ~dests ~grid ~windows
+  in
+  let base = fp () in
+  Alcotest.(check string) "deterministic" base (fp ());
+  List.iter
+    (fun (what, other) -> Alcotest.(check bool) (what ^ " changes it") true (other <> base))
+    [
+      ("trace", fp ~trace:"u" ()); ("max_hops", fp ~max_hops:9 ());
+      ("dests", fp ~dests:[ 0 ] ()); ("grid", fp ~grid:[| 1. |] ());
+      ("windows", fp ~windows:[ (0., 1.) ] ());
+    ]
+
+(* --- partial merge --- *)
+
+let trace = Util.random_trace (Rng.create 1731) ~n:10 ~m:60 ~horizon:120
+let grid = [| 1.; 5.; 20.; 60.; 120. |]
+let max_hops = 3
+let sources = Delay_cdf.uniform_order (List.init 10 Fun.id)
+let reference = Delay_cdf.compute ~max_hops ~grid ~sources trace
+
+let partial_merge_bit_identity () =
+  let m = Delay_cdf.merger_create ~max_hops ~grid () in
+  List.iter
+    (fun s ->
+      let p = Delay_cdf.source_partial ~max_hops ~grid trace s in
+      (* through the wire representation, like a real worker *)
+      match Delay_cdf.partial_of_string (Delay_cdf.partial_to_string p) with
+      | Ok p -> Delay_cdf.merger_add m p
+      | Error e -> Alcotest.failf "partial round-trip failed: %s" e)
+    sources;
+  Alcotest.(check bool) "merged partials bit-identical to compute" true
+    (curves_equal (Delay_cdf.merger_curves m) reference);
+  match Delay_cdf.partial_of_string "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage partial decoded"
+
+(* --- the coordinator, end to end --- *)
+
+(* [Spawn_exec] re-executes this test binary, which doubles as its own
+   worker (see the escape hatch in [Test_main]). [Spawn_fork] would be
+   cheaper but is illegal here: suites that ran earlier created domains,
+   and OCaml 5 forbids [Unix.fork] in a multi-domain process. *)
+(* max_inflight = 2 keeps dispatch behind the chaos schedules below: a
+   victim is always killed while it still has undispatched sources, so
+   failover is required for completion rather than a timing accident. *)
+let shard_cfg ~workers =
+  {
+    (Coord.default ~workers) with
+    Coord.heartbeat_interval = 0.05;
+    heartbeat_timeout = 2.;
+    respawn_backoff = 0.01;
+    max_inflight = 2;
+  }
+
+let run_ok ?(cfg = shard_cfg ~workers:3) () =
+  match Coord.run ~max_hops ~grid cfg trace with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "sharded run failed: %s" (Omn_robust.Err.to_string e)
+
+let coord_bit_identity () =
+  let curves, p, st = run_ok () in
+  Alcotest.(check bool) "complete" false p.Delay_cdf.partial;
+  Alcotest.(check int) "every source accounted for" 10 p.Delay_cdf.sources_done;
+  Alcotest.(check (list int)) "nothing degraded" []
+    (List.map (fun (f : S.failure) -> f.S.item) p.Delay_cdf.degraded);
+  Alcotest.(check bool) "bit-identical to single-process" true (curves_equal curves reference);
+  Alcotest.(check int) "exactly one spawn per worker" 3 st.Coord.spawns;
+  Alcotest.(check int) "hex shard map digest" 64 (String.length st.Coord.shard_map_sha256)
+
+(* Kill ALL workers early in a 40-source run. With the 2-source
+   in-flight window, at most 6 initial + 3 ack-freed dispatches can
+   precede the last kill, so every victim strands undispatched work —
+   completion then requires a respawn, a reassignment and a rejoin,
+   deterministically (a lone kill can be absorbed by results already in
+   the socket buffer, which is correct but unobservable). *)
+let coord_kill_failover () =
+  let big_trace = Util.random_trace (Rng.create 97) ~n:40 ~m:200 ~horizon:200 in
+  let big_sources = Delay_cdf.uniform_order (List.init 40 Fun.id) in
+  let big_reference = Delay_cdf.compute ~max_hops ~grid ~sources:big_sources big_trace in
+  let chaos =
+    List.map
+      (fun v -> { Faultgen.after_results = 1 + v; victim = v; shard_fault = Faultgen.Worker_kill })
+      [ 0; 1; 2 ]
+  in
+  let ckpt_dir = Filename.temp_file "omn_shard" ".d" in
+  Sys.remove ckpt_dir;
+  Unix.mkdir ckpt_dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat ckpt_dir f) with Sys_error _ -> ())
+        (Sys.readdir ckpt_dir);
+      try Unix.rmdir ckpt_dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let cfg = { (shard_cfg ~workers:3) with Coord.chaos; ckpt_dir = Some ckpt_dir } in
+  match Coord.run ~max_hops ~grid cfg big_trace with
+  | Error e -> Alcotest.failf "sharded run failed: %s" (Omn_robust.Err.to_string e)
+  | Ok (curves, p, st) ->
+    Alcotest.(check bool) "complete despite every worker dying" false p.Delay_cdf.partial;
+    Alcotest.(check int) "no source lost" 40 p.Delay_cdf.sources_done;
+    Alcotest.(check bool) "bit-identical after failover" true (curves_equal curves big_reference);
+    Alcotest.(check bool) "respawn happened" true (st.Coord.spawns > 3);
+    Alcotest.(check bool) "reassignment recorded" true (st.Coord.reassigned > 0);
+    Alcotest.(check bool) "a respawned worker rejoined" true (st.Coord.rejoins > 0)
+
+(* Property: any single worker-kill/restart schedule — whichever victim,
+   whenever it fires — yields bit-identical curves with every source
+   merged exactly once (at-most-once accounting absorbs reassignment
+   races as counted duplicate drops, never double merges). *)
+let prop_single_kill_schedules =
+  QCheck2.Test.make ~count:6 ~name:"single worker-kill schedules: bit-identical, no double count"
+    QCheck2.Gen.(pair (int_range 0 8) (int_range 0 2))
+    (fun (after_results, victim) ->
+      let chaos = [ { Faultgen.after_results; victim; shard_fault = Faultgen.Worker_kill } ] in
+      match Coord.run ~max_hops ~grid { (shard_cfg ~workers:3) with Coord.chaos } trace with
+      | Error e -> QCheck2.Test.fail_reportf "run failed: %s" (Omn_robust.Err.to_string e)
+      | Ok (curves, p, st) ->
+        if p.Delay_cdf.partial then QCheck2.Test.fail_report "spurious partial";
+        if p.Delay_cdf.sources_done <> 10 then
+          QCheck2.Test.fail_reportf "%d/10 sources merged (duplicates dropped: %d)"
+            p.Delay_cdf.sources_done st.Coord.duplicates;
+        curves_equal curves reference)
+
+(* --- exit-code precedence --- *)
+
+let exit_code_precedence () =
+  Alcotest.(check int) "partial beats degraded" 124 (S.exit_code ~partial:true ~degraded:true);
+  Alcotest.(check int) "partial alone" 124 (S.exit_code ~partial:true ~degraded:false);
+  Alcotest.(check int) "degraded-but-complete" 3 (S.exit_code ~partial:false ~degraded:true);
+  Alcotest.(check int) "clean" 0 (S.exit_code ~partial:false ~degraded:false)
+
+(* --- Faultgen shard schedules --- *)
+
+let shard_schedule_properties () =
+  let sched = Faultgen.shard_schedule ~seed:9 ~workers:3 ~results:20 4 in
+  Alcotest.(check int) "requested length" 4 (List.length sched);
+  Alcotest.(check bool) "deterministic" true
+    (sched = Faultgen.shard_schedule ~seed:9 ~workers:3 ~results:20 4);
+  Alcotest.(check bool) "seed matters" true
+    (sched <> Faultgen.shard_schedule ~seed:10 ~workers:3 ~results:20 4);
+  let points = List.map (fun (e : Faultgen.shard_event) -> e.Faultgen.after_results) sched in
+  Alcotest.(check (list int)) "ascending distinct trigger points" (List.sort_uniq compare points)
+    points;
+  List.iter
+    (fun (e : Faultgen.shard_event) ->
+      Alcotest.(check bool) "in the first half" true
+        (e.Faultgen.after_results >= 0 && e.Faultgen.after_results <= 10);
+      Alcotest.(check bool) "victim in range" true
+        (e.Faultgen.victim >= 0 && e.Faultgen.victim < 3))
+    sched;
+  (match Faultgen.shard_schedule ~seed:1 ~workers:0 ~results:10 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "workers=0 accepted");
+  (match Faultgen.shard_schedule ~seed:1 ~workers:2 ~results:10 ~kinds:[] 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty kinds accepted");
+  List.iter
+    (fun n ->
+      match Faultgen.shard_fault_of_name n with
+      | Some f -> Alcotest.(check string) "name round-trips" n (Faultgen.shard_fault_name f)
+      | None -> Alcotest.failf "%s not parsed" n)
+    Faultgen.shard_fault_names
+
+let suite =
+  [
+    Alcotest.test_case "ring assignment deterministic" `Quick ring_assign_deterministic;
+    Alcotest.test_case "ring death moves only the dead worker's sources" `Quick
+      ring_successor_moves_only_dead;
+    Alcotest.test_case "ring rejects malformed arguments" `Quick ring_validation;
+    Alcotest.test_case "ring map digest tracks the assignment" `Quick ring_map_digest;
+    Alcotest.test_case "frame round-trip" `Quick frame_roundtrip;
+    Alcotest.test_case "frame CRC rejects corruption; Eof on close" `Quick frame_corrupt_and_eof;
+    Alcotest.test_case "protocol messages round-trip" `Quick proto_roundtrip;
+    Alcotest.test_case "job fingerprint tracks every parameter" `Quick fingerprint_sensitivity;
+    Alcotest.test_case "merged partials bit-identical to compute" `Quick
+      partial_merge_bit_identity;
+    Alcotest.test_case "3-worker run bit-identical to single-process" `Quick coord_bit_identity;
+    Alcotest.test_case "worker kill: failover, no source lost" `Quick coord_kill_failover;
+    QCheck_alcotest.to_alcotest prop_single_kill_schedules;
+    Alcotest.test_case "exit-code precedence 124 > 3 > 0" `Quick exit_code_precedence;
+    Alcotest.test_case "shard fault schedules deterministic" `Quick shard_schedule_properties;
+  ]
