@@ -124,11 +124,16 @@ let run_timing () =
    checks the curves are bit-identical across domain counts, measures
    the overhead of enabling the metrics registry, and emits a
    machine-readable report (with the span tree and key observability
-   counters folded in) that CI archives. With [enforce] set, a
-   2-domain run more than 10% slower than 1 domain fails the process —
-   but only on hosts where the runtime recommends >= 2 domains (a
-   1-core container cannot exhibit a speedup). *)
-let bench_parallel ~quick ~enforce () =
+   counters folded in) that CI archives. With [enforce] set, the
+   2-domain run must be at least [min_speedup] times faster than the
+   1-domain run or the process fails — except on hosts where the
+   runtime recommends < 2 domains (a 1-core container cannot exhibit a
+   speedup); the skip is stamped visibly into the JSON as
+   ["gate"]["status"] = "skipped", never silently. [max_prune_ratio]
+   optionally gates frontier churn: the instrumented rerun's
+   points_pruned / points_kept must not regress above the recorded
+   baseline. *)
+let bench_parallel ~quick ~enforce ~min_speedup ~max_prune_ratio () =
   let rng = Omn_stats.Rng.create 11 in
   let n = 80 in
   (* Always the full half-day trace: a smaller workload is dominated by
@@ -136,6 +141,16 @@ let bench_parallel ~quick ~enforce () =
   let days = 0.5 in
   let params = Omn_mobility.Venue.conference_params ~rng ~n ~days in
   let trace = Omn_mobility.Venue.generate rng ~n ~name:"bench-parallel" params in
+  (* The provenance manifest opens now and is [finish]ed only when the
+     artifact is written, so started/finished bracket the measured runs
+     (the old code created and finished it at JSON-build time, stamping
+     a microseconds-wide window over a multi-second bench). *)
+  let manifest =
+    Omn_obs.Manifest.create ~version:"bench"
+      ~trace_sha256:(Omn_obs.Sha256.string (Omn_temporal.Trace_io.to_string trace))
+      ~trace_name:(Omn_temporal.Trace.name trace) ~n_nodes:n
+      ~n_contacts:(Omn_temporal.Trace.n_contacts trace) ()
+  in
   let max_hops = 6 in
   let repeats = if quick then 2 else 3 in
   let time_compute domains =
@@ -250,19 +265,45 @@ let bench_parallel ~quick ~enforce () =
   let mean_frontier =
     float_of_int (Array.fold_left ( + ) 0 sizes) /. float_of_int (max 1 (Array.length sizes))
   in
+  (* Gate verdicts are decided before the JSON is built so the artifact
+     records them — a skipped gate on a 1-core host must be visible in
+     the archived file, not only on a console nobody kept. *)
+  let _, t2 = List.assoc 2 runs in
+  let speedup2 = base_time /. t2 in
+  let speedup_status, speedup_reason =
+    if not enforce then ("off", "enforcement not requested (no --enforce-speedup)")
+    else if recommended < 2 then
+      ( "skipped",
+        Printf.sprintf "host recommends %d domain(s); a >= 2-core host is required to measure a speedup"
+          recommended )
+    else if speedup2 >= min_speedup then
+      ("passed", Printf.sprintf "measured %.2fx >= required %.2fx" speedup2 min_speedup)
+    else ("failed", Printf.sprintf "measured %.2fx < required %.2fx" speedup2 min_speedup)
+  in
+  (* Frontier churn from the instrumented rerun: pruned/kept measures
+     how much domination work the sweep does per surviving point. A
+     regression above the recorded baseline means candidate emission got
+     sloppier even if wall-clock hides it. *)
+  let kept = Option.value ~default:0 (Omn_obs.Metrics.counter_total snap "frontier.points_kept") in
+  let pruned =
+    Option.value ~default:0 (Omn_obs.Metrics.counter_total snap "frontier.points_pruned")
+  in
+  let prune_ratio = if kept = 0 then 0. else float_of_int pruned /. float_of_int kept in
+  let prune_status, prune_reason =
+    match max_prune_ratio with
+    | None -> ("off", "no --max-prune-ratio baseline given")
+    | Some limit ->
+      if prune_ratio <= limit then
+        ("passed", Printf.sprintf "measured %.2f <= baseline %.2f" prune_ratio limit)
+      else ("failed", Printf.sprintf "measured %.2f > baseline %.2f" prune_ratio limit)
+  in
   let json =
     let open Omn_obs.Json in
     let snap_json = Omn_obs.Metrics.snapshot_to_json snap in
     let counter name = Int (Option.value ~default:0 (Omn_obs.Metrics.counter_total snap name)) in
     Obj
       [
-        ( "manifest",
-          Omn_obs.Manifest.to_json
-            (Omn_obs.Manifest.finish
-               (Omn_obs.Manifest.create ~version:"bench"
-                  ~trace_sha256:(Omn_obs.Sha256.string (Omn_temporal.Trace_io.to_string trace))
-                  ~trace_name:(Omn_temporal.Trace.name trace) ~n_nodes:n
-                  ~n_contacts:(Omn_temporal.Trace.n_contacts trace) ())) );
+        ("manifest", Omn_obs.Manifest.to_json (Omn_obs.Manifest.finish manifest));
         ("bench", String "delay_cdf.compute");
         ( "trace",
           Obj
@@ -328,6 +369,26 @@ let bench_parallel ~quick ~enforce () =
                      ("speedup_vs_1", Float (base_time /. t));
                    ])
                runs) );
+        ( "gate",
+          Obj
+            [
+              ("enforced", Bool enforce);
+              ("min_speedup", Float min_speedup);
+              ("measured_speedup_2domain", Float speedup2);
+              ("status", String speedup_status);
+              ("reason", String speedup_reason);
+              ( "prune_ratio",
+                Obj
+                  [
+                    ("points_kept", Int kept);
+                    ("points_pruned", Int pruned);
+                    ("measured", Float prune_ratio);
+                    ( "max",
+                      match max_prune_ratio with Some r -> Float r | None -> Null );
+                    ("status", String prune_status);
+                    ("reason", String prune_reason);
+                  ] );
+            ] );
       ]
   in
   let path = "BENCH_delay_cdf.json" in
@@ -388,24 +449,29 @@ let bench_parallel ~quick ~enforce () =
        regression. The snapshot in the JSON keeps the evidence. *)
     Format.fprintf fmt "WARN: metrics overhead x%.3f exceeds the 1.05 target@." obs_overhead
   else Format.fprintf fmt "  metrics overhead within 5%% target@.";
-  if enforce then begin
-    let _, t2 = List.assoc 2 runs in
-    if recommended < 2 then
-      Format.fprintf fmt
-        "  speedup gate skipped: host recommends %d domain(s); need >= 2 cores@." recommended
-    else if t2 > 1.10 *. base_time then begin
-      Format.fprintf fmt
-        "FAIL: 2-domain run (%.3fs) is more than 10%% slower than 1 domain (%.3fs)@." t2
-        base_time;
-      exit 1
-    end
-    else Format.fprintf fmt "  speedup gate passed: 2 domains within 10%% of 1 domain@."
-  end
+  (* The measured ratio prints on every path — pass, fail and skip — so
+     a green CI log still shows the number the gate judged. *)
+  Format.fprintf fmt "  prune ratio (pruned/kept): %.2f (%d pruned / %d kept) [%s: %s]@."
+    prune_ratio pruned kept prune_status prune_reason;
+  Format.fprintf fmt "  speedup gate [%s]: 2-domain speedup %.2fx vs required %.2fx — %s@."
+    speedup_status speedup2 min_speedup speedup_reason;
+  let failed = ref false in
+  if speedup_status = "failed" then begin
+    Format.fprintf fmt "FAIL: 2-domain speedup %.2fx below the required %.2fx@." speedup2
+      min_speedup;
+    failed := true
+  end;
+  if prune_status = "failed" then begin
+    Format.fprintf fmt "FAIL: prune ratio %.2f exceeds the recorded baseline %.2f@." prune_ratio
+      (Option.get max_prune_ratio);
+    failed := true
+  end;
+  if !failed then exit 1
 
 let usage () =
   Format.fprintf fmt
-    "usage: main.exe [--list] [--quick] [--timing] [--enforce-speedup] [--only NAME[,NAME...]] \
-     [--metrics FILE] [--progress]@.";
+    "usage: main.exe [--list] [--quick] [--timing] [--enforce-speedup] [--min-speedup R] \
+     [--max-prune-ratio R] [--only NAME[,NAME...]] [--metrics FILE] [--progress]@.";
   exit 2
 
 let () =
@@ -422,11 +488,29 @@ let () =
     in
     find args
   in
-  (* Strip "--metrics FILE" before the flag sweeps below: FILE is a
-     value, not a flag. *)
+  let float_flag name =
+    let rec find = function
+      | flag :: v :: _ when flag = name -> (
+        match float_of_string_opt v with
+        | Some r when r > 0. -> Some r
+        | _ ->
+          Format.fprintf fmt "%s needs a positive number, got %S@." name v;
+          exit 2)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let min_speedup = Option.value ~default:1.7 (float_flag "--min-speedup") in
+  let max_prune_ratio = float_flag "--max-prune-ratio" in
+  (* Strip "--metrics FILE" (and the other value-taking flags) before
+     the flag sweeps below: the values are not flags. *)
   let flag_args =
     let rec strip = function
-      | "--metrics" :: _ :: rest -> strip rest
+      | "--metrics" :: _ :: rest
+      | "--min-speedup" :: _ :: rest
+      | "--max-prune-ratio" :: _ :: rest ->
+        strip rest
       | a :: rest -> a :: strip rest
       | [] -> []
     in
@@ -448,7 +532,11 @@ let () =
     find args
   in
   let known_flag a =
-    List.mem a [ "--quick"; "--timing"; "--list"; "--only"; "--enforce-speedup"; "--progress" ]
+    List.mem a
+      [
+        "--quick"; "--timing"; "--list"; "--only"; "--enforce-speedup"; "--progress";
+        "--min-speedup"; "--max-prune-ratio";
+      ]
   in
   List.iter
     (fun a ->
@@ -497,7 +585,7 @@ let () =
     selected;
   Option.iter Omn_obs.Progress.finish bar;
   if timing then begin
-    bench_parallel ~quick ~enforce:enforce_speedup ();
+    bench_parallel ~quick ~enforce:enforce_speedup ~min_speedup ~max_prune_ratio ();
     run_timing ()
   end;
   (match metrics with

@@ -78,6 +78,24 @@ let add_pair t ~t_start ~t_end (descriptors : Ld_ea.t array) =
       prev_ld := p.ld)
     descriptors
 
+(* [add_pair] off a live frontier: identical float operations in the
+   identical order, minus the [Frontier.to_array] descriptor snapshot —
+   the accumulation loop of [compute_batch] reads the frontier's SoA
+   storage in place. *)
+let add_pair_frontier t ~t_start ~t_end frontier =
+  if t_start > t_end then invalid_arg "Delay_cdf.add_pair_frontier: reversed window";
+  t.total <- t.total +. (t_end -. t_start);
+  let n = Frontier.size frontier in
+  let lds = Frontier.ld_arr frontier and eas = Frontier.ea_arr frontier in
+  let prev_ld = ref neg_infinity in
+  for i = 0 to n - 1 do
+    let ld = lds.(i) in
+    let a = Float.max t_start !prev_ld in
+    let b = Float.min t_end ld in
+    add_segment t ~a ~b ~ea:eas.(i);
+    prev_ld := ld
+  done
+
 let success t =
   let n = Array.length t.grid_ in
   let out = Array.make n 0. in
@@ -123,12 +141,10 @@ let compute_batch ~max_hops ~budget_grid ~is_dest ~windows trace sources =
   let add_frontiers acc source frontiers =
     Array.iteri
       (fun dest frontier ->
-        if dest <> source && is_dest.(dest) then begin
-          let snapshot = Frontier.to_array frontier in
+        if dest <> source && is_dest.(dest) then
           List.iter
-            (fun (t_start, t_end) -> add_pair acc ~t_start ~t_end snapshot)
-            windows
-        end)
+            (fun (t_start, t_end) -> add_pair_frontier acc ~t_start ~t_end frontier)
+            windows)
       frontiers
   in
   List.iter

@@ -24,6 +24,12 @@ val add_pair : t -> t_start:float -> t_end:float -> Ld_ea.t array -> unit
     contributes mass [t_end - t_start] to the denominator whether or not
     it ever succeeds. *)
 
+val add_pair_frontier : t -> t_start:float -> t_end:float -> Frontier.t -> unit
+(** {!add_pair} reading a live frontier's structure-of-arrays storage in
+    place — same accumulation, same float-operation order (so results
+    stay bit-identical), no descriptor snapshot. The whole-trace driver
+    uses this on the hot path. *)
+
 val success : t -> float array
 (** [success t].(i) = empirical P(optimal delay <= grid.(i)). *)
 

@@ -1,11 +1,18 @@
-(** Pareto frontiers of {!Ld_ea} descriptors.
+(** Pareto frontiers of {!Ld_ea} descriptors, structure-of-arrays.
 
     This is the paper's "minimum amount of information" representation of
     all delay-optimal paths between one (source, destination) pair
     (condition (4) in §4.4): the set of descriptors none of which
     dominates another, kept sorted by strictly increasing [ld] — and,
     because the set is an antichain, strictly increasing [ea] as well.
-    The delivery function of the pair reads directly off this list. *)
+    The delivery function of the pair reads directly off this list.
+
+    Physically a frontier is two parallel unboxed [float array]s (one
+    per coordinate) plus a size, so the insert hot path — two binary
+    searches and a blit — runs over flat float memory and allocates
+    nothing in the steady state: {!insert_pt} takes the coordinates as
+    bare floats, and the backing arrays grow amortised-doubling and are
+    reused in place ({!clear} resets without freeing). *)
 
 type t
 
@@ -21,6 +28,20 @@ val insert : t -> Ld_ea.t -> bool
     point returns [false]. O(size) worst case (array shift), O(log size)
     search. *)
 
+val insert_pt : t -> ld:float -> ea:float -> bool
+(** {!insert} without the descriptor box: the hot-path entry point used
+    by [Journey]'s candidate emitter. Raises [Invalid_argument] on nan
+    coordinates (the only validation {!Ld_ea.make} performed). *)
+
+val clear : t -> unit
+(** Empty the frontier, keeping the backing capacity — the reusable
+    scratch-frontier primitive: a cleared frontier re-fills without
+    allocating until it outgrows its previous high-water mark. *)
+
+val copy_into : src:t -> dst:t -> unit
+(** Overwrite [dst] with the contents of [src], reusing [dst]'s backing
+    arrays when they are large enough. *)
+
 val size : t -> int
 val is_empty : t -> bool
 
@@ -28,6 +49,15 @@ val to_array : t -> Ld_ea.t array
 (** Fresh array, ascending in both coordinates. *)
 
 val get : t -> int -> Ld_ea.t
+
+val ld_arr : t -> float array
+(** Physical [ld] storage. Only the first {!size} slots are meaningful;
+    the array is owned by the frontier and must not be mutated, and it
+    is invalidated by the next insert (growth may swap it out). For
+    in-repository hot loops that must not allocate per point. *)
+
+val ea_arr : t -> float array
+(** Physical [ea] storage; same caveats as {!ld_arr}. *)
 
 val mem_dominated : t -> Ld_ea.t -> bool
 (** Would [insert] reject this point (some member dominates it, or it is
@@ -51,6 +81,17 @@ val delivery : t -> float -> float
 val equal : t -> t -> bool
 
 val check_invariant : t -> unit
-(** Assert strict bi-monotonicity; for tests. Raises [Assert_failure]. *)
+(** Check strict bi-monotonicity and size/capacity consistency, raising
+    [Invalid_argument] with a diagnostic on violation. Unlike an
+    [assert], the check survives [-noassert]/release builds, so the
+    property tests exercise exactly what production binaries would
+    run. *)
 
 val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val insert_scratch : t -> ld:float -> ea:float -> unit
+(** Insert without touching the kept/pruned metrics — for bookkeeping
+    frontiers (the [Journey] round deltas) whose traffic would distort
+    the counters that measure real frontier work. *)

@@ -1,99 +1,151 @@
 module Trace = Omn_temporal.Trace
-module Contact = Omn_temporal.Contact
 
 type round_info = { hop : int; frontiers : Frontier.t array; changed : int }
 
-(* First index of [d] with ld >= x, or length. [d] is ascending in both
-   coordinates (a sorted Pareto antichain). *)
-let lower_ld (d : Ld_ea.t array) x =
-  let lo = ref 0 and hi = ref (Array.length d) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if d.(mid).Ld_ea.ld >= x then hi := mid else lo := mid + 1
-  done;
-  !lo
-
-(* First index of [d] with ea > x, or length. *)
-let upper_ea (d : Ld_ea.t array) x =
-  let lo = ref 0 and hi = ref (Array.length d) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if d.(mid).Ld_ea.ea > x then hi := mid else lo := mid + 1
-  done;
-  !lo
-
-(* Undominated candidates from extending descriptors of [d] by a contact
-   with interval [tb, te] (see .mli header for the case analysis). *)
-let candidates (d : Ld_ea.t array) ~tb ~te emit =
-  let len = Array.length d in
-  let i = lower_ld d te in
-  if i < len && d.(i).Ld_ea.ea <= te then
-    emit (Ld_ea.make ~ld:te ~ea:(Float.max d.(i).Ld_ea.ea tb));
-  let j = upper_ea d tb - 1 in
-  if j >= 0 && d.(j).Ld_ea.ld < te then emit (Ld_ea.make ~ld:d.(j).Ld_ea.ld ~ea:tb);
-  let hi = min (upper_ea d te) i in
-  for k = j + 1 to hi - 1 do
-    emit d.(k)
-  done
-
 type strategy = Semi_naive | Full_recompute
 
+(* The round loop is written against the structure-of-arrays layers
+   underneath it and allocates nothing per relaxation in the steady
+   state:
+
+   - the contact sweep reads the trace's time-indexed CSR mirror (four
+     flat arrays in start order) instead of an array of boxed
+     [Contact.t] records;
+   - candidate descriptors travel as bare [ld]/[ea] floats straight
+     into [Frontier.insert_pt] — no intermediate [Ld_ea.make];
+   - each node owns two reusable scratch frontiers ([delta], holding
+     the descriptors discovered last round, and [next], collecting this
+     round's discoveries already Pareto-pruned), swapped and [clear]ed
+     between rounds. The old driver accumulated per-round insertions in
+     lists and re-pruned them through a throwaway [Frontier.create] per
+     touched node per round; the scratch frontiers make that pruning
+     incremental and allocation-free.
+
+   Inserting a successful frontier candidate into [next] never fails:
+   if any earlier fresh point dominated it, that point (or a dominator
+   of it, transitively) would still be in the destination frontier and
+   would have rejected the candidate there first. So [next.(v)] is
+   exactly the Pareto antichain of the round's fresh points — the same
+   delta the list-and-reprune driver produced, in the same sorted
+   order. *)
 let run_internal ?(max_rounds = 1024) ?(strategy = Semi_naive) ?on_round ?stop_after trace
     ~source =
   let n = Trace.n_nodes trace in
   if source < 0 || source >= n then invalid_arg "Journey.run: bad source";
   let frontiers = Array.init n (fun _ -> Frontier.create ()) in
   let _ = Frontier.insert frontiers.(source) Ld_ea.identity in
-  let delta = Array.make n [||] in
-  delta.(source) <- [| Ld_ea.identity |];
-  let contacts = Trace.contacts trace in
-  let fresh = Array.make n [] in
-  let touched = ref [ source ] in
+  let delta = ref (Array.init n (fun _ -> Frontier.create ())) in
+  let next = ref (Array.init n (fun _ -> Frontier.create ())) in
+  Frontier.insert_scratch !delta.(source) ~ld:Ld_ea.identity.ld ~ea:Ld_ea.identity.ea;
+  (* Touched-node stacks (this round's and next round's), reused across
+     rounds; [next.(v)]'s emptiness dedups membership. *)
+  let touched = ref (Array.make n 0) and touched_n = ref 1 in
+  let next_touched = ref (Array.make n 0) and next_touched_n = ref 0 in
+  !touched.(0) <- source;
+  let csr = Trace.time_csr trace in
+  let cbeg = csr.Trace.csr_beg and cend = csr.Trace.csr_end in
+  let m = Array.length csr.Trace.csr_a in
+  let changed = ref 0 in
+  (* Without flambda, every float crossing a function boundary is boxed,
+     so the sweep passes only the contact index (an immediate) and the
+     candidate coordinates are re-read from / kept in unboxed float
+     positions; [insert_cand] is the one place a candidate becomes a
+     pair of boxed arguments, once per emission. Both closures are
+     allocated once per run, not per contact. *)
+  let insert_cand to_node ld ea =
+    if Frontier.insert_pt frontiers.(to_node) ~ld ~ea then begin
+      let nxt = !next.(to_node) in
+      if Frontier.is_empty nxt then begin
+        !next_touched.(!next_touched_n) <- to_node;
+        incr next_touched_n
+      end;
+      Frontier.insert_scratch nxt ~ld ~ea;
+      incr changed
+    end
+  in
+  (* Extend the delta of [from_node] by contact [ci] towards [to_node]:
+     the candidate case analysis of the .mli header, inlined over the
+     delta's float arrays. *)
+  let extend from_node to_node ci =
+    let d = !delta.(from_node) in
+    let dn = Frontier.size d in
+    if dn > 0 then begin
+      let tb = cbeg.(ci) and te = cend.(ci) in
+      let dld = Frontier.ld_arr d and dea = Frontier.ea_arr d in
+      (* i = first delta index with ld >= te. *)
+      let i =
+        let lo = ref 0 and hi = ref dn in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if dld.(mid) >= te then hi := mid else lo := mid + 1
+        done;
+        !lo
+      in
+      if i < dn && dea.(i) <= te then
+        insert_cand to_node te (if dea.(i) >= tb then dea.(i) else tb);
+      (* j = last delta index with ea <= tb. *)
+      let j =
+        let lo = ref 0 and hi = ref dn in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if dea.(mid) > tb then hi := mid else lo := mid + 1
+        done;
+        !lo - 1
+      in
+      if j >= 0 && dld.(j) < te then insert_cand to_node dld.(j) tb;
+      (* every delta point with tb < ea <= te and ld < te, verbatim *)
+      let hi =
+        let lo = ref 0 and hi = ref dn in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if dea.(mid) > te then hi := mid else lo := mid + 1
+        done;
+        if !lo < i then !lo else i
+      in
+      for k = j + 1 to hi - 1 do
+        insert_cand to_node dld.(k) dea.(k)
+      done
+    end
+  in
   let do_round () =
-    let changed = ref 0 in
-    let next_touched = ref [] in
-    let extend from_node to_node ~tb ~te =
-      let d = delta.(from_node) in
-      if Array.length d > 0 then
-        candidates d ~tb ~te (fun p ->
-            if Frontier.insert frontiers.(to_node) p then begin
-              if fresh.(to_node) = [] then next_touched := to_node :: !next_touched;
-              fresh.(to_node) <- p :: fresh.(to_node);
-              incr changed
-            end)
-    in
-    Array.iter
-      (fun (c : Contact.t) ->
-        extend c.a c.b ~tb:c.t_beg ~te:c.t_end;
-        extend c.b c.a ~tb:c.t_beg ~te:c.t_end)
-      contacts;
+    changed := 0;
+    next_touched_n := 0;
+    for ci = 0 to m - 1 do
+      extend csr.Trace.csr_a.(ci) csr.Trace.csr_b.(ci) ci;
+      extend csr.Trace.csr_b.(ci) csr.Trace.csr_a.(ci) ci
+    done;
     (match strategy with
     | Semi_naive ->
-      (* Reset old deltas, then Pareto-prune this round's insertions into
-         bi-sorted arrays for the next round. *)
-      List.iter (fun v -> delta.(v) <- [||]) !touched;
-      List.iter
-        (fun v ->
-          let acc = Frontier.create () in
-          List.iter (fun p -> ignore (Frontier.insert acc p)) fresh.(v);
-          delta.(v) <- Frontier.to_array acc;
-          fresh.(v) <- [])
-        !next_touched;
-      touched := !next_touched
+      (* Clear the consumed deltas, then swap: this round's pruned
+         discoveries become next round's deltas, and the cleared arrays
+         stand by to collect the round after. *)
+      for idx = 0 to !touched_n - 1 do
+        Frontier.clear !delta.(!touched.(idx))
+      done;
+      let d = !delta in
+      delta := !next;
+      next := d;
+      let t = !touched in
+      touched := !next_touched;
+      next_touched := t;
+      touched_n := !next_touched_n
     | Full_recompute ->
       (* Ablation: re-extend every frontier point each round instead of
          only the new ones. Same results, no convergence shortcut. *)
-      List.iter (fun v -> fresh.(v) <- []) !next_touched;
-      let all = ref [] in
-      Array.iteri
-        (fun v f ->
-          if Frontier.is_empty f then delta.(v) <- [||]
-          else begin
-            delta.(v) <- Frontier.to_array f;
-            all := v :: !all
-          end)
-        frontiers;
-      touched := !all);
+      for idx = 0 to !next_touched_n - 1 do
+        Frontier.clear !next.(!next_touched.(idx))
+      done;
+      for idx = 0 to !touched_n - 1 do
+        Frontier.clear !delta.(!touched.(idx))
+      done;
+      touched_n := 0;
+      for v = 0 to n - 1 do
+        if not (Frontier.is_empty frontiers.(v)) then begin
+          Frontier.copy_into ~src:frontiers.(v) ~dst:!delta.(v);
+          !touched.(!touched_n) <- v;
+          incr touched_n
+        end
+      done);
     !changed
   in
   let rec loop round =

@@ -18,11 +18,19 @@
 type t
 (** A pool of [domains - 1] worker domains plus the calling domain. *)
 
-val create : ?domains:int -> unit -> t
+val create : ?domains:int -> ?minor_heap_words:int -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] workers ([domains]
     defaults to {!recommended}). Raises [Invalid_argument] if
     [domains < 1]. A pool with [domains = 1] spawns nothing and runs
-    everything on the caller. *)
+    everything on the caller.
+
+    Multi-domain pools also size every participating domain's minor
+    heap up to [minor_heap_words] (default 4M words, 32 MB): OCaml 5
+    minor collections are stop-the-world across domains, and the
+    default ~256k-word minor heap turns allocation-heavy workloads into
+    a synchronisation treadmill that gets {e slower} as domains are
+    added. The setting is never shrunk below what the process already
+    uses, and a [domains = 1] pool leaves the GC untouched. *)
 
 val domains : t -> int
 (** Total parallelism, including the calling domain. *)

@@ -3,6 +3,16 @@
    with no synchronisation (there used to be a lazily filled [mutable
    adjacency] cell here — a data race whenever two domains forced it
    concurrently). *)
+type time_csr = {
+  csr_a : int array;
+  csr_b : int array;
+  csr_beg : float array;
+  csr_end : float array;
+  csr_off : int array;
+  csr_t0 : float;
+  csr_bucket_w : float;
+}
+
 type t = {
   label : string;
   n_nodes : int;
@@ -11,6 +21,7 @@ type t = {
   contacts : Contact.t array;
   adj_off : int array;        (* length n_nodes + 1; row u = [off.(u), off.(u+1)) *)
   adj_pack : Contact.t array; (* length 2 * n_contacts; rows sorted by start *)
+  csr : time_csr;             (* the same contacts, unboxed SoA in time order *)
 }
 
 module Err = Omn_robust.Err
@@ -43,6 +54,43 @@ let build_index ~n_nodes contacts =
     (off, pack)
   end
 
+(* Time-indexed CSR: the contact multiset flattened into four parallel
+   unboxed arrays in start-time order, plus bucket offsets over the
+   observation window. A mixed int/float record like [Contact.t] stores
+   its float fields boxed, so sweeping [contacts] dereferences two heap
+   boxes per contact; the SoA mirror turns the per-round relaxation
+   sweep of [Omn_core.Journey] into four sequential array reads. The
+   offsets slice the window into equal-width time buckets ([csr_off]
+   has one entry per bucket boundary, [csr_off.(k)] = first contact
+   with [t_beg >= csr_t0 + k * csr_bucket_w]), so windowed sweeps can
+   seek in O(1) instead of binary-searching. *)
+let build_time_csr ~t_start ~t_end (contacts : Contact.t array) =
+  let m = Array.length contacts in
+  let csr_a = Array.make m 0 and csr_b = Array.make m 0 in
+  let csr_beg = Array.make m 0. and csr_end = Array.make m 0. in
+  Array.iteri
+    (fun i (c : Contact.t) ->
+      csr_a.(i) <- c.a;
+      csr_b.(i) <- c.b;
+      csr_beg.(i) <- c.t_beg;
+      csr_end.(i) <- c.t_end)
+    contacts;
+  let span = t_end -. t_start in
+  let n_buckets = if m = 0 || span <= 0. then 1 else min 4096 m in
+  let bucket_w = if span > 0. then span /. float_of_int n_buckets else 0. in
+  let csr_off = Array.make (n_buckets + 1) m in
+  let i = ref 0 in
+  for k = 0 to n_buckets - 1 do
+    let boundary = t_start +. (float_of_int k *. bucket_w) in
+    while !i < m && csr_beg.(!i) < boundary do
+      incr i
+    done;
+    csr_off.(k) <- !i
+  done;
+  (* csr_off.(n_buckets) = m: the last bucket is right-closed so the
+     contact starting exactly at t_end lands in it. *)
+  { csr_a; csr_b; csr_beg; csr_end; csr_off; csr_t0 = t_start; csr_bucket_w = bucket_w }
+
 let create_result ?(name = "trace") ~n_nodes ~t_start ~t_end contact_list =
   let exception Bad of Err.t in
   try
@@ -72,7 +120,8 @@ let create_result ?(name = "trace") ~n_nodes ~t_start ~t_end contact_list =
       contacts;
     Array.sort Contact.compare_by_start contacts;
     let adj_off, adj_pack = build_index ~n_nodes contacts in
-    Ok { label = name; n_nodes; t_start; t_end; contacts; adj_off; adj_pack }
+    let csr = build_time_csr ~t_start ~t_end contacts in
+    Ok { label = name; n_nodes; t_start; t_end; contacts; adj_off; adj_pack; csr }
   with Bad e -> Error e
 
 let create ?name ~n_nodes ~t_start ~t_end contact_list =
@@ -124,6 +173,30 @@ let pair_contacts t u v =
     (fold_node_contacts
        (fun acc (c : Contact.t) -> if c.a = u && c.b = v then c :: acc else acc)
        [] t u)
+
+let time_csr t = t.csr
+
+let iter_started_in t ~t0 ~t1 f =
+  let csr = t.csr in
+  let m = Array.length csr.csr_beg in
+  if m > 0 && t1 >= t0 then begin
+    (* Seek to the bucket containing t0, then walk forward. *)
+    let n_buckets = Array.length csr.csr_off - 1 in
+    let k =
+      if csr.csr_bucket_w <= 0. then 0
+      else
+        let k = int_of_float ((t0 -. csr.csr_t0) /. csr.csr_bucket_w) in
+        max 0 (min (n_buckets - 1) k)
+    in
+    let i = ref csr.csr_off.(k) in
+    while !i < m && csr.csr_beg.(!i) < t0 do
+      incr i
+    done;
+    while !i < m && csr.csr_beg.(!i) <= t1 do
+      f csr.csr_a.(!i) csr.csr_b.(!i) csr.csr_beg.(!i) csr.csr_end.(!i);
+      incr i
+    done
+  end
 
 let contact_rate t =
   let duration = span t in

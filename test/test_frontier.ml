@@ -12,12 +12,99 @@ let frontier_of_list points =
   List.iter (fun p -> ignore (Frontier.insert f p)) points;
   f
 
+(* The boxed-record frontier this repository shipped before the
+   structure-of-arrays rewrite, kept verbatim (minus metrics) as a
+   differential oracle: both implementations must produce identical
+   [to_array] output on every insert sequence. *)
+module Old_frontier = struct
+  type t = { mutable data : Ld_ea.t array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+  let to_array t = Array.sub t.data 0 t.size
+
+  let lower_ld t x =
+    let lo = ref 0 and hi = ref t.size in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.data.(mid).Ld_ea.ld >= x then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  let ensure_capacity t =
+    let cap = Array.length t.data in
+    if t.size = cap then begin
+      let fresh = Array.make (max 8 (2 * cap)) Ld_ea.identity in
+      Array.blit t.data 0 fresh 0 t.size;
+      t.data <- fresh
+    end
+
+  let insert t (p : Ld_ea.t) =
+    let i = lower_ld t p.ld in
+    if i < t.size && t.data.(i).Ld_ea.ea <= p.ea then false
+    else begin
+      let j =
+        let lo = ref 0 and hi = ref i in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if t.data.(mid).Ld_ea.ea >= p.ea then hi := mid else lo := mid + 1
+        done;
+        !lo
+      in
+      let k = if i < t.size && t.data.(i).Ld_ea.ld = p.ld then i + 1 else i in
+      let removed = k - j in
+      if removed = 0 then begin
+        ensure_capacity t;
+        Array.blit t.data j t.data (j + 1) (t.size - j);
+        t.data.(j) <- p;
+        t.size <- t.size + 1
+      end
+      else begin
+        t.data.(j) <- p;
+        if removed > 1 then begin
+          Array.blit t.data k t.data (j + 1) (t.size - k);
+          t.size <- t.size - removed + 1
+        end
+      end;
+      true
+    end
+end
+
 let point_gen =
   QCheck2.Gen.(
     let coord = map float_of_int (int_range (-8) 8) in
     map2 (fun ld ea -> Ld_ea.make ~ld ~ea) coord coord)
 
 let points_gen = QCheck2.Gen.(list_size (int_range 0 40) point_gen)
+
+(* Four insert-sequence families, each stressing a different part of the
+   SoA insert: arbitrary floats (no ties), a coarse integer grid
+   (equal-ld/equal-ea ties), contact-shaped candidates in trace order
+   (what [Journey] actually emits: ea = contact start ascending,
+   ld = contact end), and a tiny grid where most inserts dominate
+   several members at once (long eviction runs through the blits). *)
+let uniform_gen =
+  QCheck2.Gen.(
+    let coord = float_range (-1000.) 1000. in
+    list_size (int_range 0 60) (map2 (fun ld ea -> Ld_ea.make ~ld ~ea) coord coord))
+
+let contact_like_gen =
+  QCheck2.Gen.(
+    map
+      (fun raw ->
+        let starts = List.sort compare raw in
+        List.map (fun (s, d) -> Ld_ea.make ~ld:(s +. d) ~ea:s) starts)
+      (list_size (int_range 0 60) (pair (float_range 0. 500.) (float_range 0. 50.))))
+
+let eviction_heavy_gen =
+  QCheck2.Gen.(
+    let coord = map float_of_int (int_range (-3) 3) in
+    list_size (int_range 0 60) (map2 (fun ld ea -> Ld_ea.make ~ld ~ea) coord coord))
+
+let families =
+  [
+    ("uniform", uniform_gen); ("grid", points_gen); ("contact-like", contact_like_gen);
+    ("eviction-heavy", eviction_heavy_gen);
+  ]
 
 let matches_naive =
   QCheck2.Test.make ~count:500 ~name:"frontier = naive Pareto filter" points_gen (fun points ->
@@ -52,6 +139,69 @@ let insert_reports_change =
       changed = List.exists (Ld_ea.equal p) members
       || (not changed)
          && List.exists (fun q -> Ld_ea.dominates q p) (naive_pareto (p :: points)))
+
+(* Per-family properties: the SoA frontier against the naive O(n^2)
+   reference, against the pre-rewrite boxed implementation, and its own
+   invariant after every sequence. [check_invariant] raises
+   [Invalid_argument] (not [assert], so a -noassert build still checks)
+   and any raise fails the property. *)
+let family_props =
+  List.concat_map
+    (fun (fam, gen) ->
+      [
+        QCheck2.Test.make ~count:300
+          ~name:(Printf.sprintf "[%s] SoA = naive Pareto filter" fam)
+          gen
+          (fun points ->
+            let f = frontier_of_list points in
+            Frontier.check_invariant f;
+            Frontier.to_array f |> Array.to_list = naive_pareto points);
+        QCheck2.Test.make ~count:300
+          ~name:(Printf.sprintf "[%s] SoA = pre-rewrite boxed frontier" fam)
+          gen
+          (fun points ->
+            let old = Old_frontier.create () in
+            List.iter (fun p -> ignore (Old_frontier.insert old p)) points;
+            Frontier.to_array (frontier_of_list points) = Old_frontier.to_array old);
+        QCheck2.Test.make ~count:200
+          ~name:(Printf.sprintf "[%s] insert_pt agrees with insert" fam)
+          gen
+          (fun points ->
+            let f1 = Frontier.create () and f2 = Frontier.create () in
+            List.for_all
+              (fun (p : Ld_ea.t) ->
+                Frontier.insert f1 p = Frontier.insert_pt f2 ~ld:p.ld ~ea:p.ea)
+              points
+            && Frontier.equal f1 f2);
+      ])
+    families
+
+(* [clear] resets the membership but keeps the capacity; a cleared
+   frontier refilled with a second sequence must be indistinguishable
+   from a fresh one — this is the reuse pattern the [Journey] scratch
+   deltas depend on. *)
+let clear_reuse =
+  QCheck2.Test.make ~count:300 ~name:"clear + refill = fresh frontier"
+    QCheck2.Gen.(pair uniform_gen points_gen)
+    (fun (first, second) ->
+      let f = frontier_of_list first in
+      Frontier.clear f;
+      Frontier.is_empty f
+      &&
+      (List.iter (fun p -> ignore (Frontier.insert f p)) second;
+       Frontier.check_invariant f;
+       Frontier.equal f (frontier_of_list second)))
+
+(* [copy_into] must overwrite whatever the destination held, reusing its
+   arrays when they are big enough. *)
+let copy_into_overwrites =
+  QCheck2.Test.make ~count:300 ~name:"copy_into overwrites destination"
+    QCheck2.Gen.(pair uniform_gen uniform_gen)
+    (fun (src_pts, dst_pts) ->
+      let src = frontier_of_list src_pts and dst = frontier_of_list dst_pts in
+      Frontier.copy_into ~src ~dst;
+      Frontier.check_invariant dst;
+      Frontier.equal src dst)
 
 let unit_tests =
   let p ld ea = Ld_ea.make ~ld ~ea in
@@ -107,6 +257,13 @@ let unit_tests =
         (match Ld_ea.concat a Ld_ea.identity with
         | Some c -> Alcotest.(check bool) "right identity" true (Ld_ea.equal c a)
         | None -> Alcotest.fail "identity concat"));
+    Alcotest.test_case "nan coordinates are rejected with a raise" `Quick (fun () ->
+        let f = Frontier.create () in
+        Alcotest.check_raises "nan ld" (Invalid_argument "Frontier.insert: nan") (fun () ->
+            ignore (Frontier.insert_pt f ~ld:Float.nan ~ea:0.));
+        Alcotest.check_raises "nan ea" (Invalid_argument "Frontier.insert: nan") (fun () ->
+            ignore (Frontier.insert_pt f ~ld:0. ~ea:Float.nan));
+        Alcotest.(check bool) "still empty" true (Frontier.is_empty f));
     Alcotest.test_case "paper concatenation counterexample shape" `Quick (fun () ->
         (* Two individually valid sequences that cannot be concatenated:
            EA(first) > LD(second). *)
@@ -115,5 +272,8 @@ let unit_tests =
         Alcotest.(check bool) "invalid" false (Ld_ea.can_concat first second));
   ]
 
-let props = [ matches_naive; invariant_holds; order_independent; insert_reports_change ]
+let props =
+  [ matches_naive; invariant_holds; order_independent; insert_reports_change ]
+  @ family_props
+  @ [ clear_reuse; copy_into_overwrites ]
 let suite = unit_tests @ List.map QCheck_alcotest.to_alcotest props

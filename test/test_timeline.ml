@@ -247,6 +247,22 @@ let test_manifest_roundtrip () =
   | Ok m0' -> Alcotest.(check bool) "unfinished round-trips" true (m0 = m0')
   | Error e -> Alcotest.failf "of_json unfinished: %s" e
 
+let test_manifest_window () =
+  (* Regression: the committed bench artifact once showed [finished] five
+     microseconds after [started] because both were stamped at
+     JSON-build time. A manifest created before the work and finished at
+     sink time must cover the work's wall clock. *)
+  let m0 = Manifest.create ~version:"window-test" () in
+  Unix.sleepf 0.05;
+  let m = Manifest.finish m0 in
+  match m.finished with
+  | None -> Alcotest.fail "finish did not stamp"
+  | Some fin ->
+    Alcotest.(check bool)
+      (Printf.sprintf "manifest window covers the run (%.6fs)" (fin -. m.started))
+      true
+      (fin -. m.started >= 0.04)
+
 (* -- sha256 --------------------------------------------------------------- *)
 
 let test_sha256_vectors () =
@@ -319,6 +335,7 @@ let suite =
     Alcotest.test_case "e2e: spans cover measured busy time" `Quick test_e2e_coverage;
     Alcotest.test_case "bit-identity under tracing" `Quick test_bit_identity_timeline;
     Alcotest.test_case "manifest JSON round trip" `Quick test_manifest_roundtrip;
+    Alcotest.test_case "manifest window covers a sleep-bearing run" `Quick test_manifest_window;
     Alcotest.test_case "sha256 FIPS vectors" `Quick test_sha256_vectors;
     Alcotest.test_case "report analyzer" `Quick test_report_build;
   ]
