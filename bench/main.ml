@@ -259,6 +259,45 @@ let bench_parallel ~quick ~enforce ~min_speedup ~max_prune_ratio () =
   let tl_identical = !tl_curves = Some unsup_curves in
   let tl_overhead = !tl_time /. !tl_base in
   let tl_time = !tl_time in
+  (* Sampling: the sampled estimator against the exact engine on the
+     same workload. Sampling must buy wall-clock (it touches a fraction
+     of the sources) without losing the truth — the bootstrap CI has to
+     contain the exact (1-eps)-diameter or the bench fails. Metrics
+     stay off so the timings match the other blocks. *)
+  Omn_obs.Metrics.set_enabled false;
+  let time_best f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let exact_res, exact_time = time_best (fun () -> Omn_core.Diameter.measure ~max_hops trace) in
+  let sample = max 1 (n / 8) in
+  let est, est_time =
+    time_best (fun () ->
+        match
+          Omn_core.Diameter_est.estimate ~max_hops ~sample ~seed:1 ~ci_width:2. ~confidence:0.9
+            ~bootstrap:200 trace
+        with
+        | Ok e -> e
+        | Error e ->
+          Format.fprintf fmt "FAIL: sampled bench run errored: %s@." (Omn_robust.Err.to_string e);
+          exit 1)
+  in
+  Omn_obs.Metrics.set_enabled globally_enabled;
+  (* [None] (no finite diameter) compares as one past the deepest hop
+     bound, same sentinel the estimator's bootstrap uses. *)
+  let sentinel = function Some k -> k | None -> max_hops + 1 in
+  let exact_d = sentinel exact_res.Omn_core.Diameter.diameter in
+  let est_covers =
+    sentinel est.Omn_core.Diameter_est.ci_lo <= exact_d
+    && exact_d <= sentinel est.Omn_core.Diameter_est.ci_hi
+  in
   let frontiers, _ = Omn_core.Journey.run trace ~source:0 in
   let sizes = Array.map Omn_core.Frontier.size frontiers in
   let max_frontier = Array.fold_left max 0 sizes in
@@ -359,6 +398,25 @@ let bench_parallel ~quick ~enforce ~min_speedup ~max_prune_ratio () =
               ("events_recorded", Int (List.length tl_view.Omn_obs.Timeline.events));
               ("dropped_events", Int (Omn_obs.Timeline.total_dropped tl_view));
             ] );
+        ( "sampling",
+          Obj
+            [
+              ("sample", Int sample);
+              ("sampled", Int est.Omn_core.Diameter_est.sampled);
+              ("total", Int est.Omn_core.Diameter_est.total);
+              ("rounds", Int est.Omn_core.Diameter_est.rounds);
+              ("seconds_exact", Float exact_time);
+              ("seconds_sampled", Float est_time);
+              ("speedup_vs_exact", Float (exact_time /. est_time));
+              ( "exact_diameter",
+                match exact_res.Omn_core.Diameter.diameter with Some k -> Int k | None -> Null );
+              ( "ci_lo",
+                match est.Omn_core.Diameter_est.ci_lo with Some k -> Int k | None -> Null );
+              ( "ci_hi",
+                match est.Omn_core.Diameter_est.ci_hi with Some k -> Int k | None -> Null );
+              ("ci_width", Float est.Omn_core.Diameter_est.ci_width);
+              ("covers_exact", Bool est_covers);
+            ] );
         ( "runs",
           List
             (List.map
@@ -410,7 +468,21 @@ let bench_parallel ~quick ~enforce ~min_speedup ~max_prune_ratio () =
     tl_time tl_overhead tl_identical
     (List.length tl_view.Omn_obs.Timeline.events)
     (Omn_obs.Timeline.total_dropped tl_view);
+  let opt_str = function Some k -> string_of_int k | None -> "none" in
+  Format.fprintf fmt
+    "  sampling: exact %.3fs vs sampled %.3fs (%d of %d sources, %d round(s), x%.2f); CI [%s, \
+     %s] width %.2f vs exact %s@."
+    exact_time est_time est.Omn_core.Diameter_est.sampled est.Omn_core.Diameter_est.total
+    est.Omn_core.Diameter_est.rounds (exact_time /. est_time)
+    (opt_str est.Omn_core.Diameter_est.ci_lo)
+    (opt_str est.Omn_core.Diameter_est.ci_hi)
+    est.Omn_core.Diameter_est.ci_width
+    (opt_str exact_res.Omn_core.Diameter.diameter);
   Format.fprintf fmt "  wrote %s@." path;
+  if not est_covers then begin
+    Format.fprintf fmt "FAIL: sampled CI does not cover the exact (1-eps)-diameter@.";
+    exit 1
+  end;
   if not identical then begin
     Format.fprintf fmt "FAIL: parallel curves differ from the sequential curves@.";
     exit 1

@@ -96,6 +96,17 @@ let load_trace ~policy ~lenient path =
     if policy <> Repair.Strict then Format.eprintf "%a@." Repair.pp report;
     trace
 
+(* Same policy/report contract as [load_trace], but through the
+   streaming parser — constant-memory ingestion, and the only reader
+   that understands `# omn-shards 1' indexes. *)
+let load_trace_stream ~policy ~lenient path =
+  let policy = if lenient && policy = Repair.Strict then Repair.Repair else policy in
+  match Omn_temporal.Trace_stream.load_result ~policy path with
+  | Error e -> raise (Err.Error e)
+  | Ok (trace, report) ->
+    if policy <> Repair.Strict then Format.eprintf "%a@." Repair.pp report;
+    trace
+
 let save_or_print trace = function
   | Some path ->
     Omn_temporal.Trace_io.save trace path;
@@ -238,15 +249,27 @@ let progress_reporter ~enabled label =
 
 (* --- gen --- *)
 
-type preset = P_infocom05 | P_infocom06 | P_hong_kong | P_reality | P_waypoint | P_random
+type preset =
+  | P_infocom05
+  | P_infocom06
+  | P_hong_kong
+  | P_reality
+  | P_waypoint
+  | P_random
+  | P_conference
 
 let preset_conv =
   Arg.enum
     [
       ("infocom05", P_infocom05); ("infocom06", P_infocom06); ("hong-kong", P_hong_kong);
       ("hongkong", P_hong_kong); ("reality-mining", P_reality); ("reality", P_reality);
-      ("waypoint", P_waypoint); ("random", P_random);
+      ("waypoint", P_waypoint); ("random", P_random); ("conference", P_conference);
     ]
+
+let conference_venue ~seed ~nodes ~hours =
+  let rng = Omn_stats.Rng.create seed in
+  let p = Omn_mobility.Venue.conference_params ~rng ~n:nodes ~days:(hours /. 24.) in
+  (rng, p)
 
 let preset_trace preset ~seed ~nodes ~lambda ~hours =
   let rng = Omn_stats.Rng.create seed in
@@ -261,18 +284,23 @@ let preset_trace preset ~seed ~nodes ~lambda ~hours =
   | P_random ->
     Omn_randnet.Continuous.generate rng
       { n = nodes; lambda = lambda /. 3600.; horizon = hours *. 3600. }
+  | P_conference ->
+    let rng, p = conference_venue ~seed ~nodes ~hours in
+    Omn_mobility.Venue.generate rng ~n:nodes ~name:"conference" p
 
 let gen_cmd =
   let preset =
     let doc =
       "Workload: one of $(b,infocom05), $(b,infocom06), $(b,hong-kong), \
        $(b,reality-mining), $(b,waypoint), $(b,random) (continuous-time random \
-       temporal network)."
+       temporal network), $(b,conference) (raw venue co-location ground truth — \
+       the one preset that can stream straight to shards without materializing \
+       the trace)."
     in
     Arg.(value & opt preset_conv P_infocom05 & info [ "preset" ] ~docv:"NAME" ~doc)
   in
   let nodes =
-    let doc = "Node count (waypoint and random presets only)." in
+    let doc = "Node count (waypoint, random and conference presets only)." in
     Arg.(value & opt int 40 & info [ "nodes" ] ~docv:"N" ~doc)
   in
   let lambda =
@@ -280,14 +308,59 @@ let gen_cmd =
     Arg.(value & opt float 2. & info [ "lambda" ] ~docv:"RATE" ~doc)
   in
   let hours =
-    let doc = "Horizon in hours (waypoint and random presets only)." in
+    let doc = "Horizon in hours (waypoint, random and conference presets only)." in
     Arg.(value & opt float 6. & info [ "hours" ] ~docv:"H" ~doc)
   in
-  let run preset seed nodes lambda hours output =
-    protect @@ fun () ->
-    save_or_print (preset_trace preset ~seed ~nodes ~lambda ~hours) output
+  let shards =
+    let doc =
+      "Write the trace as $(docv) time-ordered shard files plus an $(b,# omn-shards 1) \
+       index at the $(b,-o) path instead of a single file. Out-of-core: contacts are \
+       spilled to their time slice as they are generated and sorted one shard at a \
+       time, so peak memory is one shard — with the $(b,conference) preset the trace \
+       is never materialized at all. Streaming the index back \
+       ($(b,omn diameter --stream)) yields the byte-identical trace. $(b,0) (default) \
+       writes a single file."
+    in
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
   in
-  let term = Term.(const run $ preset $ seed_arg $ nodes $ lambda $ hours $ output_arg) in
+  let run preset seed nodes lambda hours shards output =
+    protect @@ fun () ->
+    if shards = 0 then save_or_print (preset_trace preset ~seed ~nodes ~lambda ~hours) output
+    else begin
+      let path =
+        match output with
+        | Some p -> p
+        | None -> usage_err "--shards requires --output FILE (the shard-index path)"
+      in
+      let module Sink = Omn_mobility.Shard_sink in
+      let stream_sink ~name ~n_nodes ~t_start ~t_end fill =
+        let sink = Sink.create ~shards ~name ~n_nodes ~t_start ~t_end path in
+        (try
+           fill (Sink.add sink);
+           Sink.finish sink
+         with e ->
+           Sink.abort sink;
+           raise e);
+        Format.printf "wrote %s + %d shard(s) (%d contacts)@." path shards
+          (Sink.contacts_written sink)
+      in
+      match preset with
+      | P_conference ->
+        let rng, p = conference_venue ~seed ~nodes ~hours in
+        stream_sink ~name:"conference" ~n_nodes:nodes ~t_start:p.Omn_mobility.Venue.t_start
+          ~t_end:p.Omn_mobility.Venue.t_end (fun add ->
+            Omn_mobility.Venue.iter_contacts rng ~n:nodes p add)
+      | _ ->
+        let trace = preset_trace preset ~seed ~nodes ~lambda ~hours in
+        let module Trace = Omn_temporal.Trace in
+        stream_sink ~name:(Trace.name trace) ~n_nodes:(Trace.n_nodes trace)
+          ~t_start:(Trace.t_start trace) ~t_end:(Trace.t_end trace) (fun add ->
+            Trace.iter add trace)
+    end
+  in
+  let term =
+    Term.(const run $ preset $ seed_arg $ nodes $ lambda $ hours $ shards $ output_arg)
+  in
   Cmd.v (Cmd.info "gen" ~doc:"Synthesise a contact trace") term
 
 (* --- stats --- *)
@@ -485,15 +558,98 @@ let resilience_exit ~partial ~ckpt_fallback degraded =
     List.iter (fun f -> Format.printf "  %a@." Supervise.pp_failure f) fs);
   Supervise.exit_code ~partial ~degraded:(degraded <> [])
 
+(* --- sampled estimator flags (omn diameter --sample) --- *)
+
+let sample_arg =
+  let doc =
+    "Estimate the diameter from a seeded stratified sample of $(docv) source nodes \
+     instead of all of them, with a bootstrap confidence interval; the sample doubles \
+     until the CI is at most $(b,--ci-width) hops wide. With $(docv) >= the node count \
+     the result is byte-identical to the exact engine."
+  in
+  Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"K" ~doc)
+
+let ci_width_arg =
+  let doc = "Stop tightening once the CI is at most $(docv) hops wide (default 1)." in
+  Arg.(value & opt (some float) None & info [ "ci-width" ] ~docv:"W" ~doc)
+
+let confidence_arg =
+  let doc = "Nominal CI coverage (default 0.9)." in
+  Arg.(value & opt (some float) None & info [ "confidence" ] ~docv:"C" ~doc)
+
+let bootstrap_arg =
+  let doc = "Bootstrap resamples per tightening round (default 200)." in
+  Arg.(value & opt (some int) None & info [ "bootstrap" ] ~docv:"B" ~doc)
+
+let sample_seed_arg =
+  let doc = "Seed for the source sample rotation (default 0)." in
+  Arg.(value & opt (some int) None & info [ "sample-seed" ] ~docv:"INT" ~doc)
+
+let stream_arg =
+  let doc =
+    "Ingest the trace through the streaming parser: constant-memory, honours \
+     $(b,--ingest)/$(b,--lenient), and reads $(b,# omn-shards 1) indexes written by \
+     `omn gen --shards'. Results are byte-identical to the in-memory reader on any \
+     time-ordered input."
+  in
+  Arg.(value & flag & info [ "stream" ] ~doc)
+
+let heap_cap_arg =
+  let doc =
+    "Test hook: fail with a Compute error if the peak major-heap size observed during \
+     trace ingestion exceeds $(docv) words. The scale harness uses this to prove \
+     streaming ingestion stays under a cap that in-memory loading busts. $(b,0) \
+     disables the check."
+  in
+  Arg.(value & opt int 0 & info [ "heap-cap-words" ] ~docv:"WORDS" ~doc)
+
 let diameter_cmd =
   let run path ingest lenient epsilon max_hops domains checkpoint resume every budget metrics
-      trace_out progress retries task_deadline quarantine output =
+      trace_out progress retries task_deadline quarantine sample ci_width confidence bootstrap
+      sample_seed stream workers heap_cap output =
     protect_code @@ fun () ->
     if resume && checkpoint = None then usage_err "--resume requires --checkpoint FILE";
+    if epsilon <= 0. || epsilon >= 1. then usage_err "--epsilon out of (0,1)";
+    if sample = None then begin
+      let reject what = usage_err "%s requires --sample" what in
+      if ci_width <> None then reject "--ci-width";
+      if confidence <> None then reject "--confidence";
+      if bootstrap <> None then reject "--bootstrap";
+      if sample_seed <> None then reject "--sample-seed";
+      if workers > 0 then
+        usage_err "--workers requires --sample (the exact sharded engine is `omn delay-cdf')"
+    end;
     let domains = Omn_parallel.Pool.resolve domains in
     let supervise = supervise_policy retries task_deadline quarantine in
+    if sample <> None && supervise <> None then
+      usage_err "--retries/--task-deadline/--quarantine are not supported with --sample";
     with_obs ?metrics ?trace_out @@ fun () ->
-    let trace = load_trace ~policy:ingest ~lenient path in
+    (* The heap alarm must be armed before ingestion starts: the cap is
+       a statement about the loader's transient structures, which are
+       dead (and possibly collected) by the time the load returns. *)
+    let peak = ref 0 in
+    let note_peak () =
+      let h = (Gc.quick_stat ()).Gc.heap_words in
+      if h > !peak then peak := h
+    in
+    let alarm = if heap_cap > 0 then Some (Gc.create_alarm note_peak) else None in
+    let trace =
+      if stream then load_trace_stream ~policy:ingest ~lenient path
+      else load_trace ~policy:ingest ~lenient path
+    in
+    Option.iter
+      (fun a ->
+        Gc.delete_alarm a;
+        note_peak ();
+        if !peak > heap_cap then
+          raise
+            (Err.Error
+               (Err.v Err.Compute
+                  (Printf.sprintf
+                     "ingestion peak heap %d words exceeds cap %d (try --stream over a \
+                      shard index)"
+                     !peak heap_cap))))
+      alarm;
     trace_manifest ~path ~domains
       ~config:
         Omn_obs.Json.
@@ -502,6 +658,8 @@ let diameter_cmd =
             ("checkpoint_every", Int every);
             ("budget_seconds", match budget with Some b -> Float b | None -> Null);
             ("supervised", Bool (supervise <> None));
+            ("sample", match sample with Some k -> Int k | None -> Null);
+            ("streamed", Bool stream);
           ]
       trace;
     write_checkpoint_sidecar checkpoint;
@@ -545,44 +703,145 @@ let diameter_cmd =
         Format.printf "wrote %s@." f
       | None -> print_result result
     in
-    if checkpoint = None && budget = None && supervise = None && not progress then begin
-      deliver (Omn_core.Diameter.measure ~epsilon ~max_hops ~grid ~domains trace) [];
-      0
-    end
-    else begin
-      let report, finish = progress_reporter ~enabled:progress "sources" in
+    match sample with
+    | Some sample ->
+      let module Est = Omn_core.Diameter_est in
+      let ci_width = Option.value ci_width ~default:1. in
+      let confidence = Option.value confidence ~default:0.9 in
+      let bootstrap = Option.value bootstrap ~default:200 in
+      let sample_seed = Option.value sample_seed ~default:0 in
+      let report, finish = progress_reporter ~enabled:progress "sampled sources" in
+      let report =
+        Option.map
+          (fun r ~round:_ ~sampled ~total ~width:_ ->
+            r ~done_:sampled ~total ~degraded:0 ~fallback:false)
+          report
+      in
+      (* Each tightening round's batch of per-source partials can come
+         from the shard coordinator instead of the in-process pool: the
+         [on_partial] hook hands every acknowledged partial back and the
+         batch is re-ordered to the estimator's contract. *)
+      let partials_of =
+        if workers = 0 then None
+        else
+          Some
+            (fun batch ->
+              let tbl = Hashtbl.create (List.length batch) in
+              let cfg =
+                {
+                  (Shard.default ~workers) with
+                  Shard.worker_domains = domains;
+                  on_partial = Some (fun s p -> Hashtbl.replace tbl s p);
+                }
+              in
+              match Shard.run ~max_hops ~grid ~sources:batch cfg trace with
+              | Error e -> raise (Err.Error e)
+              | Ok (_, p, _) ->
+                if p.Omn_core.Delay_cdf.partial || p.Omn_core.Delay_cdf.degraded <> [] then
+                  raise (Err.Error (Err.v Err.Compute "sharded sample round incomplete"));
+                List.map
+                  (fun s ->
+                    match Hashtbl.find_opt tbl s with
+                    | Some part -> part
+                    | None ->
+                      raise
+                        (Err.Error
+                           (Err.v Err.Compute
+                              "worker returned no partial for a sampled source")))
+                  batch)
+      in
+      let est_domains = if workers > 0 then 1 else domains in
       let outcome =
-        Omn_core.Diameter.measure_resumable ~epsilon ~max_hops ~grid ~domains ?checkpoint
-          ~resume ~checkpoint_every:every ?budget_seconds:budget ~clock:Unix.gettimeofday
-          ?report ?supervise trace
+        Est.estimate ~epsilon ~max_hops ~sample ~seed:sample_seed ~ci_width ~confidence
+          ~bootstrap ~grid ~domains:est_domains ?checkpoint ~resume ?budget_seconds:budget
+          ~clock:Unix.gettimeofday ?report ?partials_of trace
       in
       finish ();
-      match outcome with
+      (match outcome with
       | Error e -> raise (Err.Error e)
-      | Ok run ->
-        if run.partial then
+      | Ok e ->
+        if e.Est.partial then
           Format.printf
-            "PARTIAL result: budget exhausted after %d of %d source nodes (uniform sample)@."
-            run.sources_done run.sources_total;
-        deliver run.result
-          Omn_obs.Json.
-            [
-              ("sources_done", Int run.sources_done);
-              ("sources_total", Int run.sources_total);
-              ("partial", Bool run.partial);
-              ("degraded_sources", Int (List.length run.degraded));
-              ("ckpt_fallback", Bool run.ckpt_fallback);
-            ];
-        resilience_exit ~partial:run.partial ~ckpt_fallback:run.ckpt_fallback run.degraded
-    end
+            "PARTIAL result: budget exhausted at %d of %d sources (CI width %g > target %g)@."
+            e.Est.sampled e.Est.total e.Est.ci_width ci_width;
+        let fmt_bound = function
+          | Some d -> string_of_int d
+          | None -> Printf.sprintf ">%d" max_hops
+        in
+        (match output with
+        | Some f ->
+          let open Omn_obs.Json in
+          write_json f
+            (json_with_manifest
+               (( "sample",
+                  Obj
+                    [
+                      ("sampled", Int e.Est.sampled); ("total", Int e.Est.total);
+                      ("rounds", Int e.Est.rounds); ("seed", Int sample_seed);
+                      ("confidence", Float e.Est.confidence);
+                      ("ci_lo", match e.Est.ci_lo with Some d -> Int d | None -> Null);
+                      ("ci_hi", match e.Est.ci_hi with Some d -> Int d | None -> Null);
+                      ("ci_width", Float e.Est.ci_width);
+                      ("target_ci_width", Float ci_width);
+                      ("exhaustive", Bool e.Est.exhaustive); ("partial", Bool e.Est.partial);
+                      ("ckpt_fallback", Bool e.Est.ckpt_fallback);
+                    ] )
+                :: [
+                     ("epsilon", Float epsilon);
+                     ( "diameter",
+                       match e.Est.diameter with Some d -> Int d | None -> Null );
+                     ("max_hops", Int max_hops);
+                   ]
+               @ curve_fields e.Est.curves));
+          Format.printf "wrote %s@." f
+        | None ->
+          print_result
+            { Omn_core.Diameter.diameter = e.Est.diameter; epsilon; curves = e.Est.curves };
+          Format.printf "sampled %d of %d sources in %d round(s); %g%% CI [%s, %s] (width %g)@."
+            e.Est.sampled e.Est.total e.Est.rounds
+            (100. *. e.Est.confidence)
+            (fmt_bound e.Est.ci_lo) (fmt_bound e.Est.ci_hi) e.Est.ci_width);
+        resilience_exit ~partial:e.Est.partial ~ckpt_fallback:e.Est.ckpt_fallback [])
+    | None ->
+      if checkpoint = None && budget = None && supervise = None && not progress then begin
+        deliver (Omn_core.Diameter.measure ~epsilon ~max_hops ~grid ~domains trace) [];
+        0
+      end
+      else begin
+        let report, finish = progress_reporter ~enabled:progress "sources" in
+        let outcome =
+          Omn_core.Diameter.measure_resumable ~epsilon ~max_hops ~grid ~domains ?checkpoint
+            ~resume ~checkpoint_every:every ?budget_seconds:budget ~clock:Unix.gettimeofday
+            ?report ?supervise trace
+        in
+        finish ();
+        match outcome with
+        | Error e -> raise (Err.Error e)
+        | Ok run ->
+          if run.partial then
+            Format.printf
+              "PARTIAL result: budget exhausted after %d of %d source nodes (uniform sample)@."
+              run.sources_done run.sources_total;
+          deliver run.result
+            Omn_obs.Json.
+              [
+                ("sources_done", Int run.sources_done);
+                ("sources_total", Int run.sources_total);
+                ("partial", Bool run.partial);
+                ("degraded_sources", Int (List.length run.degraded));
+                ("ckpt_fallback", Bool run.ckpt_fallback);
+              ];
+          resilience_exit ~partial:run.partial ~ckpt_fallback:run.ckpt_fallback run.degraded
+      end
   in
   Cmd.v
-    (Cmd.info "diameter" ~doc:"Measure the (1-eps)-diameter of a trace")
+    (Cmd.info "diameter" ~doc:"Measure the (1-eps)-diameter of a trace, exactly or by sampling")
     Term.(
       const run $ trace_arg $ ingest_arg $ lenient_arg $ epsilon_arg $ max_hops_arg
       $ domains_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg $ budget_arg
       $ metrics_arg $ trace_out_arg $ progress_arg $ retries_arg $ task_deadline_arg
-      $ quarantine_arg $ output_arg)
+      $ quarantine_arg $ sample_arg $ ci_width_arg $ confidence_arg $ bootstrap_arg
+      $ sample_seed_arg $ stream_arg $ workers_arg $ heap_cap_arg $ output_arg)
 
 (* --- delay-cdf --- *)
 

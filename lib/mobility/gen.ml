@@ -33,10 +33,13 @@ let pair_arrivals rng spec ~base_rate =
     List.rev !arrivals
   end
 
-let generate rng spec =
+(* Pair-major contact emission: the loop below is the one RNG-consuming
+   traversal, shared by the in-memory and disk-sharded paths so both
+   draw the identical stream for a given seed. Contacts arrive ordered
+   within a pair but not globally. *)
+let iter_contacts rng spec f =
   check spec;
   let n = Community.n spec.community in
-  let contacts = ref [] in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
       let base = Community.pair_rate spec.community i j in
@@ -45,11 +48,16 @@ let generate rng spec =
           (fun t_beg ->
             let d = Duration.sample rng spec.duration in
             let t_end = Float.min spec.t_end (t_beg +. d) in
-            contacts := Contact.make ~a:i ~b:j ~t_beg ~t_end :: !contacts)
+            f (Contact.make ~a:i ~b:j ~t_beg ~t_end))
           (pair_arrivals rng spec ~base_rate:base)
     done
-  done;
-  Trace.create ~name:spec.name ~n_nodes:n ~t_start:spec.t_start ~t_end:spec.t_end !contacts
+  done
+
+let generate rng spec =
+  let contacts = ref [] in
+  iter_contacts rng spec (fun c -> contacts := c :: !contacts);
+  Trace.create ~name:spec.name ~n_nodes:(Community.n spec.community) ~t_start:spec.t_start
+    ~t_end:spec.t_end !contacts
 
 let expected_contacts spec =
   check spec;

@@ -19,6 +19,13 @@ type spec = {
 val generate : Omn_stats.Rng.t -> spec -> Omn_temporal.Trace.t
 (** Exact sampling; cost O(#pairs + #contacts / max modulation). *)
 
+val iter_contacts : Omn_stats.Rng.t -> spec -> (Omn_temporal.Contact.t -> unit) -> unit
+(** The sampling loop of {!generate} with the contacts handed to a
+    callback instead of accumulated — what the disk-sharded generation
+    path ({!Shard_sink}) consumes, so both paths draw the identical
+    RNG stream for a given seed. Contacts are emitted pair by pair,
+    time-ordered within a pair only. *)
+
 val expected_contacts : spec -> float
 (** Mean number of contacts the spec will generate (integral of the
     modulated rate over the window and pairs, 1-minute quadrature) —

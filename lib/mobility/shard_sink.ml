@@ -1,0 +1,112 @@
+module Contact = Omn_temporal.Contact
+
+(* Two-phase out-of-core sort. Generators emit contacts pair by pair —
+   nowhere near time order — so the sink first spills each contact to
+   the shard whose time slice contains its [t_beg] (append-only, raw
+   records, O(1) memory per contact), then [finish] sorts one shard at
+   a time and writes the final headers. The shard slices partition the
+   window by [t_beg] and every shard is internally sorted by
+   [Contact.compare_by_start], so the concatenation of the shards is
+   the {e globally} sorted contact sequence: streaming the index
+   through [Trace_stream] yields the byte-identical trace that
+   [Trace.create] would build in memory. Peak memory is one shard's
+   contacts, not the whole trace. *)
+
+type t = {
+  path : string;  (* index path; shard i = path ^ ".%04d" *)
+  name : string;
+  n_nodes : int;
+  t_start : float;
+  t_end : float;
+  shards : int;
+  spills : out_channel array;
+  mutable added : int;
+  mutable finished : bool;
+}
+
+let shard_file path i = Printf.sprintf "%s.%04d" path i
+let spill_file path i = Printf.sprintf "%s.spill.%04d" path i
+
+let create ?(shards = 16) ~name ~n_nodes ~t_start ~t_end path =
+  if shards < 1 || shards > 4096 then invalid_arg "Shard_sink.create: shards out of [1, 4096]";
+  if n_nodes < 0 then invalid_arg "Shard_sink.create: n_nodes < 0";
+  if t_start > t_end then invalid_arg "Shard_sink.create: reversed window";
+  let spills = Array.init shards (fun i -> open_out_bin (spill_file path i)) in
+  { path; name; n_nodes; t_start; t_end; shards; spills; added = 0; finished = false }
+
+let bucket t t_beg =
+  let span = t.t_end -. t.t_start in
+  if span <= 0. then 0
+  else
+    let k = int_of_float (float_of_int t.shards *. ((t_beg -. t.t_start) /. span)) in
+    max 0 (min (t.shards - 1) k)
+
+let add t (c : Contact.t) =
+  if t.finished then invalid_arg "Shard_sink.add: finished";
+  if c.a < 0 || c.a >= t.n_nodes || c.b < 0 || c.b >= t.n_nodes then
+    invalid_arg (Printf.sprintf "Shard_sink.add: node id out of range (n_nodes = %d)" t.n_nodes);
+  if c.t_beg < t.t_start || c.t_end > t.t_end then
+    invalid_arg
+      (Printf.sprintf "Shard_sink.add: contact [%g; %g] outside window [%g; %g]" c.t_beg c.t_end
+         t.t_start t.t_end);
+  Printf.fprintf t.spills.(bucket t c.t_beg) "%d %d %.17g %.17g\n" c.a c.b c.t_beg c.t_end;
+  t.added <- t.added + 1
+
+let contacts_written t = t.added
+
+let parse_spill text =
+  let contacts = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+       if line <> "" then
+         match String.split_on_char ' ' line with
+         | [ a; b; t_beg; t_end ] ->
+           contacts :=
+             Contact.make ~a:(int_of_string a) ~b:(int_of_string b)
+               ~t_beg:(float_of_string t_beg) ~t_end:(float_of_string t_end)
+             :: !contacts
+         | _ -> failwith "Shard_sink: corrupt spill record");
+  Array.of_list (List.rev !contacts)
+
+let cleanup_spills t =
+  Array.iteri
+    (fun i oc ->
+      close_out_noerr oc;
+      try Sys.remove (spill_file t.path i) with Sys_error _ -> ())
+    t.spills
+
+let abort t =
+  if not t.finished then begin
+    t.finished <- true;
+    cleanup_spills t
+  end
+
+let finish t =
+  if t.finished then invalid_arg "Shard_sink.finish: finished";
+  t.finished <- true;
+  Array.iter close_out t.spills;
+  let files = ref [] in
+  Fun.protect
+    ~finally:(fun () -> cleanup_spills t)
+    (fun () ->
+      for i = 0 to t.shards - 1 do
+        let contacts =
+          parse_spill (In_channel.with_open_bin (spill_file t.path i) In_channel.input_all)
+        in
+        Array.sort Contact.compare_by_start contacts;
+        let file = shard_file t.path i in
+        Omn_robust.Retry_io.write file (fun oc ->
+          Printf.fprintf oc "# omn-trace 1\n";
+          Printf.fprintf oc "# name %s\n" t.name;
+          Printf.fprintf oc "# nodes %d\n" t.n_nodes;
+          Printf.fprintf oc "# window %.17g %.17g\n" t.t_start t.t_end;
+          Array.iter
+            (fun (c : Contact.t) ->
+              Printf.fprintf oc "%d %d %.17g %.17g\n" c.a c.b c.t_beg c.t_end)
+            contacts);
+        files := Filename.basename file :: !files
+      done);
+  Omn_robust.Retry_io.write t.path (fun oc ->
+    Printf.fprintf oc "# omn-shards 1\n";
+    Printf.fprintf oc "# name %s\n" t.name;
+    List.iter (fun f -> Printf.fprintf oc "%s\n" f) (List.rev !files))

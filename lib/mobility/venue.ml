@@ -112,13 +112,13 @@ let trajectory rng p ~node =
   done;
   List.rev !segments
 
-(* Merge touching intervals per pair and build a trace. *)
-let trace_of_raw ~name ~n ~t_start ~t_end raw =
-  let contacts = ref [] in
+(* Merge touching intervals per pair and hand each merged contact to a
+   callback — shared by the trace-building and disk-sharded paths. *)
+let iter_raw raw f =
   Hashtbl.iter
     (fun (a, b) intervals ->
       let sorted = List.sort compare !intervals in
-      let flush (s, e) = contacts := Contact.make ~a ~b ~t_beg:s ~t_end:e :: !contacts in
+      let flush (s, e) = f (Contact.make ~a ~b ~t_beg:s ~t_end:e) in
       let pending =
         List.fold_left
           (fun pending (s, e) ->
@@ -133,10 +133,17 @@ let trace_of_raw ~name ~n ~t_start ~t_end raw =
           None sorted
       in
       Option.iter flush pending)
-    raw;
+    raw
+
+let trace_of_raw ~name ~n ~t_start ~t_end raw =
+  let contacts = ref [] in
+  iter_raw raw (fun c -> contacts := c :: !contacts);
   Trace.create ~name ~n_nodes:n ~t_start ~t_end !contacts
 
-let generate_classified rng ~n ~name p =
+(* The RNG-consuming part of generation: trajectories, place buckets and
+   the per-place sweep filling the near/far interval tables. Extracted
+   so the sharded path draws the identical stream as {!generate}. *)
+let raw_tables rng ~n p =
   check p;
   if n < 1 then invalid_arg "Venue.generate: n < 1";
   (* Bucket all nodes' segments by place; zones are grid positions and
@@ -183,6 +190,10 @@ let generate_classified rng ~n ~name p =
           active := (t0, t1, zone, node) :: !active)
         sorted)
     buckets;
+  (near_raw, far_raw)
+
+let generate_classified rng ~n ~name p =
+  let near_raw, far_raw = raw_tables rng ~n p in
   {
     near = trace_of_raw ~name:(name ^ "/near") ~n ~t_start:p.t_start ~t_end:p.t_end near_raw;
     far = trace_of_raw ~name:(name ^ "/far") ~n ~t_start:p.t_start ~t_end:p.t_end far_raw;
@@ -191,6 +202,11 @@ let generate_classified rng ~n ~name p =
 let generate rng ~n ~name p =
   let { near; far } = generate_classified rng ~n ~name p in
   Trace.with_name (Omn_temporal.Transform.merge near far) name
+
+let iter_contacts rng ~n p f =
+  let near_raw, far_raw = raw_tables rng ~n p in
+  iter_raw near_raw f;
+  iter_raw far_raw f
 
 (* --- Calibrated venues --- *)
 

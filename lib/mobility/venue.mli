@@ -65,6 +65,14 @@ val generate_classified :
 val generate : Omn_stats.Rng.t -> n:int -> name:string -> params -> Omn_temporal.Trace.t
 (** Union of both classes (merged per pair). *)
 
+val iter_contacts :
+  Omn_stats.Rng.t -> n:int -> params -> (Omn_temporal.Contact.t -> unit) -> unit
+(** The contact multiset of {!generate} handed to a callback instead of
+    a trace — identical RNG stream, so feeding the callback into a
+    {!Shard_sink} writes exactly the contacts {!generate} would build
+    (the sink re-establishes time order). Emission order is
+    per-pair-merged, not global time order. *)
+
 val conference_params : rng:Omn_stats.Rng.t -> n:int -> days:float -> params
 (** Calibrated conference venue: hall / coffee / corridor / restaurant /
     hotel, session-break-lunch schedule, long sitting during sessions,

@@ -23,6 +23,7 @@ type event =
   | Frame_corrupt of { worker : int }
   | Reassign of { source : int; from_worker : int; to_worker : int }
   | Worker_rejoin of { worker : int; resumed : int }
+  | Sample_round of { round : int; sampled : int; width : float }
 
 type entry = { ts : float; ev : event }
 

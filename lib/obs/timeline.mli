@@ -57,6 +57,9 @@ type event =
   | Worker_rejoin of { worker : int; resumed : int }
       (** a respawned worker came back up, with [resumed] results
           recovered from its shard checkpoint *)
+  | Sample_round of { round : int; sampled : int; width : float }
+      (** one tightening round of the sampled diameter estimator:
+          cumulative sources sampled and the CI width it achieved *)
 
 type entry = { ts : float; ev : event }
 

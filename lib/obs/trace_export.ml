@@ -119,6 +119,9 @@ let event_json ~t0 (domain, (e : Timeline.entry)) =
   | Worker_rejoin { worker; resumed } ->
     instant_event ~t0 ~tid ~name:"worker.rejoin" ~cat:"shard" ~ts:e.ts
       [ ("worker", Json.Int worker); ("resumed", Json.Int resumed) ]
+  | Sample_round { round; sampled; width } ->
+    instant_event ~t0 ~tid ~name:"sample.round" ~cat:"sample" ~ts:e.ts
+      [ ("round", Json.Int round); ("sampled", Json.Int sampled); ("width", Json.Float width) ]
 
 let to_json ?manifest (view : Timeline.view) =
   let t0 =

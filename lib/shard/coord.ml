@@ -31,6 +31,7 @@ type config = {
   budget_seconds : float option;
   chaos : Faultgen.shard_event list;
   sock_path : string option;
+  on_partial : (Omn_temporal.Node.t -> Delay_cdf.partial -> unit) option;
 }
 
 let default ~workers =
@@ -49,6 +50,7 @@ let default ~workers =
     budget_seconds = None;
     chaos = [];
     sock_path = None;
+    on_partial = None;
   }
 
 type stats = {
@@ -126,12 +128,16 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
       let merger = Delay_cdf.merger_create ~max_hops ?grid () in
       let degraded = ref [] in
       let bad = ref None in
-      Array.iter
-        (fun st ->
+      Array.iteri
+        (fun i st ->
           match st with
           | Acked s -> (
             match Delay_cdf.partial_of_string s with
-            | Ok p -> Delay_cdf.merger_add merger p
+            | Ok p ->
+              Delay_cdf.merger_add merger p;
+              (match cfg.on_partial with
+              | Some f -> f slots.(i) p
+              | None -> ())
             | Error msg -> if !bad = None then bad := Some msg)
           | Degr f -> degraded := f :: !degraded
           | Pending | Assigned _ -> ())

@@ -69,6 +69,11 @@ type config = {
   budget_seconds : float option;
   chaos : Omn_robust.Faultgen.shard_event list;  (** must be ascending *)
   sock_path : string option;  (** default: a fresh path under [TMPDIR] *)
+  on_partial : (Omn_temporal.Node.t -> Omn_core.Delay_cdf.partial -> unit) option;
+      (** observe each acknowledged per-source partial (in slot order,
+          during the final merge) — the hook the sampled diameter
+          estimator uses to collect partials from a sharded run;
+          [None] = no observation. Must not mutate the computation. *)
 }
 
 val default : workers:int -> config

@@ -91,14 +91,13 @@ let build_time_csr ~t_start ~t_end (contacts : Contact.t array) =
      contact starting exactly at t_end lands in it. *)
   { csr_a; csr_b; csr_beg; csr_end; csr_off; csr_t0 = t_start; csr_bucket_w = bucket_w }
 
-let create_result ?(name = "trace") ~n_nodes ~t_start ~t_end contact_list =
+let create_array_result ?(name = "trace") ~n_nodes ~t_start ~t_end contacts =
   let exception Bad of Err.t in
   try
     if n_nodes < 0 then raise (Bad (Err.errf Err.Range "Trace.create: n_nodes < 0 (%d)" n_nodes));
     if t_start > t_end then
       raise
         (Bad (Err.errf Err.Window "Trace.create: reversed window [%g; %g]" t_start t_end));
-    let contacts = Array.of_list contact_list in
     Array.iter
       (fun (c : Contact.t) ->
         (* Both endpoints, both bounds: [Contact.make] canonicalises to
@@ -123,6 +122,9 @@ let create_result ?(name = "trace") ~n_nodes ~t_start ~t_end contact_list =
     let csr = build_time_csr ~t_start ~t_end contacts in
     Ok { label = name; n_nodes; t_start; t_end; contacts; adj_off; adj_pack; csr }
   with Bad e -> Error e
+
+let create_result ?name ~n_nodes ~t_start ~t_end contact_list =
+  create_array_result ?name ~n_nodes ~t_start ~t_end (Array.of_list contact_list)
 
 let create ?name ~n_nodes ~t_start ~t_end contact_list =
   match create_result ?name ~n_nodes ~t_start ~t_end contact_list with

@@ -30,6 +30,19 @@ val create_result :
 (** Non-raising {!create}: validation failures come back as typed
     errors ([Range] for node problems, [Window] for window problems). *)
 
+val create_array_result :
+  ?name:string ->
+  n_nodes:int ->
+  t_start:float ->
+  t_end:float ->
+  Contact.t array ->
+  (t, Omn_robust.Err.t) result
+(** {!create_result} taking ownership of a contact array instead of
+    copying a list — the streaming reader builds its contacts in a
+    growable array and hands it over without an intermediate list.
+    The array is validated and sorted in place; the caller must not
+    reuse it. *)
+
 val name : t -> string
 (** Dataset label (defaults to ["trace"]). *)
 

@@ -1,0 +1,532 @@
+module Err = Omn_robust.Err
+module Repair = Omn_robust.Repair
+
+(* Same cells as [Trace_io]'s — [Metrics.counter] returns the existing
+   registration for a known name, so streaming and in-memory ingestion
+   tally into one place. *)
+let m_lines = Omn_obs.Metrics.counter "ingest.lines_read"
+let m_kept = Omn_obs.Metrics.counter "ingest.contacts_kept"
+let m_repaired = Omn_obs.Metrics.counter "ingest.lines_repaired"
+let m_dropped = Omn_obs.Metrics.counter "ingest.lines_dropped"
+
+let shard_magic = "# omn-shards 1"
+let default_chunk = 64 * 1024
+
+type summary = {
+  s_name : string;
+  s_n_nodes : int;
+  s_window : float * float;
+  s_report : Repair.report;
+}
+
+(* The parser state is [Trace_io.parse_lines] unrolled into a single
+   pass. [Trace_io] runs four whole-input passes (line parse, window,
+   range, duplicates); a streaming reader has to decide per record, so
+   every whole-input decision is carried as deferred state and resolved
+   at EOF:
+   - strict window/range violations are *deferred*, not raised, because
+     in [Trace_io] a parse error anywhere in the file outranks them
+     (its line pass completes before the window pass starts);
+   - [Repair]'s [Widened_node_count] needs the final max node id, so
+     only the first violator's line is remembered;
+   - events are kept in four per-pass lists and concatenated in pass
+     order before the final stable sort by line, reproducing
+     [Trace_io]'s event order exactly (same-line events tie-break by
+     pass).
+   The one semantic addition: emitted records must be non-decreasing in
+   [t_beg] (that is what makes single-pass window/duplicate handling
+   sound), so an out-of-order record is a typed [Contact] error under
+   every policy. [Trace_io.save] always writes time-ordered files, so
+   the two readers agree byte-for-byte on every saved trace. *)
+type state = {
+  policy : Repair.policy;
+  strict : bool;
+  mutable file : string option;  (* current file, for error locations *)
+  mutable carry : string;  (* partial last line of the previous chunk *)
+  mutable lineno : int;
+  mutable n_lines : int;  (* non-blank *)
+  mutable h_name : string option;
+  mutable h_nodes : (int * int) option;  (* value, line *)
+  mutable h_window : (float * float * int) option;  (* lo, hi, line *)
+  mutable saw_record : bool;
+  (* per-pass event lists, newest first *)
+  mutable ev_parse : Repair.event list;
+  mutable ev_window : Repair.event list;
+  mutable ev_range : Repair.event list;
+  mutable ev_dup : Repair.event list;
+  mutable strict_window : Err.t option;  (* first out-of-window record *)
+  mutable strict_range : Err.t option;  (* first out-of-range record *)
+  mutable widen_line : int;  (* first Repair range violator; -1 = none *)
+  mutable max_node : int;  (* over records surviving the window pass *)
+  mutable last_beg : float;  (* order check over emitted records *)
+  dedup : (int * int * float * float, unit) Hashtbl.t;
+  mutable dedup_beg : float;  (* t_beg of the current duplicate run *)
+  mutable kept : int;
+  mutable min_beg : float;  (* window inference, over emitted records *)
+  mutable max_end : float;
+  emit : Contact.t -> unit;
+}
+
+let create ~policy ~emit =
+  {
+    policy;
+    strict = policy = Repair.Strict;
+    file = None;
+    carry = "";
+    lineno = 0;
+    n_lines = 0;
+    h_name = None;
+    h_nodes = None;
+    h_window = None;
+    saw_record = false;
+    ev_parse = [];
+    ev_window = [];
+    ev_range = [];
+    ev_dup = [];
+    strict_window = None;
+    strict_range = None;
+    widen_line = -1;
+    max_node = -1;
+    last_beg = neg_infinity;
+    dedup = Hashtbl.create 64;
+    dedup_beg = nan;
+    kept = 0;
+    min_beg = infinity;
+    max_end = neg_infinity;
+    emit = (fun c -> emit c);
+  }
+
+let err st ?line code fmt =
+  Format.kasprintf (fun msg -> raise (Err.Error (Err.v ?file:st.file ?line code msg))) fmt
+
+(* A [nodes] or [window] header after the first record: [Trace_io] is
+   last-wins because it collects headers before touching any record; a
+   streaming reader has already applied the old value, so a *different*
+   late value cannot be honoured. An equal restatement (what
+   concatenated [Shard_sink] shards produce) passes silently. *)
+let late_header st lineno line =
+  if st.strict then err st ~line:lineno Err.Header "conflicting header after contact records"
+  else
+    st.ev_parse <-
+      { Repair.line = lineno; action = Repair.Ignored_header; detail = line } :: st.ev_parse
+
+let handle_header st lineno line =
+  let body = String.trim (String.sub line 1 (String.length line - 1)) in
+  match String.split_on_char ' ' body with
+  | "name" :: rest -> st.h_name <- Some (String.concat " " rest)
+  | [ "nodes"; n ] -> (
+    match int_of_string_opt n with
+    | Some n ->
+      if st.saw_record then begin
+        match st.h_nodes with Some (n0, _) when n0 = n -> () | _ -> late_header st lineno line
+      end
+      else st.h_nodes <- Some (n, lineno)
+    | None ->
+      if st.strict then err st ~line:lineno Err.Header "bad node count %S" n
+      else
+        st.ev_parse <-
+          { Repair.line = lineno; action = Repair.Ignored_header; detail = line } :: st.ev_parse)
+  | [ "window"; a; b ] -> (
+    let set lo hi =
+      if st.saw_record then begin
+        match st.h_window with
+        | Some (l0, h0, _) when l0 = lo && h0 = hi -> ()
+        | _ -> late_header st lineno line
+      end
+      else st.h_window <- Some (lo, hi, lineno)
+    in
+    match (float_of_string_opt a, float_of_string_opt b) with
+    | Some a, Some b when Float.is_finite a && Float.is_finite b ->
+      if a <= b then set a b
+      else begin
+        match st.policy with
+        | Repair.Strict -> err st ~line:lineno Err.Header "reversed window [%g; %g]" a b
+        | Repair.Repair ->
+          if not st.saw_record then
+            st.ev_parse <-
+              { Repair.line = lineno; action = Repair.Swapped_window; detail = line }
+              :: st.ev_parse;
+          set b a
+        | Repair.Skip ->
+          st.ev_parse <-
+            { Repair.line = lineno; action = Repair.Ignored_header; detail = line }
+            :: st.ev_parse
+      end
+    | _ ->
+      if st.strict then err st ~line:lineno Err.Header "bad window"
+      else
+        st.ev_parse <-
+          { Repair.line = lineno; action = Repair.Ignored_header; detail = line } :: st.ev_parse)
+  | _ -> () (* free comment *)
+
+(* One record that survived field- and contact-level checks, run
+   through the window / order / range / duplicate pipeline. *)
+let record st ln a b t_beg t_end =
+  st.saw_record <- true;
+  let keep, t_beg, t_end =
+    match st.h_window with
+    | None -> (true, t_beg, t_end)
+    | Some (w0, w1, _) ->
+      if t_beg >= w0 && t_end <= w1 then (true, t_beg, t_end)
+      else begin
+        match st.policy with
+        | Repair.Strict ->
+          if st.strict_window = None then
+            st.strict_window <-
+              Some
+                (Err.v ?file:st.file ~line:ln Err.Window
+                   (Format.asprintf "contact [%g; %g] outside declared window [%g; %g]" t_beg
+                      t_end w0 w1));
+          (false, t_beg, t_end)
+        | Repair.Skip ->
+          st.ev_window <-
+            {
+              Repair.line = ln;
+              action = Repair.Dropped_out_of_window;
+              detail = Printf.sprintf "[%g; %g] vs [%g; %g]" t_beg t_end w0 w1;
+            }
+            :: st.ev_window;
+          (false, t_beg, t_end)
+        | Repair.Repair ->
+          if t_end < w0 || t_beg > w1 then begin
+            st.ev_window <-
+              {
+                Repair.line = ln;
+                action = Repair.Dropped_out_of_window;
+                detail = Printf.sprintf "[%g; %g] vs [%g; %g]" t_beg t_end w0 w1;
+              }
+              :: st.ev_window;
+            (false, t_beg, t_end)
+          end
+          else begin
+            let nb = Float.max t_beg w0 and ne = Float.min t_end w1 in
+            st.ev_window <-
+              {
+                Repair.line = ln;
+                action = Repair.Clamped_to_window;
+                detail = Printf.sprintf "[%g; %g] -> [%g; %g]" t_beg t_end nb ne;
+              }
+              :: st.ev_window;
+            (true, nb, ne)
+          end
+      end
+  in
+  if keep then begin
+    if t_beg < st.last_beg then begin
+      (* A pending strict window violation outranks the order error:
+         [Trace_io] would have reported it for this input. *)
+      (match st.strict_window with Some e -> raise (Err.Error e) | None -> ());
+      err st ~line:ln Err.Contact
+        "out-of-order contact: t_beg %g after %g (streaming requires time-ordered input)" t_beg
+        st.last_beg
+    end;
+    st.last_beg <- t_beg;
+    if a > st.max_node then st.max_node <- a;
+    if b > st.max_node then st.max_node <- b;
+    let keep =
+      match st.h_nodes with
+      | Some (n, _) when n >= 0 && (a >= n || b >= n) -> (
+        match st.policy with
+        | Repair.Strict ->
+          if st.strict_range = None then
+            st.strict_range <-
+              Some
+                (Err.v ?file:st.file ~line:ln Err.Range
+                   (Printf.sprintf "node id %d >= declared count %d" (max a b) n));
+          true
+        | Repair.Skip ->
+          st.ev_range <-
+            {
+              Repair.line = ln;
+              action = Repair.Dropped_out_of_range;
+              detail = Printf.sprintf "%d %d vs count %d" a b n;
+            }
+            :: st.ev_range;
+          false
+        | Repair.Repair ->
+          if st.widen_line < 0 then st.widen_line <- ln;
+          true)
+      | _ -> true
+    in
+    if keep then begin
+      (* Duplicate runs: [Trace_io] dedups with a whole-file table keyed
+         on the post-clamp record; its key includes [t_beg], and emitted
+         [t_beg] is non-decreasing, so duplicates are always contiguous
+         in equal-[t_beg] runs and a per-run table is equivalent. *)
+      let dup =
+        st.policy = Repair.Repair
+        && begin
+             if t_beg <> st.dedup_beg then begin
+               Hashtbl.reset st.dedup;
+               st.dedup_beg <- t_beg
+             end;
+             let key = (a, b, t_beg, t_end) in
+             if Hashtbl.mem st.dedup key then begin
+               st.ev_dup <-
+                 {
+                   Repair.line = ln;
+                   action = Repair.Merged_duplicate;
+                   detail = Printf.sprintf "%d %d %g %g" a b t_beg t_end;
+                 }
+                 :: st.ev_dup;
+               true
+             end
+             else begin
+               Hashtbl.add st.dedup key ();
+               false
+             end
+           end
+      in
+      if not dup then begin
+        st.kept <- st.kept + 1;
+        if t_beg < st.min_beg then st.min_beg <- t_beg;
+        if t_end > st.max_end then st.max_end <- t_end;
+        st.emit (Contact.make ~a ~b ~t_beg ~t_end)
+      end
+    end
+  end
+
+let handle_record_line st lineno line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [ a; b; t_beg; t_end ] -> (
+    match
+      (int_of_string_opt a, int_of_string_opt b, float_of_string_opt t_beg,
+       float_of_string_opt t_end)
+    with
+    | Some a, Some b, Some t_beg, Some t_end ->
+      if not (Float.is_finite t_beg && Float.is_finite t_end) then begin
+        if st.strict then err st ~line:lineno Err.Contact "non-finite contact time"
+        else
+          st.ev_parse <-
+            { Repair.line = lineno; action = Repair.Dropped_nonfinite; detail = line }
+            :: st.ev_parse
+      end
+      else if a < 0 || b < 0 then begin
+        if st.strict then err st ~line:lineno Err.Contact "negative node id"
+        else
+          st.ev_parse <-
+            { Repair.line = lineno; action = Repair.Dropped_negative_id; detail = line }
+            :: st.ev_parse
+      end
+      else if a = b then begin
+        if st.strict then err st ~line:lineno Err.Contact "self-contact (%d %d)" a b
+        else
+          st.ev_parse <-
+            { Repair.line = lineno; action = Repair.Dropped_self_loop; detail = line }
+            :: st.ev_parse
+      end
+      else if t_beg > t_end then begin
+        match st.policy with
+        | Repair.Strict ->
+          err st ~line:lineno Err.Contact "reversed interval [%g; %g]" t_beg t_end
+        | Repair.Repair ->
+          st.ev_parse <-
+            { Repair.line = lineno; action = Repair.Swapped_interval; detail = line }
+            :: st.ev_parse;
+          record st lineno a b t_end t_beg
+        | Repair.Skip ->
+          st.ev_parse <-
+            { Repair.line = lineno; action = Repair.Dropped_malformed; detail = line }
+            :: st.ev_parse
+      end
+      else record st lineno a b t_beg t_end
+    | _ ->
+      if st.strict then err st ~line:lineno Err.Parse "bad field"
+      else
+        st.ev_parse <-
+          { Repair.line = lineno; action = Repair.Dropped_malformed; detail = line }
+          :: st.ev_parse)
+  | _ ->
+    if st.strict then err st ~line:lineno Err.Parse "expected 4 fields: a b t_beg t_end"
+    else
+      st.ev_parse <-
+        { Repair.line = lineno; action = Repair.Dropped_malformed; detail = line }
+        :: st.ev_parse
+
+let process_line st raw =
+  st.lineno <- st.lineno + 1;
+  let line = String.trim raw in
+  if line = "" then ()
+  else begin
+    st.n_lines <- st.n_lines + 1;
+    if line.[0] = '#' then handle_header st st.lineno line
+    else handle_record_line st st.lineno line
+  end
+
+(* Feed a chunk of bytes; a partial trailing line is carried into the
+   next chunk, so any chunking of the input — including one byte at a
+   time — processes the identical line sequence. *)
+let feed st chunk =
+  let data = if st.carry = "" then chunk else st.carry ^ chunk in
+  let n = String.length data in
+  let start = ref 0 in
+  (try
+     while true do
+       let i = String.index_from data !start '\n' in
+       process_line st (String.sub data !start (i - !start));
+       start := i + 1
+     done
+   with Not_found -> ());
+  st.carry <- String.sub data !start (n - !start)
+
+(* End of one input file: the carry is its last line. [Trace_io] splits
+   on '\n' so a file always yields a final (possibly empty) segment;
+   processing the carry unconditionally matches. *)
+let eof_file st =
+  let last = st.carry in
+  st.carry <- "";
+  process_line st last
+
+let finalize st =
+  (match st.strict_window with Some e -> raise (Err.Error e) | None -> ());
+  let n_nodes =
+    match st.h_nodes with
+    | Some (n, hln) when n < 0 ->
+      if st.strict then err st ~line:hln Err.Header "negative node count %d" n
+      else begin
+        st.ev_range <-
+          {
+            Repair.line = hln;
+            action = Repair.Ignored_header;
+            detail = Printf.sprintf "nodes %d" n;
+          }
+          :: st.ev_range;
+        st.max_node + 1
+      end
+    | Some (n, _) ->
+      (match st.strict_range with Some e -> raise (Err.Error e) | None -> ());
+      if st.widen_line >= 0 then begin
+        st.ev_range <-
+          {
+            Repair.line = st.widen_line;
+            action = Repair.Widened_node_count;
+            detail = Printf.sprintf "%d -> %d" n (st.max_node + 1);
+          }
+          :: st.ev_range;
+        st.max_node + 1
+      end
+      else n
+    | None -> st.max_node + 1
+  in
+  let t_start, t_end =
+    match st.h_window with
+    | Some (a, b, _) -> (a, b)
+    | None -> if st.kept = 0 then (0., 0.) else (st.min_beg, st.max_end)
+  in
+  let name = Option.value st.h_name ~default:"trace" in
+  let events =
+    List.stable_sort
+      (fun a b -> compare a.Repair.line b.Repair.line)
+      (List.rev st.ev_parse @ List.rev st.ev_window @ List.rev st.ev_range @ List.rev st.ev_dup)
+  in
+  let report = { Repair.policy = st.policy; total_lines = st.n_lines; kept = st.kept; events } in
+  Omn_obs.Metrics.add m_lines report.Repair.total_lines;
+  Omn_obs.Metrics.add m_kept report.Repair.kept;
+  Omn_obs.Metrics.add m_repaired (Repair.n_repaired report);
+  Omn_obs.Metrics.add m_dropped (Repair.n_dropped report);
+  (name, n_nodes, (t_start, t_end), report)
+
+(* --- drivers --- *)
+
+let pump st buf ic =
+  let rec loop () =
+    let n = input ic buf 0 (Bytes.length buf) in
+    if n > 0 then begin
+      feed st (Bytes.sub_string buf 0 n);
+      loop ()
+    end
+  in
+  loop ()
+
+let shard_list ~index_path text =
+  let dir = Filename.dirname index_path in
+  String.split_on_char '\n' text
+  |> List.filter_map (fun l ->
+       let l = String.trim l in
+       if l = "" || l.[0] = '#' then None
+       else Some (if Filename.is_relative l then Filename.concat dir l else l))
+
+(* Raises [Err.Error]; [Sys_error] is mapped by the public wrappers. *)
+let run ~policy ~chunk ~emit path =
+  let st = create ~policy ~emit in
+  st.file <- Some path;
+  let buf = Bytes.create (max 1 chunk) in
+  let mode =
+    In_channel.with_open_bin path (fun ic ->
+      let n = input ic buf 0 (Bytes.length buf) in
+      let first = Bytes.sub_string buf 0 n in
+      let is_index =
+        match String.index_opt first '\n' with
+        | Some i -> String.trim (String.sub first 0 i) = shard_magic
+        | None -> n < Bytes.length buf && String.trim first = shard_magic
+      in
+      if is_index then `Index (first ^ In_channel.input_all ic)
+      else begin
+        feed st first;
+        pump st buf ic;
+        `Plain
+      end)
+  in
+  (match mode with
+  | `Plain -> eof_file st
+  | `Index text ->
+    List.iter
+      (fun shard ->
+        st.file <- Some shard;
+        In_channel.with_open_bin shard (fun ic -> pump st buf ic);
+        eof_file st)
+      (shard_list ~index_path:path text);
+    st.file <- Some path);
+  finalize st
+
+let dummy_contact = Contact.make ~a:0 ~b:1 ~t_beg:0. ~t_end:0.
+
+let collector () =
+  let arr = ref [||] and len = ref 0 in
+  let emit c =
+    if !len = Array.length !arr then begin
+      let cap = max 1024 (2 * Array.length !arr) in
+      let na = Array.make cap dummy_contact in
+      Array.blit !arr 0 na 0 !len;
+      arr := na
+    end;
+    !arr.(!len) <- c;
+    incr len
+  in
+  let contents () = if !len = Array.length !arr then !arr else Array.sub !arr 0 !len in
+  (emit, contents)
+
+let build_trace ?file (name, n_nodes, (t_start, t_end), report) contacts =
+  match Trace.create_array_result ~name ~n_nodes ~t_start ~t_end contacts with
+  | Ok t -> Ok (t, report)
+  | Error e -> Error (match file with Some f -> Err.in_file f e | None -> e)
+
+let load_result ?(policy = Repair.Strict) ?(chunk = default_chunk) path =
+  let emit, contents = collector () in
+  match run ~policy ~chunk ~emit path with
+  | exception Err.Error e -> Error e
+  | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg)
+  | meta -> build_trace ~file:path meta (contents ())
+
+let fold_result ?(policy = Repair.Strict) ?(chunk = default_chunk) ~init ~f path =
+  let acc = ref init in
+  let emit c = acc := f !acc c in
+  match run ~policy ~chunk ~emit path with
+  | exception Err.Error e -> Error e
+  | exception Sys_error msg -> Error (Err.v ~file:path Err.Io msg)
+  | name, n_nodes, window, report ->
+    Ok (!acc, { s_name = name; s_n_nodes = n_nodes; s_window = window; s_report = report })
+
+let parse_chunks ?(policy = Repair.Strict) ?file chunks =
+  let emit, contents = collector () in
+  let st = create ~policy ~emit in
+  st.file <- file;
+  match
+    List.iter (feed st) chunks;
+    eof_file st;
+    finalize st
+  with
+  | exception Err.Error e -> Error e
+  | meta -> build_trace ?file meta (contents ())
+
+let parse ?policy ?file text = parse_chunks ?policy ?file [ text ]

@@ -1,0 +1,117 @@
+#!/bin/sh
+# Scale harness: streaming ingestion + sampled estimation at a size the
+# exact in-memory pipeline cannot afford. Four claims, all checked:
+#
+#   1. heap: with an eager GC (OCAMLRUNPARAM=o=20) and a heap cap
+#      calibrated between the two observed ingestion peaks, the
+#      streaming reader over a shard index completes while the
+#      in-memory reader of the same trace busts the cap with a typed
+#      Compute error;
+#   2. scale: the sampled estimator finishes on a ~2M-contact trace in
+#      seconds where the exact engine needs every one of 300 sources
+#      (tens of minutes);
+#   3. coverage: on a smaller instance where the exact engine is
+#      affordable, the sampled CI must contain the exact
+#      (1-eps)-diameter;
+#   4. provenance: the sampled result JSON carries the sample block
+#      (sampled/total/rounds/CI) for upload as a CI artifact.
+#
+# Run from the repo root after `dune build`. CI uploads $SCALE_RESULT.
+set -eu
+
+OMN="${OMN:-_build/default/bin/omn.exe}"
+SCALE_RESULT="${SCALE_RESULT:-SCALE_result.json}"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Eager GC for every measured run: the cap is a statement about how
+# much heap ingestion *needs*, not how lazy the collector feels.
+GCPARAMS="o=20"
+
+# --- the big instance: sharded generation ------------------------------------
+
+# ~2M contacts, ~90 MB serialised. The sharded writer streams contacts
+# straight to disk; the flat file exists only to feed the in-memory
+# reader its doomed run.
+"$OMN" gen --preset conference --nodes 300 --hours 48 --seed 5 --shards 8 \
+  -o "$tmp/big.idx" >/dev/null
+"$OMN" gen --preset conference --nodes 300 --hours 48 --seed 5 \
+  -o "$tmp/big.omn" >/dev/null
+[ -f "$tmp/big.idx" ] && [ -f "$tmp/big.idx.0007" ] || {
+  echo "scale FAIL: sharded gen left no index or shards" >&2
+  exit 1
+}
+
+# --- 1. calibrate and enforce the heap cap -----------------------------------
+
+# A cap of 1 word always fails, and the error reports the observed
+# peak: probe both readers, then pin the cap between them.
+peak_of() {
+  rc=0
+  OCAMLRUNPARAM="$GCPARAMS" "$OMN" diameter "$1" $2 --sample 4 --ci-width 20 \
+    --heap-cap-words 1 2>&1 >/dev/null | sed -n 's/.*peak heap \([0-9]*\) words.*/\1/p' || rc=$?
+}
+p_stream=$(peak_of "$tmp/big.idx" --stream)
+p_mem=$(peak_of "$tmp/big.omn" "")
+[ -n "$p_stream" ] && [ -n "$p_mem" ] || {
+  echo "scale FAIL: heap probes reported no peak (stream='$p_stream' mem='$p_mem')" >&2
+  exit 1
+}
+if [ "$p_mem" -le "$((p_stream + p_stream / 100))" ]; then
+  echo "scale FAIL: in-memory peak $p_mem words is not >1% above streaming peak $p_stream" >&2
+  exit 1
+fi
+cap=$(((p_stream + p_mem) / 2))
+echo "scale: streaming peak $p_stream words, in-memory peak $p_mem words, cap $cap"
+
+# Under that cap the streaming sampled run must complete...
+OCAMLRUNPARAM="$GCPARAMS" "$OMN" diameter "$tmp/big.idx" --stream --sample 4 \
+  --ci-width 20 --domains 2 --heap-cap-words "$cap" -o "$SCALE_RESULT" >/dev/null || {
+  echo "scale FAIL: heap-capped streaming sampled run did not complete" >&2
+  exit 1
+}
+# ...and the in-memory reader of the same trace must bust it.
+rc=0
+OCAMLRUNPARAM="$GCPARAMS" "$OMN" diameter "$tmp/big.omn" --sample 4 --ci-width 20 \
+  --heap-cap-words "$cap" >/dev/null 2>"$tmp/bust.err" || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "scale FAIL: in-memory run under the cap exited $rc, expected Compute error 1" >&2
+  exit 1
+fi
+grep -q 'exceeds cap' "$tmp/bust.err" || {
+  echo "scale FAIL: in-memory bust carried no heap-cap message" >&2
+  exit 1
+}
+
+# --- 2. the sampled result is well-formed ------------------------------------
+
+for key in '"sample": {' '"sampled": 4' '"total": 300' '"ci_lo"' '"ci_hi"' \
+  '"streamed": true' '"manifest"'; do
+  grep -q "$key" "$SCALE_RESULT" || {
+    echo "scale FAIL: sampled result lacks $key" >&2
+    exit 1
+  }
+done
+
+# --- 3. CI covers the exact diameter (affordable instance) -------------------
+
+"$OMN" gen --preset conference --nodes 60 --hours 12 --seed 23 --shards 4 \
+  -o "$tmp/small.idx" >/dev/null
+"$OMN" diameter "$tmp/small.idx" --stream --domains 2 -o "$tmp/small_exact.json" >/dev/null
+"$OMN" diameter "$tmp/small.idx" --stream --sample 8 --ci-width 2 --confidence 0.9 \
+  --bootstrap 200 --domains 2 -o "$tmp/small_sampled.json" >/dev/null
+
+exact=$(sed -n 's/^  "diameter": \([0-9]*\),*$/\1/p' "$tmp/small_exact.json")
+lo=$(sed -n 's/^    "ci_lo": \([0-9]*\),*$/\1/p' "$tmp/small_sampled.json")
+hi=$(sed -n 's/^    "ci_hi": \([0-9]*\),*$/\1/p' "$tmp/small_sampled.json")
+[ -n "$exact" ] && [ -n "$lo" ] && [ -n "$hi" ] || {
+  echo "scale FAIL: could not extract exact=$exact lo=$lo hi=$hi" >&2
+  exit 1
+}
+if [ "$lo" -gt "$exact" ] || [ "$exact" -gt "$hi" ]; then
+  echo "scale FAIL: CI [$lo, $hi] does not cover the exact diameter $exact" >&2
+  exit 1
+fi
+echo "scale: CI [$lo, $hi] covers exact diameter $exact"
+
+echo "scale ok"

@@ -17,7 +17,12 @@
 #      --fail-dropped` must digest it with zero dropped events;
 #   6. sharding: a 3-worker sharded run must be byte-identical (modulo
 #      manifest) to the single-process run, and must stay byte-identical
-#      with exit 0 when a worker is killed mid-run (failover).
+#      with exit 0 when a worker is killed mid-run (failover);
+#   7. streaming + sampling: a sharded on-disk generation streamed back
+#      through the sampled estimator with the sample covering every
+#      source must be byte-identical (modulo manifest and the sample
+#      block) to the exact in-memory engine, and every malformed
+#      sampling flag must be rejected with the usage exit code 2.
 # Run via `make check`. CI uploads $SMOKE_METRICS, $SMOKE_TRACE,
 # $SMOKE_REPORT, $SMOKE_SHARD_TRACE and $SMOKE_SHARD_REPORT as
 # artifacts.
@@ -250,6 +255,58 @@ for key in '"shard"' '"worker_spawns"' '"reassigned_sources"'; do
     echo "smoke FAIL: shard report lacks $key" >&2
     exit 1
   }
+done
+
+# --- 7. streaming ingestion + sampled estimator -------------------------------
+
+# Sharded on-disk generation: the conference preset streams straight to
+# disk, so the index + shards must exist and stream back losslessly.
+"$OMN" gen --preset conference --nodes 20 --hours 3 --seed 11 --shards 4 \
+  -o "$tmp/conf.idx" >/dev/null
+[ -f "$tmp/conf.idx" ] && [ -f "$tmp/conf.idx.0003" ] || {
+  echo "smoke FAIL: sharded gen left no index or shards" >&2
+  exit 1
+}
+
+# The exact engine over the streamed trace is the reference.
+"$OMN" diameter "$tmp/conf.idx" --stream -o "$tmp/exact.json" >/dev/null
+
+# A sample that covers every source must reproduce it byte for byte,
+# modulo the manifest and the sample block (both strippable the same
+# way: first-level keys closed at two-space indent).
+strip_sample() {
+  sed '/^  "manifest": {/,/^  },$/d; /^  "sample": {/,/^  },$/d' "$1"
+}
+"$OMN" diameter "$tmp/conf.idx" --stream --sample 1000 \
+  -o "$tmp/sampled.json" >/dev/null
+[ "$(strip_sample "$tmp/exact.json")" = "$(strip_sample "$tmp/sampled.json")" ] || {
+  echo "smoke FAIL: exhaustive sampled run differs from the exact engine" >&2
+  exit 1
+}
+grep -q '"exhaustive": true' "$tmp/sampled.json" || {
+  echo "smoke FAIL: sample covering all sources not reported exhaustive" >&2
+  exit 1
+}
+
+# The sharded sampled path must agree too.
+"$OMN" diameter "$tmp/conf.idx" --stream --sample 1000 --workers 2 \
+  -o "$tmp/sampled-shard.json" >/dev/null
+[ "$(strip_sample "$tmp/exact.json")" = "$(strip_sample "$tmp/sampled-shard.json")" ] || {
+  echo "smoke FAIL: sharded sampled run differs from the exact engine" >&2
+  exit 1
+}
+
+# Malformed sampling flags: typed usage errors, exit code 2.
+for bad in "--sample 0" "--sample=-2" "--ci-width 0 --sample 4" \
+  "--ci-width=-1 --sample 4" "--epsilon 0 --sample 4" "--epsilon 1.5 --sample 4" \
+  "--ci-width 0.5" "--confidence 0.9" "--bootstrap 100" "--sample-seed 1"; do
+  rc=0
+  # shellcheck disable=SC2086
+  "$OMN" diameter "$tmp/conf.idx" --stream $bad >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "smoke FAIL: 'omn diameter $bad' exited $rc, expected usage error 2" >&2
+    exit 1
+  fi
 done
 
 echo "smoke ok"

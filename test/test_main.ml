@@ -45,4 +45,6 @@ let () =
       ("obs", Test_obs.suite);
       ("timeline", Test_timeline.suite);
       ("differential", Test_differential.suite);
+      ("stream", Test_stream.suite);
+      ("sampling", Test_sampling.suite);
     ]
