@@ -9,6 +9,48 @@
 
 let fmt = Format.std_formatter
 
+(* Worker-mode escape hatch for the shard bench block: the coordinator's
+   [Spawn_exec] re-executes [Sys.executable_name worker ...], and under
+   the bench that is this binary (same hatch as [Test_main]). *)
+let () =
+  if Array.length Sys.argv >= 2 && Sys.argv.(1) = "worker" then begin
+    let arg flag =
+      let glued = flag ^ "=" in
+      let rec find i =
+        if i >= Array.length Sys.argv then None
+        else if Sys.argv.(i) = flag && i + 1 < Array.length Sys.argv then
+          Some Sys.argv.(i + 1)
+        else if String.starts_with ~prefix:glued Sys.argv.(i) then
+          Some (String.sub Sys.argv.(i) (String.length glued)
+                  (String.length Sys.argv.(i) - String.length glued))
+        else find (i + 1)
+      in
+      find 2
+    in
+    let mode =
+      match (arg "--connect", arg "--sock") with
+      | Some a, _ -> (
+        match Omn_shard.Transport.parse a with
+        | Ok addr -> Omn_shard.Worker.Dial addr
+        | Error _ -> exit 2)
+      | None, Some p -> Omn_shard.Worker.Dial (Omn_shard.Transport.Unix_path p)
+      | None, None -> exit 2
+    in
+    let worker = match arg "--id" with Some id -> int_of_string id | None -> -1 in
+    let auth_key =
+      match arg "--auth-key" with
+      | Some _ as k -> k
+      | None -> Sys.getenv_opt "OMN_SHARD_KEY"
+    in
+    match
+      Omn_shard.Worker.main ~worker ~mode ?auth_key ?trace_cache:(arg "--trace-cache") ()
+    with
+    | Ok () -> exit 0
+    | Error e ->
+      prerr_endline (Omn_robust.Err.to_string e);
+      exit (Omn_robust.Err.exit_code e.code)
+  end
+
 (* --- Bechamel timing benches: the §4.4 efficiency claims --- *)
 
 let timing_tests () =
@@ -298,6 +340,106 @@ let bench_parallel ~quick ~enforce ~min_speedup ~max_prune_ratio () =
     sentinel est.Omn_core.Diameter_est.ci_lo <= exact_d
     && exact_d <= sentinel est.Omn_core.Diameter_est.ci_hi
   in
+  (* Shard: failover reassignment latency and digest-addressed trace
+     shipping over an authenticated TCP loopback fleet. The kill run
+     stamps the chaos Mark and the first Reassign into the timeline and
+     reports the gap; the second run reuses the same trace store, so
+     every worker must come up warm (zero bytes shipped, one cache hit
+     per worker). Merge non-identity with the single-process driver is
+     fatal, like the cross-domain identity gate. *)
+  Omn_obs.Metrics.set_enabled false;
+  let shard_workers = 2 in
+  let shard_n = 32 in
+  let shard_hops = 4 in
+  let shard_trace =
+    let srng = Omn_stats.Rng.create 23 in
+    let params = Omn_mobility.Venue.conference_params ~rng:srng ~n:shard_n ~days:0.25 in
+    Omn_mobility.Venue.generate srng ~n:shard_n ~name:"bench-shard" params
+  in
+  let shard_sources = Omn_core.Delay_cdf.uniform_order (List.init shard_n Fun.id) in
+  let shard_ref =
+    Omn_core.Delay_cdf.compute ~max_hops:shard_hops ~sources:shard_sources shard_trace
+  in
+  let store_dir = Filename.temp_file "omn_bench_store" ".d" in
+  Sys.remove store_dir;
+  let shard_cfg chaos =
+    {
+      (Omn_shard.Coord.default ~workers:shard_workers) with
+      Omn_shard.Coord.heartbeat_interval = 0.05;
+      heartbeat_timeout = 5.;
+      respawn_backoff = 0.01;
+      max_inflight = 2;
+      listen = Some (Omn_shard.Transport.Tcp ("127.0.0.1", 0));
+      auth_key = Some "bench-preshared-key";
+      worker_trace_cache = Some store_dir;
+      chaos;
+    }
+  in
+  let run_shard label cfg =
+    let t0 = Unix.gettimeofday () in
+    match Omn_shard.Coord.run ~max_hops:shard_hops ~sources:shard_sources cfg shard_trace with
+    | Error e ->
+      Format.fprintf fmt "FAIL: shard bench (%s): %s@." label (Omn_robust.Err.to_string e);
+      exit 1
+    | Ok (curves, p, st) ->
+      if p.Omn_core.Delay_cdf.partial || p.Omn_core.Delay_cdf.sources_done <> shard_n then begin
+        Format.fprintf fmt "FAIL: shard bench (%s): incomplete merge@." label;
+        exit 1
+      end;
+      if curves <> shard_ref then begin
+        Format.fprintf fmt "FAIL: shard bench (%s): merge differs from the single-process run@."
+          label;
+        exit 1
+      end;
+      (st, Unix.gettimeofday () -. t0)
+  in
+  Omn_obs.Timeline.reset ();
+  Omn_obs.Timeline.set_enabled true;
+  let kill_st, kill_time =
+    run_shard "cold store, worker-kill failover"
+      (shard_cfg
+         [
+           {
+             Omn_robust.Faultgen.after_results = 2;
+             victim = 0;
+             shard_fault = Omn_robust.Faultgen.Worker_kill;
+           };
+         ])
+  in
+  Omn_obs.Timeline.set_enabled false;
+  let shard_tl = Omn_obs.Timeline.snapshot () in
+  let warm_st, warm_time = run_shard "warm store, clean" (shard_cfg []) in
+  Omn_obs.Metrics.set_enabled globally_enabled;
+  (* time from the chaos injection Mark to the first reassignment of the
+     victim's unacknowledged work — the failover latency a real fleet
+     would observe *)
+  let reassign_latency =
+    let events = shard_tl.Omn_obs.Timeline.events in
+    match
+      List.find_map
+        (fun ((_, e) : int * Omn_obs.Timeline.entry) ->
+          match e.ev with
+          | Omn_obs.Timeline.Mark { name }
+            when String.length name >= 6 && String.sub name 0 6 = "chaos:" ->
+            Some e.ts
+          | _ -> None)
+        events
+    with
+    | None -> None
+    | Some t0 ->
+      List.find_map
+        (fun ((_, e) : int * Omn_obs.Timeline.entry) ->
+          match e.ev with
+          | Omn_obs.Timeline.Reassign _ when e.ts >= t0 -> Some (e.ts -. t0)
+          | _ -> None)
+        events
+  in
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat store_dir f) with Sys_error _ -> ())
+       (Sys.readdir store_dir);
+     Unix.rmdir store_dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
   let frontiers, _ = Omn_core.Journey.run trace ~source:0 in
   let sizes = Array.map Omn_core.Frontier.size frontiers in
   let max_frontier = Array.fold_left max 0 sizes in
@@ -417,6 +559,22 @@ let bench_parallel ~quick ~enforce ~min_speedup ~max_prune_ratio () =
               ("ci_width", Float est.Omn_core.Diameter_est.ci_width);
               ("covers_exact", Bool est_covers);
             ] );
+        ( "shard",
+          Obj
+            [
+              ("workers", Int shard_workers);
+              ("sources", Int shard_n);
+              ("transport", String "tcp-loopback+auth");
+              ("seconds_kill_failover", Float kill_time);
+              ("seconds_warm_clean", Float warm_time);
+              ( "reassign_latency_seconds",
+                match reassign_latency with Some s -> Float s | None -> Null );
+              ("reassigned", Int kill_st.Omn_shard.Coord.reassigned);
+              ("spawns_kill_run", Int kill_st.Omn_shard.Coord.spawns);
+              ("trace_ship_bytes_cold", Int kill_st.Omn_shard.Coord.trace_ship_bytes);
+              ("trace_ship_bytes_warm", Int warm_st.Omn_shard.Coord.trace_ship_bytes);
+              ("trace_cache_hits_warm", Int warm_st.Omn_shard.Coord.trace_cache_hits);
+            ] );
         ( "runs",
           List
             (List.map
@@ -478,7 +636,32 @@ let bench_parallel ~quick ~enforce ~min_speedup ~max_prune_ratio () =
     (opt_str est.Omn_core.Diameter_est.ci_hi)
     est.Omn_core.Diameter_est.ci_width
     (opt_str exact_res.Omn_core.Diameter.diameter);
+  Format.fprintf fmt
+    "  shard (TCP loopback, auth, %d workers): kill-failover %.3fs (reassign latency %s, %d \
+     reassigned), warm clean %.3fs; trace bytes cold %d / warm %d (%d cache hits)@."
+    shard_workers kill_time
+    (match reassign_latency with Some s -> Printf.sprintf "%.3fs" s | None -> "n/a")
+    kill_st.Omn_shard.Coord.reassigned warm_time kill_st.Omn_shard.Coord.trace_ship_bytes
+    warm_st.Omn_shard.Coord.trace_ship_bytes warm_st.Omn_shard.Coord.trace_cache_hits;
   Format.fprintf fmt "  wrote %s@." path;
+  if kill_st.Omn_shard.Coord.reassigned = 0 then begin
+    Format.fprintf fmt "FAIL: the killed worker's work was never reassigned@.";
+    exit 1
+  end;
+  if kill_st.Omn_shard.Coord.trace_ship_bytes = 0 then begin
+    Format.fprintf fmt "FAIL: the cold-store run shipped no trace bytes@.";
+    exit 1
+  end;
+  if warm_st.Omn_shard.Coord.trace_ship_bytes <> 0 then begin
+    Format.fprintf fmt "FAIL: warm workers re-shipped %d trace bytes (digest cache miss)@."
+      warm_st.Omn_shard.Coord.trace_ship_bytes;
+    exit 1
+  end;
+  if warm_st.Omn_shard.Coord.trace_cache_hits < shard_workers then begin
+    Format.fprintf fmt "FAIL: only %d of %d warm workers hit the digest cache@."
+      warm_st.Omn_shard.Coord.trace_cache_hits shard_workers;
+    exit 1
+  end;
   if not est_covers then begin
     Format.fprintf fmt "FAIL: sampled CI does not cover the exact (1-eps)-diameter@.";
     exit 1

@@ -474,18 +474,91 @@ let supervise_policy retries task_deadline quarantine =
 (* --- sharded execution (omn_shard) --- *)
 
 module Shard = Omn_shard.Coord
+module Transport = Omn_shard.Transport
+
+(* --workers takes either a count (spawn that many local processes) or
+   a comma-separated list of pre-started `omn worker --listen'
+   addresses to dial. *)
+type workers_spec = Wcount of int | Wpeers of Transport.addr list
+
+let workers_fleet = function Wcount n -> n | Wpeers l -> List.length l
+let sharded spec = workers_fleet spec > 0
+
+let workers_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok (Wcount n)
+    | Some _ -> Error (`Msg "worker count must be >= 0")
+    | None -> (
+      let parts = List.filter (fun p -> p <> "") (String.split_on_char ',' s) in
+      if parts = [] then Error (`Msg "empty worker list")
+      else
+        let rec go acc = function
+          | [] -> Ok (Wpeers (List.rev acc))
+          | p :: rest -> (
+            match Transport.parse p with
+            | Ok (Transport.Tcp _ as a) -> go (a :: acc) rest
+            | Ok (Transport.Unix_path _ as a) -> go (a :: acc) rest
+            | Error e -> Error (`Msg e.Omn_robust.Err.msg))
+        in
+        go [] parts)
+  in
+  let pp ppf = function
+    | Wcount n -> Format.pp_print_int ppf n
+    | Wpeers l ->
+      Format.pp_print_string ppf (String.concat "," (List.map Transport.to_string l))
+  in
+  Arg.conv (parse, pp)
 
 let workers_arg =
   let doc =
-    "Shard source nodes over $(docv) worker processes (consistent hashing with \
-     successor-list failover, Unix-domain sockets, CRC-framed wire protocol). \
-     $(b,0) (default) computes in-process. Results are byte-identical to the \
-     in-process run at any worker count, even when workers are killed mid-run and \
-     their shard reassigned. With workers, $(b,--domains) sets each worker's own \
-     domain-pool size. Incompatible with $(b,--checkpoint)/$(b,--resume); see \
+    "Shard source nodes over worker processes (consistent hashing with \
+     successor-list failover, CRC-framed wire protocol). $(docv) is either a count — \
+     spawn that many local workers over a Unix-domain socket — or a comma-separated \
+     $(b,host:port) list of pre-started $(b,omn worker --listen) processes to dial \
+     over TCP. $(b,0) (default) computes in-process. Results are byte-identical to \
+     the in-process run at any worker count, even when workers are killed, \
+     partitioned or joined mid-run. With workers, $(b,--domains) sets each worker's \
+     own domain-pool size. Incompatible with $(b,--checkpoint)/$(b,--resume); see \
      $(b,--worker-ckpt-dir) for the sharded equivalent."
   in
-  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"W" ~doc)
+  Arg.(value & opt workers_conv (Wcount 0) & info [ "workers" ] ~docv:"W" ~doc)
+
+let addr_conv =
+  let parse s =
+    match Transport.parse s with
+    | Ok a -> Ok a
+    | Error e -> Error (`Msg e.Omn_robust.Err.msg)
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Transport.to_string a))
+
+let listen_arg =
+  let doc =
+    "Coordinator listener address ($(b,host:port), port $(b,0) picks a free one) for \
+     workers that dial in over TCP — mid-run joiners and spawned fleets on \
+     multi-homed hosts. Default: a fresh Unix-domain socket under TMPDIR."
+  in
+  Arg.(value & opt (some addr_conv) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+
+let auth_key_arg =
+  let doc =
+    "Pre-shared key: require the HMAC-SHA-256 handshake on every shard connection. \
+     Both sides must hold the same key; a wrong key, replayed nonce or protocol \
+     version mismatch is a typed $(b,E-AUTH)/$(b,E-PROTO) rejection (exit 2), never \
+     a hang. Defaults to the $(b,OMN_SHARD_KEY) environment variable (which is also \
+     how spawned workers inherit it — the key never appears in argv)."
+  in
+  Arg.(value & opt (some string) None & info [ "auth-key" ] ~docv:"KEY" ~doc)
+
+let worker_trace_cache_arg =
+  let doc =
+    "Hand spawned workers this content-addressed trace store ($(b,--trace-cache)): a \
+     worker whose store already holds the job's trace digest re-ships zero bytes."
+  in
+  Arg.(value & opt (some string) None & info [ "worker-trace-cache" ] ~docv:"DIR" ~doc)
+
+let auth_key_resolve key =
+  match key with Some _ -> key | None -> Sys.getenv_opt "OMN_SHARD_KEY"
 
 let heartbeat_timeout_arg =
   let doc =
@@ -532,9 +605,10 @@ let shard_fault_conv =
 let shard_fault_arg =
   let doc =
     "Chaos: after AFTER acknowledged results (default 1), apply KIND ($(b,worker-kill), \
-     $(b,worker-hang) or $(b,sock-corrupt)) to worker VICTIM (default 0); $(docv) is \
-     KIND[:AFTER[:VICTIM]]. Repeatable; requires $(b,--workers). Results must stay \
-     byte-identical — this flag exists to prove it."
+     $(b,worker-hang), $(b,sock-corrupt), $(b,net-partition), $(b,net-slow), \
+     $(b,net-dup), $(b,auth-bad), $(b,worker-join) or $(b,worker-leave)) to worker \
+     VICTIM (default 0); $(docv) is KIND[:AFTER[:VICTIM]]. Repeatable; requires \
+     $(b,--workers). Results must stay byte-identical — this flag exists to prove it."
   in
   Arg.(value & opt_all shard_fault_conv [] & info [ "shard-fault" ] ~docv:"SPEC" ~doc)
 
@@ -616,7 +690,7 @@ let diameter_cmd =
       if confidence <> None then reject "--confidence";
       if bootstrap <> None then reject "--bootstrap";
       if sample_seed <> None then reject "--sample-seed";
-      if workers > 0 then
+      if sharded workers then
         usage_err "--workers requires --sample (the exact sharded engine is `omn delay-cdf')"
     end;
     let domains = Omn_parallel.Pool.resolve domains in
@@ -722,15 +796,19 @@ let diameter_cmd =
          [on_partial] hook hands every acknowledged partial back and the
          batch is re-ordered to the estimator's contract. *)
       let partials_of =
-        if workers = 0 then None
+        if not (sharded workers) then None
         else
           Some
             (fun batch ->
               let tbl = Hashtbl.create (List.length batch) in
+              let count, peers =
+                match workers with Wcount n -> (n, []) | Wpeers l -> (0, l)
+              in
               let cfg =
                 {
-                  (Shard.default ~workers) with
+                  (Shard.default ~workers:count) with
                   Shard.worker_domains = domains;
+                  peers;
                   on_partial = Some (fun s p -> Hashtbl.replace tbl s p);
                 }
               in
@@ -750,7 +828,7 @@ let diameter_cmd =
                               "worker returned no partial for a sampled source")))
                   batch)
       in
-      let est_domains = if workers > 0 then 1 else domains in
+      let est_domains = if sharded workers then 1 else domains in
       let outcome =
         Est.estimate ~epsilon ~max_hops ~sample ~seed:sample_seed ~ci_width ~confidence
           ~bootstrap ~grid ~domains:est_domains ?checkpoint ~resume ?budget_seconds:budget
@@ -871,14 +949,18 @@ let delay_cdf_cmd =
   in
   let run path preset seed ingest lenient max_hops domains checkpoint resume every budget
       metrics trace_out progress retries task_deadline quarantine workers hb_timeout
-      worker_ckpt_dir shard_faults output =
+      worker_ckpt_dir shard_faults listen auth_key worker_trace_cache output =
     protect_code @@ fun () ->
     if resume && checkpoint = None then usage_err "--resume requires --checkpoint FILE";
-    if workers > 0 && (checkpoint <> None || resume) then
+    if sharded workers && (checkpoint <> None || resume) then
       usage_err
         "--workers is incompatible with --checkpoint/--resume (workers keep their own \
          shard checkpoints; see --worker-ckpt-dir)";
-    if shard_faults <> [] && workers = 0 then usage_err "--shard-fault requires --workers";
+    if shard_faults <> [] && not (sharded workers) then
+      usage_err "--shard-fault requires --workers";
+    if (listen <> None || auth_key <> None || worker_trace_cache <> None)
+       && not (sharded workers)
+    then usage_err "--listen/--auth-key/--worker-trace-cache require --workers";
     let domains = Omn_parallel.Pool.resolve domains in
     let supervise = supervise_policy retries task_deadline quarantine in
     with_obs ?metrics ?trace_out @@ fun () ->
@@ -905,20 +987,32 @@ let delay_cdf_cmd =
     in
     let report, finish = progress_reporter ~enabled:progress "sources" in
     let outcome =
-      if workers > 0 then begin
+      if sharded workers then begin
+        let count, peers = match workers with Wcount n -> (n, []) | Wpeers l -> (0, l) in
         let cfg =
           {
-            (Shard.default ~workers) with
+            (Shard.default ~workers:count) with
             Shard.worker_domains = domains;
             heartbeat_timeout = hb_timeout;
             supervise = shard_supervise supervise;
             ckpt_dir = worker_ckpt_dir;
             budget_seconds = budget;
+            listen;
+            peers;
+            auth_key = auth_key_resolve auth_key;
+            worker_trace_cache;
             chaos =
               List.sort
                 (fun (a : Faultgen.shard_event) b -> compare a.after_results b.after_results)
                 shard_faults;
           }
+        in
+        (* a fault schedule needs the victim to still hold undispatched
+           work when the fault fires, or failover degenerates into a
+           socket-buffer race; pin the flow-control window like the
+           chaos harness does *)
+        let cfg =
+          if shard_faults = [] then cfg else { cfg with Shard.max_inflight = 2 }
         in
         match Shard.run ~max_hops ~grid cfg trace with
         | Error e -> Error e
@@ -926,7 +1020,7 @@ let delay_cdf_cmd =
           update_manifest (fun m ->
               {
                 m with
-                Omn_obs.Manifest.workers = Some workers;
+                Omn_obs.Manifest.workers = Some (workers_fleet workers);
                 shard_map_sha256 = Some stats.Shard.shard_map_sha256;
               });
           if stats.Shard.reassigned > 0 || stats.Shard.rejoins > 0 then
@@ -935,6 +1029,12 @@ let delay_cdf_cmd =
                rejoin(s), %d duplicate result(s) dropped@."
               stats.Shard.reassigned stats.Shard.spawns stats.Shard.rejoins
               stats.Shard.duplicates;
+          if stats.Shard.auth_rejects > 0 then
+            Format.eprintf "omn: shard auth: %d connection(s) rejected (E-AUTH)@."
+              stats.Shard.auth_rejects;
+          if stats.Shard.joins > 0 || stats.Shard.leaves > 0 then
+            Format.eprintf "omn: shard membership: %d join(s), %d leave(s)@."
+              stats.Shard.joins stats.Shard.leaves;
           Ok (curves, p)
       end
       else
@@ -967,7 +1067,7 @@ let delay_cdf_cmd =
       $ domains_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg $ budget_arg
       $ metrics_arg $ trace_out_arg $ progress_arg $ retries_arg $ task_deadline_arg
       $ quarantine_arg $ workers_arg $ heartbeat_timeout_arg $ worker_ckpt_dir_arg
-      $ shard_fault_arg $ output_arg)
+      $ shard_fault_arg $ listen_arg $ auth_key_arg $ worker_trace_cache_arg $ output_arg)
 
 (* --- delivery --- *)
 
@@ -1091,25 +1191,92 @@ let corrupt_cmd =
 let worker_cmd =
   let id =
     Arg.(
-      required
-      & opt (some int) None
-      & info [ "id" ] ~docv:"N" ~doc:"Worker index assigned by the coordinator.")
+      value
+      & opt int (-1)
+      & info [ "id" ] ~docv:"N"
+          ~doc:
+            "Worker index assigned by the coordinator. $(b,-1) (default) joins as a \
+             new member: the coordinator assigns the next free id.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Dial the coordinator at $(docv) (a Unix-domain socket path or \
+             $(b,host:port)) and redial on link loss.")
   in
   let sock =
     Arg.(
-      required
+      value
       & opt (some string) None
-      & info [ "sock" ] ~docv:"PATH" ~doc:"Coordinator's Unix-domain socket path.")
+      & info [ "sock" ] ~docv:"PATH"
+          ~doc:"Compatibility alias for $(b,--connect) with a Unix-domain socket path.")
   in
-  let run id sock = protect @@ fun () -> Omn_shard.Worker.main ~worker:id ~sock () in
+  let listen =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Listen on $(docv) ($(b,host:port), port $(b,0) picks a free one and \
+             prints it) and serve coordinator connections — the multi-machine worker \
+             shape ($(b,delay-cdf --workers host:port,...)).")
+  in
+  let auth_key =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "auth-key" ] ~docv:"KEY"
+          ~doc:
+            "Pre-shared key for the HMAC-SHA-256 handshake; defaults to \
+             $(b,OMN_SHARD_KEY) in the environment.")
+  in
+  let trace_cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed trace store: traces are kept by SHA-256 digest \
+             (CRC-framed, atomically written), so a rejoin or a later job over the \
+             same trace re-ships zero bytes.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"With $(b,--listen): exit after the first cleanly shut-down session.")
+  in
+  let run id connect sock listen auth_key trace_cache once =
+    protect @@ fun () ->
+    let mode =
+      match (connect, sock, listen) with
+      | Some a, None, None -> Omn_shard.Worker.Dial a
+      | None, Some p, None -> Omn_shard.Worker.Dial (Transport.Unix_path p)
+      | None, None, Some a -> Omn_shard.Worker.Listen a
+      | None, None, None -> usage_err "need one of --connect, --sock or --listen"
+      | _ -> usage_err "give only one of --connect, --sock or --listen"
+    in
+    match
+      Omn_shard.Worker.main ~worker:id ~mode
+        ?auth_key:(auth_key_resolve auth_key)
+        ?trace_cache ~once ()
+    with
+    | Ok () -> ()
+    | Error e -> raise (Err.Error e)
+  in
   Cmd.v
     (Cmd.info "worker"
        ~doc:
-         "Internal: shard worker process. Spawned by the coordinator behind $(b,delay-cdf \
-          --workers); connects back over the given Unix-domain socket, computes \
-          per-source partials on demand and ships them back CRC-framed. Not meant to be \
-          invoked by hand.")
-    Term.(const run $ id $ sock)
+         "Shard worker process. Either spawned by the coordinator behind $(b,delay-cdf \
+          --workers N) (it dials back over the coordinator's socket), or pre-started \
+          with $(b,--listen host:port) on another machine and named in $(b,delay-cdf \
+          --workers host:port,...). Computes per-source partials on demand and ships \
+          them back CRC-framed; authentication and protocol rejections exit 2 with a \
+          typed $(b,E-AUTH)/$(b,E-PROTO) error.")
+    Term.(const run $ id $ connect $ sock $ listen $ auth_key $ trace_cache $ once)
 
 (* --- chaos (resilience harness) --- *)
 
@@ -1301,7 +1468,70 @@ let chaos_cmd =
       Array.iter
         (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
         (Sys.readdir dir);
-      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+      (* 9-15. Multi-machine shapes over loopback TCP: authenticated
+         handshake on every link, link-level chaos, dynamic membership
+         and the digest-addressed trace store. Identity with the
+         single-process run is asserted by [run_shard] every time. *)
+      let key = "chaos-preshared-key" in
+      let tcp_cfg ?(workers = sh_workers) ?(chaos = []) ?worker_trace_cache () =
+        {
+          (sh_cfg ~workers ~chaos ()) with
+          Shard.listen = Some (Transport.Tcp ("127.0.0.1", 0));
+          auth_key = Some key;
+          worker_trace_cache;
+        }
+      in
+      let _ = run_shard "clean TCP run" (tcp_cfg ()) in
+      ok "TCP fleet bit-identical (auth on every link)";
+      let partition =
+        [ { Faultgen.after_results = 2; victim = 0; shard_fault = Faultgen.Net_partition } ]
+      in
+      let st = run_shard "net-partition run" (tcp_cfg ~chaos:partition ()) in
+      if st.Shard.partitions < 1 then fail "partition was never injected";
+      ok "partitioned link: no acked progress lost, merge identical";
+      let slow =
+        [ { Faultgen.after_results = 1; victim = 0; shard_fault = Faultgen.Net_slow } ]
+      in
+      let st = run_shard "net-slow run" (tcp_cfg ~chaos:slow ()) in
+      if st.Shard.heartbeat_misses > 0 then fail "slow link was declared dead";
+      ok "slow link delayed within bound, never declared dead";
+      let dup =
+        [ { Faultgen.after_results = 1; victim = 0; shard_fault = Faultgen.Net_dup } ]
+      in
+      let st = run_shard "net-dup run" (tcp_cfg ~chaos:dup ()) in
+      if st.Shard.duplicates < 1 then fail "duplicated result was not dropped";
+      ok "duplicated result dropped by at-most-once merge";
+      let bad =
+        [ { Faultgen.after_results = 1; victim = 0; shard_fault = Faultgen.Auth_bad } ]
+      in
+      let st = run_shard "auth-bad run" (tcp_cfg ~chaos:bad ()) in
+      if st.Shard.auth_rejects < 1 then fail "wrong-key joiner was not rejected";
+      ok "wrong-key joiner rejected typed (E-AUTH), run unaffected";
+      let membership =
+        [
+          { Faultgen.after_results = 1; victim = 0; shard_fault = Faultgen.Worker_join };
+          { Faultgen.after_results = 4; victim = 1; shard_fault = Faultgen.Worker_leave };
+        ]
+      in
+      let st = run_shard "membership run" (tcp_cfg ~chaos:membership ()) in
+      if st.Shard.joins < 1 then fail "worker-join was never admitted";
+      if st.Shard.leaves < 1 then fail "worker-leave never departed";
+      ok "join + leave mid-run, merge identical";
+      let store = Filename.temp_file "omn-chaos-store" "" in
+      Sys.remove store;
+      Unix.mkdir store 0o700;
+      let st = run_shard "cold-store run" (tcp_cfg ~worker_trace_cache:store ()) in
+      if st.Shard.trace_ship_bytes <= 0 then fail "cold store shipped no trace bytes";
+      let st = run_shard "warm-store run" (tcp_cfg ~worker_trace_cache:store ()) in
+      if st.Shard.trace_ship_bytes <> 0 then
+        fail "warm digest cache still shipped %d byte(s)" st.Shard.trace_ship_bytes;
+      if st.Shard.trace_cache_hits < sh_workers then fail "warm store missed a cache hit";
+      ok "digest store: warm workers re-ship zero trace bytes";
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat store f) with Sys_error _ -> ())
+        (Sys.readdir store);
+      try Unix.rmdir store with Unix.Unix_error _ -> ()
     end;
     Format.printf "chaos: all scenarios passed; exit %d (degraded-but-complete)@." exit_degraded;
     exit_degraded
@@ -1309,7 +1539,9 @@ let chaos_cmd =
   let shard_flag =
     let doc =
       "Also run the sharded-execution scenarios: worker-kill, worker-hang and \
-       sock-corrupt faults against multi-process runs (spawns real worker processes)."
+       sock-corrupt faults against multi-process runs, plus the loopback-TCP fleet \
+       under net-partition, net-slow, net-dup, auth-bad, membership changes and the \
+       digest-addressed trace store (spawns real worker processes)."
     in
     Arg.(value & flag & info [ "shard" ] ~doc)
   in

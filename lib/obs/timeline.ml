@@ -23,6 +23,11 @@ type event =
   | Frame_corrupt of { worker : int }
   | Reassign of { source : int; from_worker : int; to_worker : int }
   | Worker_rejoin of { worker : int; resumed : int }
+  | Member_join of { worker : int }
+  | Member_leave of { worker : int }
+  | Auth_reject of { reason : string }
+  | Trace_ship of { worker : int; bytes : int }
+  | Trace_cache_hit of { worker : int }
   | Sample_round of { round : int; sampled : int; width : float }
 
 type entry = { ts : float; ev : event }

@@ -57,6 +57,21 @@ type event =
   | Worker_rejoin of { worker : int; resumed : int }
       (** a respawned worker came back up, with [resumed] results
           recovered from its shard checkpoint *)
+  | Member_join of { worker : int }
+      (** a new worker was admitted into the consistent-hash ring
+          mid-run (dynamic membership) *)
+  | Member_leave of { worker : int }
+      (** a worker departed gracefully: its pending work was
+          reassigned, no respawn attempted *)
+  | Auth_reject of { reason : string }
+      (** an inbound connection failed the pre-shared-key handshake
+          (wrong key, replayed nonce, or version mismatch) *)
+  | Trace_ship of { worker : int; bytes : int }
+      (** the coordinator shipped the full trace text to a worker that
+          missed its digest cache *)
+  | Trace_cache_hit of { worker : int }
+      (** a worker already held the job's trace by digest — zero bytes
+          shipped *)
   | Sample_round of { round : int; sampled : int; width : float }
       (** one tightening round of the sampled diameter estimator:
           cumulative sources sampled and the CI width it achieved *)

@@ -119,6 +119,21 @@ let event_json ~t0 (domain, (e : Timeline.entry)) =
   | Worker_rejoin { worker; resumed } ->
     instant_event ~t0 ~tid ~name:"worker.rejoin" ~cat:"shard" ~ts:e.ts
       [ ("worker", Json.Int worker); ("resumed", Json.Int resumed) ]
+  | Member_join { worker } ->
+    instant_event ~t0 ~tid ~name:"member.join" ~cat:"shard" ~ts:e.ts
+      [ ("worker", Json.Int worker) ]
+  | Member_leave { worker } ->
+    instant_event ~t0 ~tid ~name:"member.leave" ~cat:"shard" ~ts:e.ts
+      [ ("worker", Json.Int worker) ]
+  | Auth_reject { reason } ->
+    instant_event ~t0 ~tid ~name:"auth.reject" ~cat:"shard" ~ts:e.ts
+      [ ("reason", Json.String reason) ]
+  | Trace_ship { worker; bytes } ->
+    instant_event ~t0 ~tid ~name:"trace.ship" ~cat:"shard" ~ts:e.ts
+      [ ("worker", Json.Int worker); ("bytes", Json.Int bytes) ]
+  | Trace_cache_hit { worker } ->
+    instant_event ~t0 ~tid ~name:"trace.cache_hit" ~cat:"shard" ~ts:e.ts
+      [ ("worker", Json.Int worker) ]
   | Sample_round { round; sampled; width } ->
     instant_event ~t0 ~tid ~name:"sample.round" ~cat:"sample" ~ts:e.ts
       [ ("round", Json.Int round); ("sampled", Json.Int sampled); ("width", Json.Float width) ]

@@ -8,6 +8,8 @@ type code =
   | Checkpoint
   | Usage
   | Compute
+  | Auth
+  | Proto
 
 type t = { code : code; msg : string; file : string option; line : int option }
 
@@ -26,6 +28,8 @@ let code_name = function
   | Checkpoint -> "E-CHECKPOINT"
   | Usage -> "E-USAGE"
   | Compute -> "E-COMPUTE"
+  | Auth -> "E-AUTH"
+  | Proto -> "E-PROTO"
 
 let exit_code = function Compute -> 1 | _ -> 2
 let in_file file e = match e.file with Some _ -> e | None -> { e with file = Some file }

@@ -17,6 +17,8 @@ type code =
   | Checkpoint  (** corrupt or incompatible checkpoint file *)
   | Usage  (** bad command-line usage or parameter *)
   | Compute  (** a computation failed *)
+  | Auth  (** shard authentication failure: wrong key, bad MAC, replayed nonce *)
+  | Proto  (** shard protocol mismatch: incompatible version or build *)
 
 type t = { code : code; msg : string; file : string option; line : int option }
 

@@ -283,14 +283,33 @@ let apply ~seed fault text =
    frame corrupted. The schedule is pure data; [Omn_shard.Coord]
    interprets it. *)
 
-type shard_fault = Worker_kill | Worker_hang | Sock_corrupt
+type shard_fault =
+  | Worker_kill
+  | Worker_hang
+  | Sock_corrupt
+  | Net_partition
+  | Net_slow
+  | Net_dup
+  | Auth_bad
+  | Worker_join
+  | Worker_leave
 
 let shard_fault_name = function
   | Worker_kill -> "worker-kill"
   | Worker_hang -> "worker-hang"
   | Sock_corrupt -> "sock-corrupt"
+  | Net_partition -> "net-partition"
+  | Net_slow -> "net-slow"
+  | Net_dup -> "net-dup"
+  | Auth_bad -> "auth-bad"
+  | Worker_join -> "worker-join"
+  | Worker_leave -> "worker-leave"
 
-let all_shard_faults = [ Worker_kill; Worker_hang; Sock_corrupt ]
+let all_shard_faults =
+  [
+    Worker_kill; Worker_hang; Sock_corrupt; Net_partition; Net_slow; Net_dup;
+    Auth_bad; Worker_join; Worker_leave;
+  ]
 let shard_fault_names = List.map shard_fault_name all_shard_faults
 
 let shard_fault_of_name s =

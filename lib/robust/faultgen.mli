@@ -60,8 +60,9 @@ val corpus : ?seed:int -> string -> (string * string) list
     transformations but {e events in time}: at a deterministic point in
     a sharded run — measured in acknowledged per-source results, the
     only monotone clock every run shares — a chosen worker is killed,
-    stopped, or has one wire frame corrupted. A schedule is pure data;
-    the shard coordinator interprets it. *)
+    stopped, partitioned, slowed, duplicated, joined or departed, or an
+    unauthenticated joiner knocks. A schedule is pure data; the shard
+    coordinator interprets it. *)
 
 type shard_fault =
   | Worker_kill  (** SIGKILL the worker process — a hard crash *)
@@ -72,6 +73,26 @@ type shard_fault =
       (** flip a byte inside the next result frame from that worker —
           the CRC check must reject it and the connection be treated as
           broken *)
+  | Net_partition
+      (** drop the worker's connection without touching the process —
+          a network partition; the worker must reconnect (or be timed
+          out and failed over), and an eventual rejoin must not
+          re-ship the trace or duplicate results *)
+  | Net_slow
+      (** delay processing of the worker's frames for a bounded window
+          shorter than the heartbeat timeout — a slow link must never
+          be declared dead *)
+  | Net_dup
+      (** process the worker's next result frame twice — a retransmit;
+          the at-most-once merge must drop the duplicate *)
+  | Auth_bad
+      (** launch an extra joiner with a wrong pre-shared key — it must
+          be rejected with a typed [E-AUTH] and leave the run's result
+          untouched *)
+  | Worker_join  (** admit a brand-new worker into the ring mid-run *)
+  | Worker_leave
+      (** graceful departure of the victim: reassign its pending work,
+          no respawn *)
 
 val shard_fault_name : shard_fault -> string
 val shard_fault_of_name : string -> shard_fault option

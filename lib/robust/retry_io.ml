@@ -40,6 +40,11 @@ let with_retries ?(attempts = 3) ?(delay = 0.01) ?(delay_max = 0.5) ?(seed = 0)
   in
   go 0
 
+let rec eintr f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
+
 let read_to_string ?attempts path =
   with_retries ?attempts ~op:"read" ~path (fun () -> Atomic_file.read_to_string path)
 

@@ -56,6 +56,13 @@ val with_retries :
     functions to run instantly. Raises [Invalid_argument] if
     [attempts < 1]. *)
 
+val eintr : (unit -> 'a) -> 'a
+(** [eintr f] runs [f], retrying immediately (no backoff, unbounded)
+    while it raises [Unix.EINTR]. For system calls like [select],
+    [waitpid] or [accept] that a signal may interrupt without any
+    progress being lost: a signal storm must not make the caller skip
+    a poll round or abandon a reap. Other exceptions propagate. *)
+
 val read_to_string : ?attempts:int -> string -> string
 (** {!Atomic_file.read_to_string} under {!with_retries}. *)
 

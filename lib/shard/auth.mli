@@ -1,0 +1,47 @@
+(** Pre-shared-key HMAC-SHA-256 handshake for shard connections.
+
+    Multi-machine fleets listen on TCP, so a connection is no longer
+    implicitly trusted the way a same-user Unix-domain socket is. When
+    both ends are configured with a key, the dialer and listener run a
+    three-message challenge–response over {!Frame}: mutual proof of
+    key possession via HMAC-SHA-256 over a transcript binding both
+    protocol versions, build identifiers and nonces. A wrong key, a
+    replayed client nonce, or a protocol/build mismatch is a typed
+    [E-AUTH] / [E-PROTO] error on {e both} sides (the rejecting side
+    ships the verdict in a final frame before closing) — never a
+    crash, a hang, or a silent accept. Without a key, no handshake
+    frames are exchanged at all (the Unix-domain default). *)
+
+val protocol_version : int
+(** Version of the handshake plus the [Proto] message set behind it;
+    peers with different values are rejected with [E-PROTO]. *)
+
+val default_build : string
+(** Build identifier exchanged in the handshake, derived from the
+    compiler version — [Marshal]-encoded messages are only safe
+    between identical runtimes, so a mismatch is refused up front. *)
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA-256 (hex, 64 chars) of a message under a key. Exposed for
+    tests. *)
+
+type state
+(** Listener-side handshake state: the set of client nonces already
+    accepted, consulted for replay rejection. One per listener. *)
+
+val state : unit -> state
+
+val client :
+  ?build:string -> key:string -> Unix.file_descr -> (unit, Omn_robust.Err.t) result
+(** Run the dialer side of the handshake on a fresh connection, before
+    any [Proto] traffic. *)
+
+val server :
+  ?build:string ->
+  state:state ->
+  key:string ->
+  Unix.file_descr ->
+  (unit, Omn_robust.Err.t) result
+(** Run the listener side on an accepted connection. On [Error] the
+    caller must drop the connection (a rejection frame has already
+    been sent best-effort). *)

@@ -4,8 +4,10 @@ module Trace_io = Omn_temporal.Trace_io
 module Supervise = Omn_resilience.Supervise
 module Faultgen = Omn_robust.Faultgen
 module Err = Omn_robust.Err
+module Retry_io = Omn_robust.Retry_io
 module Timeline = Omn_obs.Timeline
 module Metrics = Omn_obs.Metrics
+module Sha256 = Omn_obs.Sha256
 
 let m_spawns = Metrics.counter "shard.worker_spawns"
 let m_misses = Metrics.counter "shard.heartbeat_misses"
@@ -13,6 +15,13 @@ let m_corrupt = Metrics.counter "shard.frame_corrupt"
 let m_reassigned = Metrics.counter "shard.reassigned_sources"
 let m_rejoins = Metrics.counter "shard.worker_rejoins"
 let m_duplicates = Metrics.counter "shard.duplicate_results"
+let m_auth_rejects = Metrics.counter "shard.net.auth_rejects"
+let m_partitions = Metrics.counter "shard.net.partitions"
+let m_ship_bytes = Metrics.counter "shard.net.trace_bytes_shipped"
+let m_cache_hits = Metrics.counter "shard.net.trace_cache_hits"
+let m_dup_frames = Metrics.counter "shard.net.dup_frames"
+let m_joins = Metrics.counter "shard.members_joined"
+let m_leaves = Metrics.counter "shard.members_left"
 
 type spawn = Spawn_exec | Spawn_fork
 
@@ -31,6 +40,10 @@ type config = {
   budget_seconds : float option;
   chaos : Faultgen.shard_event list;
   sock_path : string option;
+  listen : Transport.addr option;
+  peers : Transport.addr list;
+  auth_key : string option;
+  worker_trace_cache : string option;
   on_partial : (Omn_temporal.Node.t -> Delay_cdf.partial -> unit) option;
 }
 
@@ -50,6 +63,10 @@ let default ~workers =
     budget_seconds = None;
     chaos = [];
     sock_path = None;
+    listen = None;
+    peers = [];
+    auth_key = None;
+    worker_trace_cache = None;
     on_partial = None;
   }
 
@@ -60,20 +77,35 @@ type stats = {
   reassigned : int;
   rejoins : int;
   duplicates : int;
+  auth_rejects : int;
+  partitions : int;
+  trace_ship_bytes : int;
+  trace_cache_hits : int;
+  joins : int;
+  leaves : int;
   shard_map_sha256 : string;
 }
+
+type kind = Spawned | Dialed of Transport.addr
 
 (* per-worker runtime state *)
 type wstate = {
   id : int;
-  mutable pid : int;  (* 0 = not running *)
+  kind : kind;
+  initial : bool;  (* part of the fleet the dispatch barrier waits for *)
+  mutable pid : int;  (* 0 = not running / not ours *)
   mutable conn : Unix.file_descr option;
   mutable ready : bool;
+  mutable had_ready : bool;  (* completed a handshake at least once *)
+  mutable shipped : bool;  (* trace bytes shipped in the current session *)
   mutable last_seen : float;
-  mutable respawns : int;  (* -1 before the first spawn *)
+  mutable respawns : int;  (* -1 before the first spawn / dial *)
   mutable next_spawn_at : float;
-  mutable gone : bool;  (* respawn budget exhausted *)
+  mutable gone : bool;  (* respawn / redial budget exhausted *)
+  mutable left : bool;  (* departed gracefully: never respawn *)
   mutable mangle_next : bool;  (* sock-corrupt chaos flag *)
+  mutable dup_next : bool;  (* net-dup chaos flag *)
+  mutable slow_until : float;  (* net-slow chaos window *)
   mutable inflight : int;  (* slots currently Assigned to this worker *)
 }
 
@@ -83,20 +115,60 @@ type sstate =
   | Acked of string
   | Degr of Supervise.failure
 
-let spawn_worker cfg ~sock ~id =
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* A peer that refused our credentials or speaks another protocol will
+   refuse every retry identically — abort. A handshake that timed out
+   or hit a dropped link may succeed on redial. *)
+let auth_fatal (e : Err.t) =
+  e.code = Err.Proto || contains e.msg "rejected by peer" || contains e.msg "key proof"
+
+let env_with_key key =
+  let keep s = not (String.length s >= 14 && String.equal (String.sub s 0 14) "OMN_SHARD_KEY=") in
+  let base = List.filter keep (Array.to_list (Unix.environment ())) in
+  Array.of_list (base @ [ "OMN_SHARD_KEY=" ^ key ])
+
+let spawn_worker ?key cfg ~connect ~id =
+  let key = match key with Some _ as k -> k | None -> cfg.auth_key in
   match cfg.spawn with
   | Spawn_exec ->
-    let argv = [| Sys.executable_name; "worker"; "--id"; string_of_int id; "--sock"; sock |] in
-    Unix.create_process Sys.executable_name argv Unix.stdin Unix.stdout Unix.stderr
+    let args =
+      (* glued [--id=N]: a joiner's id is -1, which an option parser
+         would otherwise read as an unknown flag *)
+      [ Sys.executable_name; "worker"; Printf.sprintf "--id=%d" id; "--connect";
+        Transport.to_string connect ]
+      @ (match cfg.worker_trace_cache with
+        | Some d -> [ "--trace-cache"; d ]
+        | None -> [])
+    in
+    let argv = Array.of_list args in
+    (match key with
+    | Some k ->
+      (* the key travels in the environment, not argv: ps must not
+         leak it *)
+      Unix.create_process_env Sys.executable_name argv (env_with_key k) Unix.stdin
+        Unix.stdout Unix.stderr
+    | None ->
+      Unix.create_process Sys.executable_name argv Unix.stdin Unix.stdout
+        Unix.stderr)
   | Spawn_fork -> (
     match Unix.fork () with
     | 0 ->
-      (try Worker.main ~worker:id ~sock () with _ -> ());
+      (try
+         ignore
+           (Worker.main ~worker:id ~mode:(Worker.Dial connect) ?auth_key:key
+              ?trace_cache:cfg.worker_trace_cache ())
+       with _ -> ());
       Unix._exit 0
     | pid -> pid)
 
 let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeofday) cfg trace =
-  if cfg.workers < 1 then Err.error Usage "shard: workers < 1"
+  let n_initial = cfg.workers + List.length cfg.peers in
+  if cfg.workers < 0 then Err.error Usage "shard: workers < 0"
+  else if n_initial < 1 then Err.error Usage "shard: no workers (spawned or peers)"
   else if cfg.heartbeat_timeout <= 0. || cfg.heartbeat_interval <= 0. then
     Err.error Usage "shard: non-positive heartbeat parameters"
   else if cfg.max_inflight < 1 then Err.error Usage "shard: max_inflight < 1"
@@ -120,10 +192,11 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
     let slots = Array.of_list order in
     let nslots = Array.length slots in
     let trace_text = Trace_io.to_string trace in
+    let trace_digest = Sha256.string trace_text in
     let fingerprint = Proto.job_fingerprint ~trace_text ~max_hops ~dests ~grid ~windows in
-    let ring = Ring.create ~vnodes:cfg.vnodes ~workers:cfg.workers () in
-    let all_workers = List.init cfg.workers Fun.id in
-    let shard_map_sha256 = Ring.map_sha256 ring ~alive:all_workers ~sources:order in
+    let ring = ref (Ring.create ~vnodes:cfg.vnodes ~workers:n_initial ()) in
+    let all_workers = List.init n_initial Fun.id in
+    let shard_map_sha256 = Ring.map_sha256 !ring ~alive:all_workers ~sources:order in
     let merge_result ~partial ~slot_state ~acked ~stats_of =
       let merger = Delay_cdf.merger_create ~max_hops ?grid () in
       let degraded = ref [] in
@@ -164,49 +237,82 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
         reassigned = 0;
         rejoins = 0;
         duplicates = 0;
+        auth_rejects = 0;
+        partitions = 0;
+        trace_ship_bytes = 0;
+        trace_cache_hits = 0;
+        joins = 0;
+        leaves = 0;
         shard_map_sha256;
       }
     in
     if nslots = 0 then merge_result ~partial:false ~slot_state:[||] ~acked:0 ~stats_of:empty_stats
     else begin
-      let sock =
-        match cfg.sock_path with
-        | Some p -> p
-        | None ->
-          Filename.concat (Filename.get_temp_dir_name ())
-            (Printf.sprintf "omn-shard-%d-%d.sock" (Unix.getpid ()) (Hashtbl.hash fingerprint))
+      let listen_addr =
+        match (cfg.listen, cfg.sock_path) with
+        | Some a, _ -> a
+        | None, Some p -> Transport.Unix_path p
+        | None, None ->
+          Transport.Unix_path
+            (Filename.concat (Filename.get_temp_dir_name ())
+               (Printf.sprintf "omn-shard-%d-%d.sock" (Unix.getpid ())
+                  (Hashtbl.hash fingerprint)))
       in
-      (try Unix.unlink sock with Unix.Unix_error _ -> ());
-      let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (match listen_addr with
+      | Transport.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+      | Transport.Tcp _ -> ());
       let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-      let restore () =
-        Sys.set_signal Sys.sigpipe old_sigpipe;
-        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-        try Unix.unlink sock with Unix.Unix_error _ -> ()
-      in
-      match
-        Unix.bind listen_fd (Unix.ADDR_UNIX sock);
-        Unix.listen listen_fd (cfg.workers + 4)
-      with
+      match Transport.listen ~backlog:(n_initial + 8) listen_addr with
       | exception Unix.Unix_error (e, _, _) ->
-        restore ();
-        Err.errorf Io "shard: cannot bind %s: %s" sock (Unix.error_message e)
-      | () ->
-        let ws =
-          Array.init cfg.workers (fun id ->
-              {
-                id;
-                pid = 0;
-                conn = None;
-                ready = false;
-                last_seen = 0.;
-                respawns = -1;
-                next_spawn_at = 0.;
-                gone = false;
-                mangle_next = false;
-                inflight = 0;
-              })
+        Sys.set_signal Sys.sigpipe old_sigpipe;
+        Err.errorf Io "shard: cannot bind %s: %s"
+          (Transport.to_string listen_addr)
+          (Unix.error_message e)
+      | listen_fd ->
+        let connect_addr = Transport.bound_addr listen_fd listen_addr in
+        let restore () =
+          Sys.set_signal Sys.sigpipe old_sigpipe;
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          match listen_addr with
+          | Transport.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+          | Transport.Tcp _ -> ()
         in
+        let new_wstate ~kind ~initial id =
+          {
+            id;
+            kind;
+            initial;
+            pid = 0;
+            conn = None;
+            ready = false;
+            had_ready = false;
+            shipped = false;
+            last_seen = 0.;
+            respawns = -1;
+            next_spawn_at = 0.;
+            gone = false;
+            left = false;
+            mangle_next = false;
+            dup_next = false;
+            slow_until = 0.;
+            inflight = 0;
+          }
+        in
+        let ws : (int, wstate) Hashtbl.t = Hashtbl.create 16 in
+        for id = 0 to cfg.workers - 1 do
+          Hashtbl.replace ws id (new_wstate ~kind:Spawned ~initial:true id)
+        done;
+        List.iteri
+          (fun i addr ->
+            let id = cfg.workers + i in
+            Hashtbl.replace ws id (new_wstate ~kind:(Dialed addr) ~initial:true id))
+          cfg.peers;
+        let next_id = ref n_initial in
+        let workers_sorted () =
+          Hashtbl.fold (fun _ w acc -> w :: acc) ws []
+          |> List.sort (fun a b -> compare a.id b.id)
+        in
+        let iter_workers f = List.iter f (workers_sorted ()) in
         let slot_state = Array.make nslots Pending in
         let acked = ref 0 and degraded_n = ref 0 in
         let st_spawns = ref 0
@@ -214,7 +320,13 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
         and st_corrupt = ref 0
         and st_reassigned = ref 0
         and st_rejoins = ref 0
-        and st_dups = ref 0 in
+        and st_dups = ref 0
+        and st_auth_rejects = ref 0
+        and st_partitions = ref 0
+        and st_ship_bytes = ref 0
+        and st_cache_hits = ref 0
+        and st_joins = ref 0
+        and st_leaves = ref 0 in
         let stats_of () =
           {
             spawns = !st_spawns;
@@ -223,57 +335,59 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
             reassigned = !st_reassigned;
             rejoins = !st_rejoins;
             duplicates = !st_dups;
+            auth_rejects = !st_auth_rejects;
+            partitions = !st_partitions;
+            trace_ship_bytes = !st_ship_bytes;
+            trace_cache_hits = !st_cache_hits;
+            joins = !st_joins;
+            leaves = !st_leaves;
             shard_map_sha256;
           }
         in
         let chaos = ref cfg.chaos in
+        let bad_pids = ref [] in
+        let fatal : Err.t option ref = ref None in
         let dispatched = ref false in
-        let job =
+        let auth_state = Auth.state () in
+        let job_for w =
           Proto.Job
             {
-              trace_text;
+              trace_digest;
+              worker = w;
               max_hops;
               dests;
               grid;
               windows;
               supervise = cfg.supervise;
               ckpt_path =
-                (match cfg.ckpt_dir with
-                | Some d ->
-                  (* the path is per worker-id; filled in at send time *)
-                  Some d
-                | None -> None);
+                Option.map
+                  (fun d -> Filename.concat d (Printf.sprintf "shard-worker-%d.ckpt" w))
+                  cfg.ckpt_dir;
               fingerprint;
               domains = cfg.worker_domains;
             }
         in
-        let job_for w =
-          match job with
-          | Proto.Job j ->
-            Proto.Job
-              {
-                j with
-                ckpt_path =
-                  Option.map
-                    (fun d -> Filename.concat d (Printf.sprintf "shard-worker-%d.ckpt" w))
-                    j.ckpt_path;
-              }
-          | m -> m
-        in
         let ready_ids () =
-          Array.to_list ws
-          |> List.filter_map (fun w -> if w.ready && w.conn <> None then Some w.id else None)
+          workers_sorted ()
+          |> List.filter_map (fun w ->
+                 if w.ready && w.conn <> None && not w.left then Some w.id else None)
         in
-        let rec kill_and_reap w =
-          (match w.conn with
+        let close_conn w =
+          match w.conn with
           | Some fd ->
             (try Unix.close fd with Unix.Unix_error _ -> ());
             w.conn <- None
-          | None -> ());
+          | None -> ()
+        in
+        let rec kill_and_reap w =
+          close_conn w;
           w.ready <- false;
           if w.pid > 0 then begin
             (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
-            (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+            (* a signal landing mid-waitpid must not abandon the reap
+               and leak a zombie *)
+            (try Retry_io.eintr (fun () -> ignore (Unix.waitpid [] w.pid))
+             with Unix.Unix_error _ -> ());
             w.pid <- 0
           end
         and send_to w msg =
@@ -286,15 +400,10 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
             with Unix.Unix_error _ ->
               handle_death w;
               false)
-        and handle_death w =
-          kill_and_reap w;
-          if w.respawns >= cfg.max_respawns then w.gone <- true
-          else
-            w.next_spawn_at <-
-              clock () +. (cfg.respawn_backoff *. (2. ** float_of_int (max 0 w.respawns)));
-          (* move this worker's unacknowledged sources to ring successors;
-             a successor at its in-flight window keeps the slot Pending and
-             the main loop's dispatch_pending sends it as acks free space *)
+        (* move this worker's unacknowledged sources to ring successors;
+           a successor at its in-flight window keeps the slot Pending and
+           the main loop's dispatch_pending sends it as acks free space *)
+        and reassign_assigned w =
           w.inflight <- 0;
           Array.iteri
             (fun i st ->
@@ -306,9 +415,9 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
                 let targets = ready_ids () in
                 if targets <> [] then begin
                   let source = slots.(i) in
-                  let to_worker = Ring.assign ring ~alive:targets source in
+                  let to_worker = Ring.assign !ring ~alive:targets source in
                   Timeline.record (Reassign { source; from_worker = w.id; to_worker });
-                  let succ = ws.(to_worker) in
+                  let succ = Hashtbl.find ws to_worker in
                   if
                     succ.inflight < cfg.max_inflight
                     && send_to succ (Proto.Compute { slot = i; source })
@@ -319,12 +428,61 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
                 end
               | _ -> ())
             slot_state
+        and handle_death w =
+          kill_and_reap w;
+          if w.left then ()
+          else if w.respawns >= cfg.max_respawns then w.gone <- true
+          else
+            w.next_spawn_at <-
+              clock () +. (cfg.respawn_backoff *. (2. ** float_of_int (max 0 w.respawns)));
+          reassign_assigned w
+        in
+        let handle_leave w =
+          if not w.left then begin
+            w.left <- true;
+            incr st_leaves;
+            Metrics.incr m_leaves;
+            Timeline.record (Member_leave { worker = w.id });
+            w.ready <- false;
+            reassign_assigned w;
+            ignore (send_to w Proto.Shutdown);
+            kill_and_reap w
+          end
+        in
+        (* drop the link, leave the process (if any) running: the worker
+           must reconnect — or be heartbeat-escalated into a real death *)
+        let partition w =
+          incr st_partitions;
+          Metrics.incr m_partitions;
+          close_conn w;
+          w.ready <- false;
+          w.last_seen <- clock ();
+          reassign_assigned w;
+          match w.kind with
+          | Dialed _ -> w.next_spawn_at <- clock ()
+          | Spawned -> ()
+        in
+        let auth_reject reason =
+          incr st_auth_rejects;
+          Metrics.incr m_auth_rejects;
+          Timeline.record (Auth_reject { reason })
+        in
+        let admit_join ~kind id =
+          let w = new_wstate ~kind ~initial:false id in
+          Hashtbl.replace ws id w;
+          ring := Ring.add !ring id;
+          incr st_joins;
+          Metrics.incr m_joins;
+          Timeline.record (Member_join { worker = id });
+          w
         in
         let dispatch_pending () =
           if not !dispatched then
             dispatched :=
-              Array.for_all (fun w -> w.gone || w.ready) ws
-              && Array.exists (fun w -> w.ready) ws;
+              List.for_all
+                (fun w -> (not w.initial) || w.gone || w.left || w.ready)
+                (workers_sorted ())
+              && List.exists (fun w -> w.ready) (workers_sorted ());
           if !dispatched then begin
             let targets = ready_ids () in
             if targets <> [] then
@@ -333,8 +491,8 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
                   match st with
                   | Pending ->
                     let source = slots.(i) in
-                    let to_worker = Ring.assign ring ~alive:targets source in
-                    let owner = ws.(to_worker) in
+                    let to_worker = Ring.assign !ring ~alive:targets source in
+                    let owner = Hashtbl.find ws to_worker in
                     if
                       owner.inflight < cfg.max_inflight
                       && send_to owner (Proto.Compute { slot = i; source })
@@ -351,21 +509,50 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
             match !chaos with
             | e :: rest when e.Faultgen.after_results <= !acked ->
               chaos := rest;
-              let w = ws.(e.victim mod cfg.workers) in
-              Timeline.record
-                (Mark
-                   {
-                     name =
-                       Printf.sprintf "chaos:%s:worker-%d"
-                         (Faultgen.shard_fault_name e.shard_fault)
-                         w.id;
-                   });
-              (match e.shard_fault with
-              | Faultgen.Worker_kill ->
-                if w.pid > 0 then ( try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
-              | Faultgen.Worker_hang ->
-                if w.pid > 0 then ( try Unix.kill w.pid Sys.sigstop with Unix.Unix_error _ -> ())
-              | Faultgen.Sock_corrupt -> w.mangle_next <- true);
+              let active = List.filter (fun w -> not (w.gone || w.left)) (workers_sorted ()) in
+              if active <> [] then begin
+                let w = List.nth active (e.victim mod List.length active) in
+                Timeline.record
+                  (Mark
+                     {
+                       name =
+                         Printf.sprintf "chaos:%s:worker-%d"
+                           (Faultgen.shard_fault_name e.shard_fault)
+                           w.id;
+                     });
+                match e.shard_fault with
+                | Faultgen.Worker_kill ->
+                  if w.pid > 0 then (
+                    try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
+                  else partition w (* remote process: a kill is a dead link *)
+                | Faultgen.Worker_hang ->
+                  if w.pid > 0 then (
+                    try Unix.kill w.pid Sys.sigstop with Unix.Unix_error _ -> ())
+                  else partition w
+                | Faultgen.Sock_corrupt -> w.mangle_next <- true
+                | Faultgen.Net_partition -> partition w
+                | Faultgen.Net_slow ->
+                  w.slow_until <-
+                    clock ()
+                    +. Float.min
+                         (4. *. cfg.heartbeat_interval)
+                         (cfg.heartbeat_timeout /. 4.)
+                | Faultgen.Net_dup -> w.dup_next <- true
+                | Faultgen.Auth_bad -> (
+                  match cfg.auth_key with
+                  | None -> () (* nothing to prove without a key *)
+                  | Some key ->
+                    bad_pids :=
+                      spawn_worker ~key:(key ^ "-wrong") cfg ~connect:connect_addr
+                        ~id:(-1)
+                      :: !bad_pids)
+                | Faultgen.Worker_join ->
+                  let id = !next_id in
+                  incr next_id;
+                  let j = admit_join ~kind:Spawned id in
+                  j.next_spawn_at <- clock ()
+                | Faultgen.Worker_leave -> handle_leave w
+              end;
               go ()
             | _ -> ()
           in
@@ -374,11 +561,33 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
         let handle_msg w msg =
           w.last_seen <- clock ();
           match (msg : Proto.from_worker) with
-          | Hello _ -> ()
+          | Hello _ ->
+            (* session start on a dialed connection (accepted ones
+               consume Hello in accept_conn) *)
+            w.ready <- false;
+            w.shipped <- false;
+            ignore (send_to w (job_for w.id))
           | Pong -> ()
+          | Need_trace { digest } ->
+            if String.equal digest trace_digest then begin
+              w.shipped <- true;
+              let bytes = String.length trace_text in
+              st_ship_bytes := !st_ship_bytes + bytes;
+              Metrics.add m_ship_bytes bytes;
+              Timeline.record (Trace_ship { worker = w.id; bytes });
+              ignore (send_to w (Proto.Trace_data { digest; text = trace_text }))
+            end
+            else handle_death w (* asking for some other trace: confused peer *)
+          | Leave _ -> handle_leave w
           | Ready { worker = _; resumed } ->
-            let rejoin = w.ready = false && w.respawns > 0 in
+            let rejoin = (not w.ready) && w.had_ready in
+            if not w.shipped then begin
+              incr st_cache_hits;
+              Metrics.incr m_cache_hits;
+              Timeline.record (Trace_cache_hit { worker = w.id })
+            end;
             w.ready <- true;
+            w.had_ready <- true;
             if rejoin then begin
               incr st_rejoins;
               Metrics.incr m_rejoins;
@@ -394,7 +603,9 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
                 Metrics.incr m_duplicates
               | Pending | Assigned _ ->
                 (match slot_state.(slot) with
-                | Assigned owner -> ws.(owner).inflight <- max 0 (ws.(owner).inflight - 1)
+                | Assigned owner ->
+                  let o = Hashtbl.find ws owner in
+                  o.inflight <- max 0 (o.inflight - 1)
                 | _ -> ());
                 slot_state.(slot) <- Acked partial;
                 incr acked;
@@ -409,7 +620,9 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
                 Metrics.incr m_duplicates
               | Pending | Assigned _ ->
                 (match slot_state.(slot) with
-                | Assigned owner -> ws.(owner).inflight <- max 0 (ws.(owner).inflight - 1)
+                | Assigned owner ->
+                  let o = Hashtbl.find ws owner in
+                  o.inflight <- max 0 (o.inflight - 1)
                 | _ -> ());
                 slot_state.(slot) <- Degr { Supervise.item = source; attempts; reason };
                 incr degraded_n;
@@ -420,6 +633,12 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
           match w.conn with
           | None -> ()
           | Some fd -> (
+            (* net-slow: delay processing of this worker's frames for a
+               bounded window strictly below the heartbeat timeout — a
+               slow link must never be declared dead *)
+            let now = clock () in
+            if now < w.slow_until then
+              Unix.sleepf (Float.min 0.2 (w.slow_until -. now));
             let mangle = w.mangle_next in
             w.mangle_next <- false;
             match Frame.read ~mangle fd with
@@ -433,62 +652,138 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
             | Ok s -> (
               match Proto.decode_from_worker s with
               | Error _ -> handle_death w
-              | Ok msg -> handle_msg w msg))
+              | Ok msg -> (
+                match msg with
+                | Proto.Result _ when w.dup_next ->
+                  (* net-dup: a retransmitted result frame — the second
+                     delivery must die in the duplicate check *)
+                  w.dup_next <- false;
+                  Metrics.incr m_dup_frames;
+                  handle_msg w msg;
+                  handle_msg w msg
+                | _ -> handle_msg w msg)))
+        in
+        let register_session w fd =
+          (match w.conn with
+          | Some old -> ( try Unix.close old with Unix.Unix_error _ -> ())
+          | None -> ());
+          w.conn <- Some fd;
+          w.ready <- false;
+          w.shipped <- false;
+          w.last_seen <- clock ()
         in
         let accept_conn () =
-          match Unix.accept listen_fd with
+          match Retry_io.eintr (fun () -> Unix.accept listen_fd) with
           | exception Unix.Unix_error _ -> ()
           | fd, _ -> (
-            (try
-               Unix.setsockopt_float fd Unix.SO_RCVTIMEO cfg.heartbeat_timeout;
-               Unix.setsockopt_float fd Unix.SO_SNDTIMEO cfg.heartbeat_timeout
+            (try Transport.set_deadline fd cfg.heartbeat_timeout
              with Unix.Unix_error _ -> ());
-            match Frame.read fd with
-            | Ok s -> (
-              match Proto.decode_from_worker s with
-              | Ok (Hello { worker }) when worker >= 0 && worker < cfg.workers && not ws.(worker).gone ->
-                let w = ws.(worker) in
-                (match w.conn with
-                | Some old -> ( try Unix.close old with Unix.Unix_error _ -> ())
-                | None -> ());
-                w.conn <- Some fd;
-                w.ready <- false;
-                w.last_seen <- clock ();
-                ignore (send_to w (job_for worker))
-              | _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
-            | Error _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+            let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+            let hello () =
+              match Frame.read fd with
+              | Ok s -> (
+                match Proto.decode_from_worker s with
+                | Ok (Hello { worker = -1 }) ->
+                  (* authenticated joiner: assign the next id and admit
+                     it into the ring *)
+                  let id = !next_id in
+                  incr next_id;
+                  let w = admit_join ~kind:Spawned id in
+                  register_session w fd;
+                  ignore (send_to w (job_for id))
+                | Ok (Hello { worker }) -> (
+                  match Hashtbl.find_opt ws worker with
+                  | Some w when (not w.gone) && not w.left ->
+                    register_session w fd;
+                    ignore (send_to w (job_for worker))
+                  | _ -> close ())
+                | Ok _ -> close ()
+                | Error _
+                  when String.length s >= 8
+                       && String.equal (String.sub s 0 8) "omn-auth" ->
+                  (* an authenticating dialer knocked on a key-less
+                     coordinator: typed rejection, not a silent drop *)
+                  (try
+                     Frame.write fd "omn-auth-err E-AUTH coordinator has no key configured"
+                   with _ -> ());
+                  auth_reject "peer attempted auth but no key is configured";
+                  close ()
+                | Error _ -> close ())
+              | Error _ -> close ()
+            in
+            match cfg.auth_key with
+            | Some key -> (
+              match Auth.server ~state:auth_state ~key fd with
+              | Ok () -> hello ()
+              | Error e ->
+                auth_reject e.Err.msg;
+                close ())
+            | None -> hello ())
+        in
+        let backoff_for w =
+          cfg.respawn_backoff *. (2. ** float_of_int (max 0 w.respawns))
         in
         let respawn_due () =
-          Array.iter
-            (fun w ->
-              if (not w.gone) && w.pid = 0 && clock () >= w.next_spawn_at then begin
-                w.respawns <- w.respawns + 1;
-                w.pid <- spawn_worker cfg ~sock ~id:w.id;
-                w.ready <- false;
-                w.last_seen <- clock ();
-                incr st_spawns;
-                Metrics.incr m_spawns;
-                Timeline.record (Worker_spawn { worker = w.id; pid = w.pid })
-              end)
-            ws
+          iter_workers (fun w ->
+              if (not w.gone) && not w.left then
+                match w.kind with
+                | Spawned ->
+                  if w.pid = 0 && w.conn = None && clock () >= w.next_spawn_at then begin
+                    w.respawns <- w.respawns + 1;
+                    w.pid <- spawn_worker cfg ~connect:connect_addr ~id:w.id;
+                    w.ready <- false;
+                    w.last_seen <- clock ();
+                    incr st_spawns;
+                    Metrics.incr m_spawns;
+                    Timeline.record (Worker_spawn { worker = w.id; pid = w.pid })
+                  end
+                | Dialed addr ->
+                  if w.conn = None && clock () >= w.next_spawn_at then begin
+                    w.respawns <- w.respawns + 1;
+                    match Transport.dial ~attempts:1 ~connect_timeout:cfg.heartbeat_timeout addr with
+                    | Ok fd -> (
+                      (try Transport.set_deadline fd cfg.heartbeat_timeout
+                       with Unix.Unix_error _ -> ());
+                      let authed =
+                        match cfg.auth_key with
+                        | Some key -> Auth.client ~key fd
+                        | None -> Ok ()
+                      in
+                      match authed with
+                      | Ok () ->
+                        register_session w fd;
+                        incr st_spawns;
+                        Metrics.incr m_spawns;
+                        Timeline.record (Worker_spawn { worker = w.id; pid = 0 })
+                      | Error e ->
+                        (try Unix.close fd with Unix.Unix_error _ -> ());
+                        if auth_fatal e then fatal := Some e
+                        else if w.respawns >= cfg.max_respawns then w.gone <- true
+                        else w.next_spawn_at <- clock () +. backoff_for w)
+                    | Error _ ->
+                      if w.respawns >= cfg.max_respawns then w.gone <- true
+                      else w.next_spawn_at <- clock () +. backoff_for w
+                  end)
         in
         let check_timeouts () =
-          Array.iter
-            (fun w ->
-              if w.pid > 0 && clock () -. w.last_seen > cfg.heartbeat_timeout then begin
+          iter_workers (fun w ->
+              if
+                (w.pid > 0 || w.conn <> None)
+                && (not w.left)
+                && clock () -. w.last_seen > cfg.heartbeat_timeout
+              then begin
                 incr st_misses;
                 Metrics.incr m_misses;
                 Timeline.record (Heartbeat_miss { worker = w.id });
                 handle_death w
               end)
-            ws
         in
         let last_ping = ref 0. in
         let heartbeats () =
           let now = clock () in
           if now -. !last_ping >= cfg.heartbeat_interval then begin
             last_ping := now;
-            Array.iter (fun w -> if w.ready then ignore (send_to w Proto.Ping)) ws
+            iter_workers (fun w -> if w.ready then ignore (send_to w Proto.Ping))
           end
         in
         let started = clock () in
@@ -496,50 +791,92 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
           match cfg.budget_seconds with Some b -> clock () -. started > b | None -> false
         in
         let shutdown_all () =
-          Array.iter
-            (fun w ->
-              ignore (match w.conn with Some _ -> send_to w Proto.Shutdown | None -> false))
-            ws;
-          Array.iter kill_and_reap ws;
+          iter_workers (fun w ->
+              ignore (match w.conn with Some _ -> send_to w Proto.Shutdown | None -> false));
+          iter_workers kill_and_reap;
+          List.iter
+            (fun pid ->
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              try Retry_io.eintr (fun () -> ignore (Unix.waitpid [] pid))
+              with Unix.Unix_error _ -> ())
+            !bad_pids;
           restore ()
         in
         let finish r =
           shutdown_all ();
           r
         in
+        let drain_bad_joiners () =
+          (* a chaos-injected wrong-key joiner may still be dialing when
+             the last result lands; its typed rejection is part of the
+             run's assertion surface, so keep servicing the listener
+             until each one has exited (the client exits on the
+             auth-err frame) or the heartbeat timeout passes *)
+          if !bad_pids <> [] then begin
+            let deadline = clock () +. cfg.heartbeat_timeout in
+            let alive pid =
+              match Retry_io.eintr (fun () -> Unix.waitpid [ Unix.WNOHANG ] pid) with
+              | 0, _ -> true
+              | _ -> false
+              | exception Unix.Unix_error _ -> false
+            in
+            let rec go () =
+              bad_pids := List.filter alive !bad_pids;
+              if !bad_pids <> [] && clock () < deadline then begin
+                (match
+                   Retry_io.eintr (fun () -> Unix.select [ listen_fd ] [] [] 0.05)
+                 with
+                | [], _, _ -> ()
+                | _ -> accept_conn ());
+                go ()
+              end
+            in
+            go ()
+          end
+        in
         let rec loop () =
-          if !acked + !degraded_n >= nslots then
+          if !acked + !degraded_n >= nslots then begin
+            drain_bad_joiners ();
             finish (merge_result ~partial:false ~slot_state ~acked:!acked ~stats_of)
+          end
           else if budget_expired () then
             finish (merge_result ~partial:true ~slot_state ~acked:!acked ~stats_of)
-          else if Array.for_all (fun w -> w.gone) ws then
-            finish
-              (Err.errorf Compute
-                 "shard: all %d workers lost (respawn budget exhausted) with %d/%d sources \
-                  unaccounted"
-                 cfg.workers
-                 (nslots - !acked - !degraded_n)
-                 nslots)
-          else begin
-            respawn_due ();
-            let conns = Array.to_list ws |> List.filter_map (fun w -> w.conn) in
-            let readable =
-              match Unix.select (listen_fd :: conns) [] [] (cfg.heartbeat_interval /. 2.) with
-              | r, _, _ -> r
-              | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
-            in
-            if List.memq listen_fd readable then accept_conn ();
-            Array.iter
-              (fun w ->
-                match w.conn with
-                | Some fd when List.memq fd readable -> handle_fd w
-                | _ -> ())
-              ws;
-            heartbeats ();
-            check_timeouts ();
-            dispatch_pending ();
-            loop ()
-          end
+          else
+            match !fatal with
+            | Some e -> finish (Error e)
+            | None ->
+              if List.for_all (fun w -> w.gone || w.left) (workers_sorted ()) then
+                finish
+                  (Err.errorf Compute
+                     "shard: all %d workers lost (respawn budget exhausted) with %d/%d sources \
+                      unaccounted"
+                     (Hashtbl.length ws)
+                     (nslots - !acked - !degraded_n)
+                     nslots)
+              else begin
+                respawn_due ();
+                let conns = workers_sorted () |> List.filter_map (fun w -> w.conn) in
+                let readable =
+                  (* EINTR must retry, not skip the poll: dropping a
+                     round under a signal storm starves last_seen and
+                     false-positives healthy workers *)
+                  match
+                    Retry_io.eintr (fun () ->
+                        Unix.select (listen_fd :: conns) [] []
+                          (cfg.heartbeat_interval /. 2.))
+                  with
+                  | r, _, _ -> r
+                in
+                if List.memq listen_fd readable then accept_conn ();
+                iter_workers (fun w ->
+                    match w.conn with
+                    | Some fd when List.memq fd readable -> handle_fd w
+                    | _ -> ());
+                heartbeats ();
+                check_timeouts ();
+                dispatch_pending ();
+                loop ()
+              end
         in
         (try loop ()
          with e ->

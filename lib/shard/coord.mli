@@ -1,21 +1,50 @@
 (** Shard coordinator: sources over worker processes, with failover.
 
-    [run] consistent-hashes the (stride-ordered) source list over [N]
-    worker processes ({!Ring}), streams [Compute] requests over
-    Unix-domain sockets ({!Frame}/{!Proto}), and folds the per-source
-    partials back together {e in slot order} — so the final curves are
+    [run] consistent-hashes the (stride-ordered) source list over the
+    worker fleet ({!Ring}), streams [Compute] requests over
+    CRC-framed connections ({!Frame}/{!Proto}) — Unix-domain sockets
+    for spawned same-host workers, authenticated TCP ({!Transport},
+    {!Auth}) for multi-machine fleets — and folds the per-source
+    partials back together {e in slot order}: the final curves are
     bit-identical to a single-process [Delay_cdf] run at any worker
-    count, under any failure schedule that still completes.
+    count, under any membership schedule and any failure schedule that
+    still completes.
+
+    Fleet shape: [workers] processes are spawned locally and dial back
+    in; [peers] are pre-started [omn worker --listen] processes the
+    coordinator dials (playing the {!Auth} {e client} on those links).
+    Both are part of the initial fleet the dispatch barrier waits for.
+    Additional members may join mid-run: an authenticated connection
+    whose [Hello] carries [worker = -1] is admitted, assigned the next
+    id, and added to the ring — only the moved arc's {e pending}
+    sources route to it; assigned sources are never recalled, so
+    at-most-once merging is preserved at any membership schedule.
+
+    Trace shipping is digest-addressed: the job carries the trace's
+    SHA-256, and only a worker that cannot produce the bytes locally
+    (memory, or its [--trace-cache] content store) asks for them via
+    [Need_trace]. A rejoining worker with a warm cache re-ships zero
+    bytes ([stats.trace_cache_hits]).
 
     Failure semantics:
-    - a worker that closes its connection, sends a corrupt frame, or
-      misses the heartbeat timeout (it may be hung — [SIGSTOP]ed — not
-      dead) is [SIGKILL]ed and reaped; its {e unacknowledged} sources
-      are reassigned to their ring successors; a bounded number of
-      respawns with exponential backoff brings it back, and its shard
-      checkpoint lets it resume rather than recompute;
-    - duplicate results (a reassignment race) are dropped at the
-      accounting table — a source is merged {e at most once};
+    - a spawned worker that closes its connection, sends a corrupt
+      frame, or misses the heartbeat timeout (it may be hung —
+      [SIGSTOP]ed — not dead) is [SIGKILL]ed and reaped; its
+      {e unacknowledged} sources are reassigned to their ring
+      successors; a bounded number of respawns with exponential
+      backoff brings it back, and its shard checkpoint lets it resume
+      rather than recompute;
+    - a dialed peer whose link drops is re-dialed under the same
+      bounded-backoff budget ([max_respawns]); a peer that {e rejects}
+      our credentials or speaks another protocol version aborts the
+      run with a typed [E-AUTH]/[E-PROTO] error (retrying an identical
+      handshake cannot succeed);
+    - an inbound connection that fails the pre-shared-key handshake is
+      rejected with a typed error frame, counted
+      ([stats.auth_rejects]), and closed — the run is unaffected;
+    - duplicate results (a reassignment race, or net-dup chaos) are
+      dropped at the accounting table — a source is merged {e at most
+      once};
     - a source that exhausts the worker-side supervision policy comes
       back as [Failed] and is excluded from the merge exactly like a
       quarantined source in the single-process driver ([progress.
@@ -29,23 +58,27 @@
 
     The chaos schedule ({!Omn_robust.Faultgen.shard_event}) is
     interpreted here: after the scheduled number of acknowledged
-    results, the victim worker is killed, stopped, or has its next
-    frame corrupted. All shard events (spawns, heartbeat misses, frame
-    corruptions, reassignments, rejoins) are recorded in
-    {!Omn_obs.Timeline} and counted in [Omn_obs.Metrics] under
-    [shard.*]. *)
+    results the victim is killed, stopped, frame-corrupted,
+    partitioned (link dropped, process kept — it must reconnect),
+    slowed (frames delayed within a bound strictly below the heartbeat
+    timeout — a slow link is never declared dead), duplicated
+    (net-dup), joined by an impostor with a wrong key (auth-bad),
+    grown (worker-join) or shrunk (worker-leave). All shard events are
+    recorded in {!Omn_obs.Timeline} and counted in [Omn_obs.Metrics]
+    under [shard.*] / [shard.net.*]. *)
 
 type spawn =
   | Spawn_exec
-      (** re-execute [Sys.executable_name worker --id I --sock PATH] —
-          the CLI path; requires the running binary to expose the
-          [worker] subcommand *)
+      (** re-execute [Sys.executable_name worker --id I --connect ADDR]
+          — the CLI path; requires the running binary to expose the
+          [worker] subcommand. The pre-shared key travels in the
+          [OMN_SHARD_KEY] environment variable, never argv *)
   | Spawn_fork
       (** [Unix.fork] and call {!Worker.main} in the child — the test
           path; only safe while no other domains are running *)
 
 type config = {
-  workers : int;
+  workers : int;  (** locally spawned workers (may be 0 with [peers]) *)
   worker_domains : int;  (** domain-pool size inside each worker *)
   vnodes : int;  (** ring points per worker *)
   max_inflight : int;
@@ -59,7 +92,8 @@ type config = {
   heartbeat_timeout : float;
       (** silence past this declares a worker dead; must exceed the
           longest single-source compute time *)
-  max_respawns : int;  (** respawns per worker after its first spawn *)
+  max_respawns : int;
+      (** respawns (or re-dials, for peers) per worker after its first *)
   respawn_backoff : float;  (** base respawn delay, doubled per respawn *)
   supervise : (int * float * float * int) option;
       (** worker-side policy (retries, backoff, backoff_max,
@@ -68,7 +102,18 @@ type config = {
       (** directory for per-worker shard checkpoints; created if missing *)
   budget_seconds : float option;
   chaos : Omn_robust.Faultgen.shard_event list;  (** must be ascending *)
-  sock_path : string option;  (** default: a fresh path under [TMPDIR] *)
+  sock_path : string option;
+      (** Unix listener path (default: a fresh path under [TMPDIR]);
+          ignored when [listen] is set *)
+  listen : Transport.addr option;
+      (** listener address; [Tcp (host, 0)] binds an ephemeral port
+          (spawned workers are pointed at the actually-bound one) *)
+  peers : Transport.addr list;
+      (** pre-started [omn worker --listen] addresses to dial *)
+  auth_key : string option;
+      (** pre-shared key: require the {!Auth} handshake on every link *)
+  worker_trace_cache : string option;
+      (** [--trace-cache] directory handed to spawned workers *)
   on_partial : (Omn_temporal.Node.t -> Omn_core.Delay_cdf.partial -> unit) option;
       (** observe each acknowledged per-source partial (in slot order,
           during the final merge) — the hook the sampled diameter
@@ -80,15 +125,26 @@ val default : workers:int -> config
 (** 1 domain per worker, 64 vnodes, a 32-source in-flight window,
     [Spawn_exec], 0.25 s heartbeat interval, 5 s timeout, 2 respawns
     with 0.1 s base backoff, no supervision retries, no checkpoints, no
-    budget, no chaos. *)
+    budget, no chaos, no peers, no auth, Unix-domain listener. *)
 
 type stats = {
-  spawns : int;  (** worker processes started, including respawns *)
+  spawns : int;
+      (** worker processes started (incl. respawns) and peer links
+          established (incl. re-dials) *)
   heartbeat_misses : int;
   frame_corrupts : int;
-  reassigned : int;  (** sources moved off a dead worker *)
-  rejoins : int;  (** respawned workers that completed the handshake *)
+  reassigned : int;  (** sources moved off a dead or partitioned worker *)
+  rejoins : int;
+      (** workers that completed a handshake again after having been
+          ready before (respawn or reconnect) *)
   duplicates : int;  (** duplicate results dropped by the acked table *)
+  auth_rejects : int;  (** inbound connections that failed the handshake *)
+  partitions : int;  (** chaos-injected link drops *)
+  trace_ship_bytes : int;  (** total trace bytes shipped to workers *)
+  trace_cache_hits : int;
+      (** sessions that reached [Ready] without any trace shipping *)
+  joins : int;  (** members admitted mid-run *)
+  leaves : int;  (** members departed gracefully mid-run *)
   shard_map_sha256 : string;
       (** digest of the initial source->worker assignment *)
 }
@@ -106,6 +162,6 @@ val run :
     Omn_robust.Err.t )
   result
 (** Same computation and defaults as {!Omn_core.Delay_cdf.compute},
-    executed across [config.workers] processes. [progress.ckpt_fallback]
-    is always [false] (worker checkpoints have their own generations).
+    executed across the worker fleet. [progress.ckpt_fallback] is
+    always [false] (worker checkpoints have their own generations).
     [clock] is the budget time base (default wall clock). *)

@@ -2,22 +2,33 @@
 
     Messages are OCaml values Marshalled to strings and shipped inside
     {!Frame} frames, which add the length prefix, version byte and
-    CRC-32. Marshal is safe here because both ends are always the
-    {e same binary} — the coordinator spawns workers by re-executing
-    itself (or forking) — and the frame CRC rejects corrupted bytes
-    before they reach [Marshal.from_string]. Decoding still catches
-    [Failure] defensively and returns [Error].
+    CRC-32. Marshal is safe here because both ends must be the {e same
+    build} — same-host fleets re-execute the coordinator binary, and
+    TCP peers prove build equality in the {!Auth} handshake before any
+    [Proto] traffic — and the frame CRC rejects corrupted bytes before
+    they reach [Marshal.from_string]. Decoding additionally catches
+    {e every} exception defensively and returns [Error] (fuzz-pinned):
+    a hostile or confused peer yields a typed drop, never a crash.
 
-    Handshake: worker connects and sends {!from_worker.Hello}; the
-    coordinator replies with {!to_worker.Job}; the worker loads its
-    shard checkpoint (if the fingerprint matches) and answers
+    Handshake: worker connects (authenticating first when a key is
+    set) and sends {!from_worker.Hello} — [worker = -1] asks the
+    coordinator to assign an id (dynamic join). The coordinator
+    replies with {!to_worker.Job}, which names the trace by digest
+    only; a worker that does not already hold those bytes (in memory
+    from a previous session, or in its [--trace-cache] store) answers
+    {!from_worker.Need_trace} and the coordinator ships one
+    {!to_worker.Trace_data}. The worker then loads its shard
+    checkpoint (if the fingerprint matches) and answers
     {!from_worker.Ready} with the number of cached results it resumed;
     only then does the coordinator stream [Compute] messages. *)
 
 type job = {
-  trace_text : string;
-      (** the full trace, via [Omn_temporal.Trace_io.to_string] —
-          [%.17g] float printing makes the round-trip bit-exact *)
+  trace_digest : string;
+      (** SHA-256 of the trace text ([Omn_temporal.Trace_io.to_string]
+          form, [%.17g] floats, so the round-trip is bit-exact); the
+          bytes travel separately in {!to_worker.Trace_data} and only
+          when the worker misses its cache *)
+  worker : int;  (** the id the coordinator assigned this connection *)
   max_hops : int;
   dests : int list option;
   grid : float array option;
@@ -35,6 +46,9 @@ type job = {
 
 type to_worker =
   | Job of job
+  | Trace_data of { digest : string; text : string }
+      (** full trace bytes, sent only in answer to [Need_trace]; the
+          worker verifies [Sha256.string text = digest] before use *)
   | Compute of { slot : int; source : int }
       (** [slot] is the position in the coordinator's merge order; the
           worker echoes it back untouched *)
@@ -43,12 +57,18 @@ type to_worker =
 
 type from_worker =
   | Hello of { worker : int }
+      (** [worker = -1]: a joiner asking to be assigned an id *)
+  | Need_trace of { digest : string }
+      (** cache miss: please ship the bytes for this digest *)
   | Ready of { worker : int; resumed : int }
   | Result of { slot : int; source : int; partial : string }
       (** [partial] is [Delay_cdf.partial_to_string] output — opaque
           here *)
   | Failed of { slot : int; source : int; attempts : int; reason : string }
       (** worker-side supervision exhausted its retries on this source *)
+  | Leave of { worker : int }
+      (** graceful departure: stop assigning to me, reassign my
+          in-flight sources, don't respawn me *)
   | Pong
 
 val encode_to_worker : to_worker -> string

@@ -1,27 +1,48 @@
-type t = { n_workers : int; points : (int * int) array (* (hash, worker), sorted *) }
+type t = {
+  members : int list; (* sorted, distinct *)
+  vnodes : int;
+  points : (int * int) array; (* (hash, worker), sorted *)
+}
 
 (* First 15 hex chars of SHA-256 = 60 bits — fits an OCaml int on every
    64-bit platform and is uniform enough for placement. *)
 let hash_str s = int_of_string ("0x" ^ String.sub (Omn_obs.Sha256.string s) 0 15)
 
+let worker_points ~vnodes w =
+  Array.init vnodes (fun v -> (hash_str (Printf.sprintf "worker:%d:vnode:%d" w v), w))
+
+let of_members ~vnodes members =
+  let members = List.sort_uniq compare members in
+  let points = Array.concat (List.map (worker_points ~vnodes) members) in
+  Array.sort compare points;
+  { members; vnodes; points }
+
 let create ?(vnodes = 64) ~workers () =
   if workers < 1 then invalid_arg "Ring.create: workers < 1";
   if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
-  let points =
-    Array.init (workers * vnodes) (fun i ->
-        let w = i / vnodes and v = i mod vnodes in
-        (hash_str (Printf.sprintf "worker:%d:vnode:%d" w v), w))
-  in
-  Array.sort compare points;
-  { n_workers = workers; points }
+  of_members ~vnodes (List.init workers (fun w -> w))
 
-let workers t = t.n_workers
+let members t = t.members
+let workers t = List.length t.members
+
+(* Membership changes rebuild the sorted point array from the member
+   set. A member's vnode positions depend only on its id, so adding or
+   removing worker w inserts or deletes exactly w's points — every
+   other source→worker edge is untouched (the "only the moved arc"
+   property the membership tests pin). *)
+let add t w =
+  if w < 0 then invalid_arg "Ring.add: negative worker";
+  if List.mem w t.members then t else of_members ~vnodes:t.vnodes (w :: t.members)
+
+let remove t w =
+  if not (List.mem w t.members) then t
+  else if List.length t.members = 1 then invalid_arg "Ring.remove: last member"
+  else of_members ~vnodes:t.vnodes (List.filter (fun m -> m <> w) t.members)
 
 let assign t ~alive source =
   if alive = [] then invalid_arg "Ring.assign: no alive workers";
   List.iter
-    (fun w ->
-      if w < 0 || w >= t.n_workers then invalid_arg "Ring.assign: unknown worker")
+    (fun w -> if not (List.mem w t.members) then invalid_arg "Ring.assign: unknown worker")
     alive;
   let h = hash_str (Printf.sprintf "source:%d" source) in
   let n = Array.length t.points in

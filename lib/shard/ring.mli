@@ -12,21 +12,40 @@
     Placement is pure metadata here: it decides which worker {e
     computes} a source, never how results are merged, so the final
     curves are bit-identical at any worker count or death schedule (the
-    coordinator merges per-source partials in slot order). *)
+    coordinator merges per-source partials in slot order).
+
+    Membership is dynamic: {!add} and {!remove} insert or delete one
+    member's vnode points, leaving every other source→worker edge
+    untouched — a join moves only the arcs the new member now owns, a
+    leave moves only the departed member's arcs to their successors. *)
 
 type t
 
 val create : ?vnodes:int -> workers:int -> unit -> t
-(** [vnodes] defaults to 64 points per worker. Raises
-    [Invalid_argument] on [workers < 1] or [vnodes < 1]. *)
+(** Members [0 .. workers-1], [vnodes] points each (default 64).
+    Raises [Invalid_argument] on [workers < 1] or [vnodes < 1]. *)
 
 val workers : t -> int
+(** Current member count. *)
+
+val members : t -> int list
+(** Current member ids, sorted ascending. *)
+
+val add : t -> int -> t
+(** Ring with worker [w] as a member (no-op if already present); a
+    member's point positions depend only on its id, so only the new
+    member's arcs change owner. Raises [Invalid_argument] on a
+    negative id. *)
+
+val remove : t -> int -> t
+(** Ring without worker [w] (no-op if absent). Raises
+    [Invalid_argument] when removing the last member. *)
 
 val assign : t -> alive:int list -> int -> int
 (** [assign t ~alive source]: the owning worker among [alive]
     (successor walk past points owned by dead workers). Deterministic
     in [(t, alive, source)]. Raises [Invalid_argument] when [alive] is
-    empty or names an unknown worker. *)
+    empty or names a non-member. *)
 
 val map_sha256 : t -> alive:int list -> sources:int list -> string
 (** Digest of the full assignment [source -> worker] over [sources],

@@ -1,0 +1,62 @@
+(* Content-addressed trace store: one file per trace, named by the
+   trace's SHA-256 and framed magic + payload + CRC-32 like a
+   checkpoint. Entries are immutable (the name IS the content), so
+   there is no rotation; writes are atomic (temp + rename under
+   Retry_io) and a reader validates both the CRC frame and the digest
+   before trusting a hit — a corrupted cache entry is a miss, never a
+   wrong trace. *)
+
+module Err = Omn_robust.Err
+module Checkpoint = Omn_robust.Checkpoint
+module Retry_io = Omn_robust.Retry_io
+module Sha256 = Omn_obs.Sha256
+
+let magic = "omn-trace-store 1\n"
+
+let valid_digest d =
+  String.length d = 64
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) d
+
+let path ~dir ~digest = Filename.concat dir (digest ^ ".trace")
+
+let mkdirs dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let get ~dir ~digest =
+  if not (valid_digest digest) then None
+  else
+    let p = path ~dir ~digest in
+    if not (Sys.file_exists p) then None
+    else
+      match Retry_io.read_to_string p with
+      | exception Sys_error _ -> None
+      | data -> (
+        match Checkpoint.decode ~magic ~path:p data with
+        | Error _ -> None
+        | Ok payload ->
+          if String.equal (Sha256.string payload) digest then Some payload
+          else None)
+
+let put ~dir ~digest text =
+  if not (valid_digest digest) then
+    Err.errorf Checkpoint "trace store: malformed digest %S" digest
+  else if not (String.equal (Sha256.string text) digest) then
+    Err.errorf Checkpoint "trace store: payload does not match digest %s" digest
+  else begin
+    mkdirs dir;
+    let p = path ~dir ~digest in
+    match
+      Retry_io.write p (fun oc ->
+          output_string oc magic;
+          output_string oc text;
+          output_string oc (Checkpoint.crc32_hex text))
+    with
+    | () -> Ok ()
+    | exception Sys_error msg -> Err.error ~file:p Io msg
+  end

@@ -1,0 +1,25 @@
+(** Content-addressed trace store for digest-addressed shipping.
+
+    Workers receive the job's trace by its SHA-256 digest and fetch the
+    bytes from this store when they have them ([--trace-cache DIR]),
+    asking the coordinator to ship the full text only on a miss — so a
+    rejoining or resuming worker re-ships zero bytes. Entries are
+    CRC-framed like checkpoints, written atomically, and verified
+    against the digest on read: corruption is a miss (re-fetch), never
+    a wrong trace. *)
+
+val magic : string
+(** File magic, ["omn-trace-store 1\n"]. *)
+
+val path : dir:string -> digest:string -> string
+(** [DIR/<digest>.trace]. *)
+
+val get : dir:string -> digest:string -> string option
+(** The stored trace text, or [None] if absent, CRC-invalid, or not
+    actually hashing to [digest]. *)
+
+val put :
+  dir:string -> digest:string -> string -> (unit, Omn_robust.Err.t) result
+(** Store a trace under its digest (creating [dir] if needed).
+    [E-CHECKPOINT] if the text does not hash to [digest];
+    [E-IO] on write failure. *)

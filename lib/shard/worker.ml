@@ -3,26 +3,18 @@ module Trace_io = Omn_temporal.Trace_io
 module Supervise = Omn_resilience.Supervise
 module Pool = Omn_parallel.Pool
 module Checkpoint = Omn_robust.Checkpoint
+module Retry_io = Omn_robust.Retry_io
 module Err = Omn_robust.Err
+module Sha256 = Omn_obs.Sha256
 
 let ckpt_magic = "omn-shard-ckpt 1\n"
 
-(* The coordinator binds the socket before spawning, but the spawned
-   process can still race the listen() call on a loaded box. *)
-let connect ~sock =
-  let rec go attempt =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX sock) with
-    | () -> fd
-    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when attempt < 100 ->
-      Unix.close fd;
-      Unix.sleepf 0.05;
-      go (attempt + 1)
-    | exception e ->
-      Unix.close fd;
-      raise e
-  in
-  go 0
+type mode = Dial of Transport.addr | Listen of Transport.addr
+
+(* A silent TCP peer (e.g. its machine vanished without a FIN) must not
+   hang a blocking read forever; the coordinator pings every heartbeat
+   interval, so half a minute of silence means the link is gone. *)
+let read_deadline = 30.
 
 let load_cache ~path ~fingerprint =
   let validate payload =
@@ -40,119 +32,263 @@ let save_cache ~path ~fingerprint cache =
   let entries = List.sort compare entries in
   Checkpoint.save ~magic:ckpt_magic ~path (Marshal.to_string (fingerprint, entries) [])
 
-let main ~worker ~sock () =
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let fd = connect ~sock in
+(* State that outlives one coordinator session: traces by digest and
+   result caches by job fingerprint. A partitioned worker that redials
+   finds both intact, so a rejoin re-ships zero trace bytes and
+   recomputes zero sources even without --trace-cache. *)
+type persist = {
+  traces : (string, Omn_temporal.Trace.t * string) Hashtbl.t;
+  results : (string, (int, string) Hashtbl.t) Hashtbl.t;
+}
+
+(* One coordinator session on a connected descriptor: Hello, Job,
+   trace negotiation, Ready, then the compute/heartbeat serve loop.
+   [`Done] is a clean Shutdown; [`Lost] any broken-link shape (EOF,
+   corrupt frame, timeout during setup, I/O error) — the caller
+   decides whether to redial. *)
+let session ~persist ~trace_cache ~worker fd =
   let send m = Frame.write fd (Proto.encode_from_worker m) in
-  send (Hello { worker });
-  let job =
+  let read_msg () =
     match Frame.read fd with
     | Ok s -> (
-      match Proto.decode_to_worker s with
-      | Ok (Job j) -> Some j
-      | Ok _ | Error _ -> None)
-    | Error _ -> None
+      match Proto.decode_to_worker s with Ok m -> `Msg m | Error _ -> `Lost)
+    | Error (`Eof | `Corrupt) -> `Lost
+    | Error `Timeout -> `Timeout
   in
-  match job with
-  | None -> Unix.close fd
-  | Some job ->
-    let trace = Trace_io.of_string job.trace_text in
-    let policy =
-      match job.supervise with
-      | Some (retries, backoff, backoff_max, jitter_seed) ->
-        { Supervise.default with retries; backoff; backoff_max; jitter_seed }
-      | None -> { Supervise.default with retries = 0 }
+  try
+    send (Proto.Hello { worker = !worker });
+    let rec await_job () =
+      match read_msg () with
+      | `Msg (Proto.Job j) -> `Job j
+      | `Msg Proto.Ping ->
+        send Proto.Pong;
+        await_job ()
+      | `Msg Proto.Shutdown -> `Done
+      | `Msg _ | `Lost | `Timeout -> `Lost
     in
-    let cache : (int, string) Hashtbl.t = Hashtbl.create 64 in
-    (match job.ckpt_path with
-    | Some p ->
-      List.iter (fun (s, v) -> Hashtbl.replace cache s v) (load_cache ~path:p ~fingerprint:job.fingerprint)
-    | None -> ());
-    send (Ready { worker; resumed = Hashtbl.length cache });
-    let pool = if job.domains > 1 then Some (Pool.create ~domains:job.domains ()) else None in
-    let compute_source source =
-      Delay_cdf.source_partial ~max_hops:job.max_hops ?dests:job.dests ?grid:job.grid
-        ?windows:job.windows trace source
-      |> Delay_cdf.partial_to_string
-    in
-    (* Batch order = arrival order; the cache is read-only during the
-       pool run and mutated only afterwards, on this domain. *)
-    let run_batch batch =
-      let arr = Array.of_list batch in
-      let out =
-        Pool.run ?pool
-          (fun (slot, source) ->
-            match Hashtbl.find_opt cache source with
-            | Some s -> Ok (slot, source, s, true)
-            | None -> (
-              match Supervise.run_task policy ~item:source (fun () -> compute_source source) with
-              | Ok s -> Ok (slot, source, s, false)
-              | Error f -> Error (slot, source, f)))
-          arr
+    match await_job () with
+    | `Done -> `Done
+    | `Lost -> `Lost
+    | `Job job -> (
+      worker := job.Proto.worker;
+      let id = job.Proto.worker in
+      let memoize text =
+        let t = Trace_io.of_string text in
+        Hashtbl.replace persist.traces job.trace_digest (t, text);
+        t
       in
-      let dirty = ref false in
-      Array.iter
-        (function
-          | Ok (_, source, s, false) ->
-            Hashtbl.replace cache source s;
-            dirty := true
-          | Ok _ | Error _ -> ())
-        out;
-      (match job.ckpt_path with
-      | Some p when !dirty -> save_cache ~path:p ~fingerprint:job.fingerprint cache
-      | _ -> ());
-      Array.iter
-        (fun r ->
-          send
-            (match r with
-            | Ok (slot, source, partial, _) -> Result { slot; source; partial }
-            | Error (slot, source, (f : Supervise.failure)) ->
-              Failed { slot; source; attempts = f.attempts; reason = f.reason }))
-        out
-    in
-    (* Cap batches so queued Pings are answered between pool runs — a
-       worker deep in a huge batch must not look heartbeat-dead. *)
-    let batch_cap = max 8 (2 * job.domains) in
-    let pending = ref [] in
-    let flush () =
-      if !pending <> [] then begin
-        let rec take k = function
-          | x :: rest when k > 0 ->
-            let batch, keep = take (k - 1) rest in
-            (x :: batch, keep)
-          | rest -> ([], rest)
+      let trace =
+        match Hashtbl.find_opt persist.traces job.trace_digest with
+        | Some (t, _) -> `Trace t
+        | None -> (
+          match
+            Option.bind trace_cache (fun dir ->
+                Store.get ~dir ~digest:job.trace_digest)
+          with
+          | Some text -> `Trace (memoize text)
+          | None ->
+            send (Proto.Need_trace { digest = job.trace_digest });
+            let rec await_trace () =
+              match read_msg () with
+              | `Msg (Proto.Trace_data { digest; text })
+                when String.equal digest job.trace_digest ->
+                if String.equal (Sha256.string text) digest then begin
+                  (match trace_cache with
+                  | Some dir -> ignore (Store.put ~dir ~digest text)
+                  | None -> ());
+                  `Trace (memoize text)
+                end
+                else `Lost (* shipped bytes don't hash to the digest *)
+              | `Msg Proto.Ping ->
+                send Proto.Pong;
+                await_trace ()
+              | `Msg Proto.Shutdown -> `Done
+              | `Msg _ | `Lost | `Timeout -> `Lost
+            in
+            await_trace ())
+      in
+      match trace with
+      | `Done -> `Done
+      | `Lost -> `Lost
+      | `Trace trace ->
+        let policy =
+          match job.supervise with
+          | Some (retries, backoff, backoff_max, jitter_seed) ->
+            { Supervise.default with retries; backoff; backoff_max; jitter_seed }
+          | None -> { Supervise.default with retries = 0 }
         in
-        let batch, keep = take batch_cap (List.rev !pending) in
-        run_batch batch;
-        pending := List.rev keep
-      end
-    in
-    let readable () =
-      match Unix.select [ fd ] [] [] 0. with [ _ ], _, _ -> true | _ -> false
-    in
-    let rec loop () =
-      if !pending <> [] && not (readable ()) then begin
-        flush ();
-        loop ()
-      end
-      else
-        match Frame.read fd with
-        | Error (`Eof | `Corrupt) -> () (* coordinator gone: orderly exit *)
-        | Error `Timeout ->
-          flush ();
-          loop ()
-        | Ok s -> (
-          match Proto.decode_to_worker s with
-          | Error _ -> ()
-          | Ok Ping ->
-            send Pong;
+        let cache =
+          match Hashtbl.find_opt persist.results job.fingerprint with
+          | Some c -> c
+          | None ->
+            let c : (int, string) Hashtbl.t = Hashtbl.create 64 in
+            Hashtbl.replace persist.results job.fingerprint c;
+            c
+        in
+        (match job.ckpt_path with
+        | Some p ->
+          List.iter
+            (fun (s, v) -> if not (Hashtbl.mem cache s) then Hashtbl.replace cache s v)
+            (load_cache ~path:p ~fingerprint:job.fingerprint)
+        | None -> ());
+        send (Ready { worker = id; resumed = Hashtbl.length cache });
+        let pool =
+          if job.domains > 1 then Some (Pool.create ~domains:job.domains ()) else None
+        in
+        let compute_source source =
+          Delay_cdf.source_partial ~max_hops:job.max_hops ?dests:job.dests
+            ?grid:job.grid ?windows:job.windows trace source
+          |> Delay_cdf.partial_to_string
+        in
+        (* Batch order = arrival order; the cache is read-only during the
+           pool run and mutated only afterwards, on this domain. *)
+        let run_batch batch =
+          let arr = Array.of_list batch in
+          let out =
+            Pool.run ?pool
+              (fun (slot, source) ->
+                match Hashtbl.find_opt cache source with
+                | Some s -> Ok (slot, source, s, true)
+                | None -> (
+                  match
+                    Supervise.run_task policy ~item:source (fun () ->
+                        compute_source source)
+                  with
+                  | Ok s -> Ok (slot, source, s, false)
+                  | Error f -> Error (slot, source, f)))
+              arr
+          in
+          let dirty = ref false in
+          Array.iter
+            (function
+              | Ok (_, source, s, false) ->
+                Hashtbl.replace cache source s;
+                dirty := true
+              | Ok _ | Error _ -> ())
+            out;
+          (match job.ckpt_path with
+          | Some p when !dirty -> save_cache ~path:p ~fingerprint:job.fingerprint cache
+          | _ -> ());
+          Array.iter
+            (fun r ->
+              send
+                (match r with
+                | Ok (slot, source, partial, _) -> Proto.Result { slot; source; partial }
+                | Error (slot, source, (f : Supervise.failure)) ->
+                  Failed { slot; source; attempts = f.attempts; reason = f.reason }))
+            out
+        in
+        (* Cap batches so queued Pings are answered between pool runs — a
+           worker deep in a huge batch must not look heartbeat-dead. *)
+        let batch_cap = max 8 (2 * job.domains) in
+        let pending = ref [] in
+        let flush () =
+          if !pending <> [] then begin
+            let rec take k = function
+              | x :: rest when k > 0 ->
+                let batch, keep = take (k - 1) rest in
+                (x :: batch, keep)
+              | rest -> ([], rest)
+            in
+            let batch, keep = take batch_cap (List.rev !pending) in
+            run_batch batch;
+            pending := List.rev keep
+          end
+        in
+        let readable () =
+          match Retry_io.eintr (fun () -> Unix.select [ fd ] [] [] 0.) with
+          | [ _ ], _, _ -> true
+          | _ -> false
+        in
+        let rec loop () =
+          if !pending <> [] && not (readable ()) then begin
+            flush ();
             loop ()
-          | Ok Shutdown -> ()
-          | Ok (Compute { slot; source }) ->
-            pending := (slot, source) :: !pending;
-            loop ()
-          | Ok (Job _) -> loop ())
+          end
+          else
+            match Frame.read fd with
+            | Error (`Eof | `Corrupt) -> `Lost (* link gone: maybe redial *)
+            | Error `Timeout ->
+              flush ();
+              loop ()
+            | Ok s -> (
+              match Proto.decode_to_worker s with
+              | Error _ -> `Lost
+              | Ok Ping ->
+                send Pong;
+                loop ()
+              | Ok Shutdown -> `Done
+              | Ok (Compute { slot; source }) ->
+                pending := (slot, source) :: !pending;
+                loop ()
+              | Ok (Job _ | Trace_data _) -> loop ())
+        in
+        let outcome = try loop () with Unix.Unix_error _ -> `Lost in
+        (match pool with Some p -> Pool.shutdown p | None -> ());
+        outcome)
+  with Unix.Unix_error _ -> `Lost
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let main ~worker ~mode ?auth_key ?trace_cache ?(once = false) () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let persist = { traces = Hashtbl.create 4; results = Hashtbl.create 4 } in
+  let id = ref worker in
+  match mode with
+  | Dial addr ->
+    (* First connect gets the generous race budget (the coordinator may
+       still be binding); redials after a lost link get a short one —
+       if the coordinator is really gone, exiting cleanly is correct. *)
+    let rec go ~dials ~attempts =
+      match Transport.dial ~attempts ~connect_timeout:10. addr with
+      | Error e -> if dials = 0 then Error e else Ok ()
+      | Ok fd -> (
+        let authed =
+          match auth_key with Some key -> Auth.client ~key fd | None -> Ok ()
+        in
+        match authed with
+        | Error e ->
+          close_noerr fd;
+          Error e
+        | Ok () ->
+          (match addr with
+          | Transport.Tcp _ -> Transport.set_deadline fd read_deadline
+          | Transport.Unix_path _ -> ());
+          let outcome = session ~persist ~trace_cache ~worker:id fd in
+          close_noerr fd;
+          (match outcome with
+          | `Done -> Ok ()
+          | `Lost when dials < 1000 -> go ~dials:(dials + 1) ~attempts:20
+          | `Lost -> Ok ()))
     in
-    (try loop () with Unix.Unix_error _ -> ());
-    (match pool with Some p -> Pool.shutdown p | None -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ())
+    go ~dials:0 ~attempts:100
+  | Listen addr ->
+    let lfd = Transport.listen addr in
+    Printf.eprintf "omn worker: listening on %s\n%!"
+      (Transport.to_string (Transport.bound_addr lfd addr));
+    let auth_state = Auth.state () in
+    let rec accept_loop () =
+      let fd, _ = Retry_io.eintr (fun () -> Unix.accept lfd) in
+      Transport.set_deadline fd read_deadline;
+      let authed =
+        match auth_key with
+        | Some key -> Auth.server ~state:auth_state ~key fd
+        | None -> Ok ()
+      in
+      match authed with
+      | Error e ->
+        (* typed rejection already shipped to the peer; this listener
+           keeps serving *)
+        Printf.eprintf "omn worker: %s\n%!" (Err.to_string e);
+        close_noerr fd;
+        accept_loop ()
+      | Ok () -> (
+        let outcome = session ~persist ~trace_cache ~worker:id fd in
+        close_noerr fd;
+        match outcome with
+        | `Done when once ->
+          close_noerr lfd;
+          Ok ()
+        | `Done | `Lost -> accept_loop ())
+    in
+    accept_loop ()

@@ -17,7 +17,10 @@
 #      --fail-dropped` must digest it with zero dropped events;
 #   6. sharding: a 3-worker sharded run must be byte-identical (modulo
 #      manifest) to the single-process run, and must stay byte-identical
-#      with exit 0 when a worker is killed mid-run (failover);
+#      with exit 0 when a worker is killed mid-run (failover); a
+#      two-"machine" loopback-TCP fleet of pre-started authenticated
+#      workers must survive an induced network partition with identical
+#      bytes, and a wrong-key coordinator must exit 2 with E-AUTH;
 #   7. streaming + sampling: a sharded on-disk generation streamed back
 #      through the sampled estimator with the sample covering every
 #      source must be byte-identical (modulo manifest and the sample
@@ -256,6 +259,80 @@ for key in '"shard"' '"worker_spawns"' '"reassigned_sources"'; do
     exit 1
   }
 done
+
+# --- 6b. multi-machine sharding over loopback TCP -----------------------------
+
+# Two pre-started workers play the remote machines: each listens on an
+# ephemeral TCP port with the pre-shared key (via OMN_SHARD_KEY, never
+# argv) and a digest-addressed trace cache. The coordinator dials them,
+# ships the trace once, and must produce the same bytes as the
+# single-process run even with a network partition injected mid-run.
+SHARD_KEY="smoke-preshared-key"
+OMN_SHARD_KEY="$SHARD_KEY" "$OMN" worker --listen 127.0.0.1:0 \
+  --trace-cache "$tmp/store" 2>"$tmp/w1.log" &
+w1=$!
+OMN_SHARD_KEY="$SHARD_KEY" "$OMN" worker --listen 127.0.0.1:0 \
+  --trace-cache "$tmp/store" 2>"$tmp/w2.log" &
+w2=$!
+# the workers are normally dead by the time the trap fires; under
+# set -e a failing kill inside an EXIT trap would turn "smoke ok"
+# into exit 1
+trap 'kill "$w1" "$w2" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+port_of() {
+  i=0
+  while [ "$i" -lt 100 ]; do
+    p=$(sed -n 's/^omn worker: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$1")
+    if [ -n "$p" ]; then
+      echo "$p"
+      return 0
+    fi
+    sleep 0.1
+    i=$((i + 1))
+  done
+  echo "smoke FAIL: worker never reported its listening port ($1)" >&2
+  exit 1
+}
+p1=$(port_of "$tmp/w1.log")
+p2=$(port_of "$tmp/w2.log")
+
+rc=0
+OMN_SHARD_KEY="$SHARD_KEY" "$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 \
+  --workers 127.0.0.1:"$p1",127.0.0.1:"$p2" --shard-fault net-partition:2:0 \
+  -o "$tmp/tcp.json" >/dev/null 2>"$tmp/tcp.err" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "smoke FAIL: partitioned TCP sharded run exited $rc, expected 0" >&2
+  cat "$tmp/tcp.err" >&2
+  exit 1
+fi
+same_result "$tmp/full.json" "$tmp/tcp.json" || {
+  echo "smoke FAIL: partitioned TCP sharded run differs from single-process run" >&2
+  exit 1
+}
+
+# A coordinator with the wrong key must be turned away with a typed
+# E-AUTH error (exit 2) — never a hang, a crash, or a silent accept.
+rc=0
+"$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 \
+  --workers 127.0.0.1:"$p1",127.0.0.1:"$p2" --auth-key wrong-key \
+  -o "$tmp/tcp-bad.json" >/dev/null 2>"$tmp/auth.err" || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "smoke FAIL: wrong-key coordinator exited $rc, expected 2" >&2
+  exit 1
+fi
+grep -q 'E-AUTH' "$tmp/auth.err" || {
+  echo "smoke FAIL: wrong-key rejection carried no E-AUTH code" >&2
+  exit 1
+}
+
+# The workers must have kept serving: a correct run still completes
+# after the rejected one, now warm (trace held by digest on both ends).
+OMN_SHARD_KEY="$SHARD_KEY" "$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 \
+  --workers 127.0.0.1:"$p1",127.0.0.1:"$p2" -o "$tmp/tcp2.json" >/dev/null
+same_result "$tmp/full.json" "$tmp/tcp2.json" || {
+  echo "smoke FAIL: post-rejection TCP run differs from single-process run" >&2
+  exit 1
+}
+kill "$w1" "$w2" 2>/dev/null || true
 
 # --- 7. streaming ingestion + sampled estimator -------------------------------
 

@@ -9,6 +9,10 @@ module Ring = Omn_shard.Ring
 module Frame = Omn_shard.Frame
 module Proto = Omn_shard.Proto
 module Coord = Omn_shard.Coord
+module Transport = Omn_shard.Transport
+module Auth = Omn_shard.Auth
+module Store = Omn_shard.Store
+module Err = Omn_robust.Err
 module Faultgen = Omn_robust.Faultgen
 module S = Omn_resilience.Supervise
 module Delay_cdf = Omn_core.Delay_cdf
@@ -82,6 +86,30 @@ let ring_map_digest () =
   let d3 = Ring.map_sha256 r ~alive:[ 0; 1 ] ~sources in
   Alcotest.(check bool) "digest tracks the assignment" true (d1 <> d3)
 
+let ring_dynamic_membership () =
+  let r = Ring.create ~workers:3 () in
+  let sources = List.init 100 Fun.id in
+  let before = List.map (Ring.assign r ~alive:[ 0; 1; 2 ]) sources in
+  let r4 = Ring.add r 3 in
+  Alcotest.(check (list int)) "members after join" [ 0; 1; 2; 3 ] (Ring.members r4);
+  let after = List.map (Ring.assign r4 ~alive:[ 0; 1; 2; 3 ]) sources in
+  List.iter2
+    (fun b a -> if a <> 3 then Alcotest.(check int) "unmoved source keeps its owner" b a)
+    before after;
+  Alcotest.(check bool) "the joiner owns something at 100 sources" true (List.mem 3 after);
+  let restored = List.map (Ring.assign (Ring.remove r4 3) ~alive:[ 0; 1; 2 ]) sources in
+  Alcotest.(check (list int)) "leave restores the pre-join assignment" before restored;
+  Alcotest.(check (list int)) "re-adding a member is a no-op" after
+    (List.map (Ring.assign (Ring.add r4 3) ~alive:[ 0; 1; 2; 3 ]) sources);
+  Alcotest.(check (list int)) "removing an absent member is a no-op" before
+    (List.map (Ring.assign (Ring.remove r 7) ~alive:[ 0; 1; 2 ]) sources);
+  (match Ring.add r (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative id accepted");
+  match Ring.remove (Ring.create ~workers:1 ()) 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "removed the last member"
+
 (* --- Frame --- *)
 
 let with_socketpair f =
@@ -116,14 +144,80 @@ let frame_corrupt_and_eof () =
   | Error `Eof -> ()
   | _ -> Alcotest.fail "closed peer must read as Eof"
 
+(* --- fuzz: the decode path must survive arbitrary wire damage --- *)
+
+(* A frame's exact wire bytes, captured through a socketpair. *)
+let raw_frame payload =
+  with_socketpair @@ fun a b ->
+  Frame.write a payload;
+  Unix.close a;
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read b chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+  in
+  drain ();
+  Buffer.contents buf
+
+(* Feed raw bytes to [Frame.read]. The writer closes after the bytes,
+   so a decoder that wants more data sees Eof instead of hanging. *)
+let feed raw =
+  with_socketpair @@ fun a b ->
+  let bytes = Bytes.of_string raw in
+  let rec send off =
+    if off < Bytes.length bytes then
+      send (off + Unix.write a bytes off (Bytes.length bytes - off))
+  in
+  send 0;
+  Unix.close a;
+  Frame.read b
+
+let prop_frame_decode_fuzz =
+  QCheck2.Test.make ~count:120
+    ~name:"mutated/truncated frames: typed error or clean payload, never an exception"
+    QCheck2.Gen.(triple (string_size (int_range 0 120)) (int_range 0 1000) (int_range 0 1000))
+    (fun (payload, pos, kind) ->
+      let raw = raw_frame payload in
+      let mutated =
+        match kind mod 3 with
+        | 0 ->
+          (* flip one byte anywhere: length prefix, version, payload or CRC *)
+          let b = Bytes.of_string raw in
+          let i = pos mod Bytes.length b in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5b));
+          Bytes.to_string b
+        | 1 -> String.sub raw 0 (pos mod (String.length raw + 1)) (* truncate *)
+        | _ -> String.make (1 + (pos mod 7)) '\238' ^ raw (* garbage prefix *)
+      in
+      match feed mutated with
+      | Ok s ->
+        (* a survivable mutation (e.g. truncation at the full length) —
+           the protocol decoder behind it must not raise either *)
+        ignore (Proto.decode_to_worker s);
+        ignore (Proto.decode_from_worker s);
+        true
+      | Error (`Eof | `Corrupt | `Timeout) -> true)
+
+let prop_proto_decode_fuzz =
+  QCheck2.Test.make ~count:200 ~name:"random payloads never crash the protocol decoder"
+    QCheck2.Gen.(string_size (int_range 0 80))
+    (fun s ->
+      (match Proto.decode_to_worker s with Ok _ | Error _ -> ());
+      (match Proto.decode_from_worker s with Ok _ | Error _ -> ());
+      true)
+
 (* --- Proto --- *)
 
 let proto_roundtrip () =
   let job =
     {
-      Proto.trace_text = "trace"; max_hops = 4; dests = Some [ 1; 2 ]; grid = Some [| 1.; 2. |];
-      windows = Some [ (0., 10.) ]; supervise = Some (2, 0.05, 1., 0); ckpt_path = None;
-      fingerprint = "fp"; domains = 2;
+      Proto.trace_digest = String.make 64 'a'; worker = 1; max_hops = 4;
+      dests = Some [ 1; 2 ]; grid = Some [| 1.; 2. |]; windows = Some [ (0., 10.) ];
+      supervise = Some (2, 0.05, 1., 0); ckpt_path = None; fingerprint = "fp"; domains = 2;
     }
   in
   List.iter
@@ -131,16 +225,21 @@ let proto_roundtrip () =
       match Proto.decode_to_worker (Proto.encode_to_worker m) with
       | Ok m' -> Alcotest.(check bool) "to_worker round-trips" true (m = m')
       | Error e -> Alcotest.failf "to_worker decode failed: %s" e)
-    [ Proto.Job job; Proto.Compute { slot = 3; source = 7 }; Proto.Ping; Proto.Shutdown ];
+    [
+      Proto.Job job; Proto.Compute { slot = 3; source = 7 }; Proto.Ping; Proto.Shutdown;
+      Proto.Trace_data { digest = String.make 64 'b'; text = "0 1 0 1\n" };
+    ];
   List.iter
     (fun m ->
       match Proto.decode_from_worker (Proto.encode_from_worker m) with
       | Ok m' -> Alcotest.(check bool) "from_worker round-trips" true (m = m')
       | Error e -> Alcotest.failf "from_worker decode failed: %s" e)
     [
-      Proto.Hello { worker = 1 }; Proto.Ready { worker = 1; resumed = 4 };
+      Proto.Hello { worker = 1 }; Proto.Hello { worker = -1 };
+      Proto.Ready { worker = 1; resumed = 4 };
       Proto.Result { slot = 0; source = 5; partial = "bytes" };
       Proto.Failed { slot = 1; source = 6; attempts = 3; reason = "poison" }; Proto.Pong;
+      Proto.Need_trace { digest = String.make 64 'c' }; Proto.Leave { worker = 2 };
     ];
   match Proto.decode_to_worker "not a marshal payload" with
   | Error _ -> ()
@@ -159,6 +258,195 @@ let fingerprint_sensitivity () =
       ("dests", fp ~dests:[ 0 ] ()); ("grid", fp ~grid:[| 1. |] ());
       ("windows", fp ~windows:[ (0., 1.) ] ());
     ]
+
+(* --- Transport --- *)
+
+let transport_parse () =
+  let ok s =
+    match Transport.parse s with
+    | Ok a -> a
+    | Error e -> Alcotest.failf "%S rejected: %s" s (Err.to_string e)
+  in
+  (match ok "/tmp/omn.sock" with
+  | Transport.Unix_path p -> Alcotest.(check string) "unix path" "/tmp/omn.sock" p
+  | Transport.Tcp _ -> Alcotest.fail "path parsed as tcp");
+  (match ok "127.0.0.1:9000" with
+  | Transport.Tcp (h, p) ->
+    Alcotest.(check string) "host" "127.0.0.1" h;
+    Alcotest.(check int) "port" 9000 p
+  | Transport.Unix_path _ -> Alcotest.fail "host:port parsed as path");
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "to_string/parse round-trip" true
+        (Transport.parse (Transport.to_string a) = Ok a))
+    [
+      Transport.Unix_path "/x/y.sock"; Transport.Tcp ("localhost", 1);
+      Transport.Tcp ("10.0.0.2", 65535);
+    ];
+  List.iter
+    (fun s ->
+      match Transport.parse s with
+      | Error { Err.code = Err.Usage; _ } -> ()
+      | Error e -> Alcotest.failf "%S: wrong error %s" s (Err.to_string e)
+      | Ok _ -> Alcotest.failf "%S accepted" s)
+    [ ""; ":9"; "host:70000" ]
+
+let transport_tcp_dial () =
+  let spec = Transport.Tcp ("127.0.0.1", 0) in
+  let lfd = Transport.listen spec in
+  let closed = ref false in
+  let close_listener () =
+    if not !closed then begin
+      closed := true;
+      try Unix.close lfd with Unix.Unix_error _ -> ()
+    end
+  in
+  Fun.protect ~finally:close_listener @@ fun () ->
+  let addr = Transport.bound_addr lfd spec in
+  let port =
+    match addr with
+    | Transport.Tcp (_, p) -> p
+    | Transport.Unix_path _ -> Alcotest.fail "tcp listener bound a path"
+  in
+  Alcotest.(check bool) "kernel picked a real port" true (port > 0);
+  (match Transport.dial ~attempts:2 ~backoff:0.01 addr with
+  | Error e -> Alcotest.failf "dial failed: %s" (Err.to_string e)
+  | Ok cfd ->
+    let sfd, _ = Unix.accept lfd in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close cfd with Unix.Unix_error _ -> ());
+        try Unix.close sfd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    Frame.write cfd "over tcp";
+    match Frame.read sfd with
+    | Ok s -> Alcotest.(check string) "framed payload over TCP" "over tcp" s
+    | Error _ -> Alcotest.fail "TCP frame rejected");
+  close_listener ();
+  (* the port is free again: the bounded retry budget must end in a
+     typed E-IO, not an exception or a hang *)
+  match Transport.dial ~attempts:2 ~backoff:0.01 (Transport.Tcp ("127.0.0.1", port)) with
+  | Ok fd ->
+    Unix.close fd;
+    Alcotest.fail "dial to a closed listener succeeded"
+  | Error { Err.code = Err.Io; _ } -> ()
+  | Error e -> Alcotest.failf "wrong error code: %s" (Err.to_string e)
+
+(* --- Auth --- *)
+
+let auth_hmac () =
+  let h = Auth.hmac ~key:"k" "msg" in
+  Alcotest.(check int) "hex sha256 mac" 64 (String.length h);
+  Alcotest.(check string) "deterministic" h (Auth.hmac ~key:"k" "msg");
+  Alcotest.(check bool) "key matters" true (h <> Auth.hmac ~key:"k2" "msg");
+  Alcotest.(check bool) "message matters" true (h <> Auth.hmac ~key:"k" "msg2")
+
+(* Both handshake sides block on each other, so the server runs in its
+   own domain over a socketpair. *)
+let auth_handshake_ok () =
+  with_socketpair @@ fun c s ->
+  let st = Auth.state () in
+  let srv = Domain.spawn (fun () -> Auth.server ~state:st ~key:"k1" s) in
+  let cli = Auth.client ~key:"k1" c in
+  let srv = Domain.join srv in
+  (match cli with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "client failed: %s" (Err.to_string e));
+  match srv with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "server failed: %s" (Err.to_string e)
+
+let auth_wrong_key () =
+  with_socketpair @@ fun c s ->
+  let st = Auth.state () in
+  let srv = Domain.spawn (fun () -> Auth.server ~state:st ~key:"right" s) in
+  let cli = Auth.client ~key:"wrong" c in
+  (match cli with
+  | Ok () -> Alcotest.fail "wrong key accepted by client"
+  | Error e -> Alcotest.(check bool) "client side is typed E-AUTH" true (e.Err.code = Err.Auth));
+  (* the failed client drops the link; that unblocks the server side *)
+  (try Unix.close c with Unix.Unix_error _ -> ());
+  match Domain.join srv with
+  | Ok () -> Alcotest.fail "wrong key accepted by server"
+  | Error _ -> ()
+
+let auth_replay_and_version () =
+  let st = Auth.state () in
+  let a1 =
+    Printf.sprintf "omn-auth1 %d %s %s" Auth.protocol_version Auth.default_build
+      (String.make 32 'e')
+  in
+  (* first use of the nonce: the server accepts A1 and answers A2 *)
+  with_socketpair (fun c s ->
+      let srv = Domain.spawn (fun () -> Auth.server ~state:st ~key:"k" s) in
+      Frame.write c a1;
+      (match Frame.read c with
+      | Ok reply ->
+        Alcotest.(check bool) "A2 answered for a fresh nonce" true
+          (String.length reply >= 9 && String.sub reply 0 9 = "omn-auth2")
+      | Error _ -> Alcotest.fail "no A2 reply");
+      (* we never send A3; closing makes the server fail out cleanly *)
+      Unix.close c;
+      ignore (Domain.join srv));
+  (* replaying the same client nonce must be a typed E-AUTH rejection *)
+  with_socketpair (fun c s ->
+      let srv = Domain.spawn (fun () -> Auth.server ~state:st ~key:"k" s) in
+      Frame.write c a1;
+      let reply = Frame.read c in
+      (match Domain.join srv with
+      | Ok () -> Alcotest.fail "replayed nonce accepted"
+      | Error e -> Alcotest.(check bool) "replay is E-AUTH" true (e.Err.code = Err.Auth));
+      match reply with
+      | Ok r ->
+        Alcotest.(check bool) "rejection frame shipped before closing" true
+          (String.length r >= 12 && String.sub r 0 12 = "omn-auth-err")
+      | Error _ -> Alcotest.fail "no rejection frame");
+  (* a different protocol version is E-PROTO, not E-AUTH *)
+  with_socketpair (fun c s ->
+      let srv = Domain.spawn (fun () -> Auth.server ~state:(Auth.state ()) ~key:"k" s) in
+      Frame.write c
+        (Printf.sprintf "omn-auth1 %d %s %s" 99 Auth.default_build (String.make 32 'f'));
+      (match Domain.join srv with
+      | Ok () -> Alcotest.fail "version mismatch accepted"
+      | Error e -> Alcotest.(check bool) "version mismatch is E-PROTO" true (e.Err.code = Err.Proto));
+      ignore (Frame.read c))
+
+(* --- Store --- *)
+
+let store_roundtrip () =
+  let dir = Filename.temp_file "omn_store" ".d" in
+  Sys.remove dir;
+  let text = "0 1 0 1\n0 2 5 9\n" in
+  let digest = Omn_obs.Sha256.string text in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove (Store.path ~dir ~digest) with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Alcotest.(check bool) "miss on an empty store" true (Store.get ~dir ~digest = None);
+  (match Store.put ~dir ~digest text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "put failed: %s" (Err.to_string e));
+  (match Store.get ~dir ~digest with
+  | Some t -> Alcotest.(check string) "round-trip" text t
+  | None -> Alcotest.fail "stored trace not found");
+  (match Store.put ~dir ~digest:(String.make 64 '0') text with
+  | Error { Err.code = Err.Checkpoint; _ } -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Err.to_string e)
+  | Ok () -> Alcotest.fail "digest mismatch accepted");
+  (* flip one stored byte: corruption must read as a miss, never as a
+     wrong trace *)
+  let p = Store.path ~dir ~digest in
+  let ic = open_in_bin p in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string contents in
+  let i = Bytes.length b - 3 in
+  Bytes.set b i (if Bytes.get b i = 'X' then 'Y' else 'X');
+  let oc = open_out_bin p in
+  output_bytes oc b;
+  close_out oc;
+  Alcotest.(check bool) "corrupt entry is a miss" true (Store.get ~dir ~digest = None)
 
 (* --- partial merge --- *)
 
@@ -252,6 +540,66 @@ let coord_kill_failover () =
     Alcotest.(check bool) "reassignment recorded" true (st.Coord.reassigned > 0);
     Alcotest.(check bool) "a respawned worker rejoined" true (st.Coord.rejoins > 0)
 
+(* Deterministic membership schedules: a join mid-run, a leave mid-run,
+   and a join followed by killing the joiner all keep the merge
+   bit-identical to the single-process reference — placement is pure
+   metadata, so churn may only move work, never lose or double it. *)
+let coord_membership () =
+  let m_trace = Util.random_trace (Rng.create 311) ~n:24 ~m:140 ~horizon:160 in
+  let m_sources = Delay_cdf.uniform_order (List.init 24 Fun.id) in
+  let m_reference = Delay_cdf.compute ~max_hops ~grid ~sources:m_sources m_trace in
+  let run ~workers chaos =
+    match Coord.run ~max_hops ~grid { (shard_cfg ~workers) with Coord.chaos } m_trace with
+    | Error e -> Alcotest.failf "membership run failed: %s" (Omn_robust.Err.to_string e)
+    | Ok (curves, p, st) ->
+      Alcotest.(check bool) "complete" false p.Delay_cdf.partial;
+      Alcotest.(check int) "every source accounted for" 24 p.Delay_cdf.sources_done;
+      Alcotest.(check bool) "bit-identical under membership churn" true
+        (curves_equal curves m_reference);
+      st
+  in
+  let st =
+    run ~workers:2
+      [ { Faultgen.after_results = 2; victim = 0; shard_fault = Faultgen.Worker_join } ]
+  in
+  Alcotest.(check int) "join mid-run: one member joined" 1 st.Coord.joins;
+  let st =
+    run ~workers:3
+      [ { Faultgen.after_results = 2; victim = 1; shard_fault = Faultgen.Worker_leave } ]
+  in
+  Alcotest.(check int) "leave mid-run: one member left" 1 st.Coord.leaves;
+  Alcotest.(check bool) "the leaver's sources were reassigned" true (st.Coord.reassigned > 0);
+  (* victim 2 of the second event is the joiner (members 0,1 + joined 2) *)
+  let st =
+    run ~workers:2
+      [
+        { Faultgen.after_results = 1; victim = 0; shard_fault = Faultgen.Worker_join };
+        { Faultgen.after_results = 4; victim = 2; shard_fault = Faultgen.Worker_kill };
+      ]
+  in
+  Alcotest.(check int) "join-then-kill: joined before the kill" 1 st.Coord.joins;
+  Alcotest.(check bool) "join-then-kill: the kill forced a respawn" true (st.Coord.spawns >= 3)
+
+(* Heartbeat loss detection under a signal storm: SIGALRM at 200 Hz
+   interrupts select/accept/waitpid with EINTR for the whole run. Every
+   such call is routed through [Retry_io.eintr], so no live worker may
+   be declared dead and no spurious respawn may fire. (The itimer is
+   not inherited across fork, so only the coordinator is stormed.) *)
+let coord_signal_storm () =
+  let prev = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  let stop () =
+    ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.; it_value = 0. });
+    Sys.set_signal Sys.sigalrm prev
+  in
+  Fun.protect ~finally:stop @@ fun () ->
+  ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.005; it_value = 0.005 });
+  let curves, p, st = run_ok () in
+  Alcotest.(check bool) "complete under the signal storm" false p.Delay_cdf.partial;
+  Alcotest.(check bool) "bit-identical under the signal storm" true
+    (curves_equal curves reference);
+  Alcotest.(check int) "EINTR never read as a dead worker" 0 st.Coord.heartbeat_misses;
+  Alcotest.(check int) "no spurious respawns" 3 st.Coord.spawns
+
 (* Property: any single worker-kill/restart schedule — whichever victim,
    whenever it fires — yields bit-identical curves with every source
    merged exactly once (at-most-once accounting absorbs reassignment
@@ -317,14 +665,30 @@ let suite =
       ring_successor_moves_only_dead;
     Alcotest.test_case "ring rejects malformed arguments" `Quick ring_validation;
     Alcotest.test_case "ring map digest tracks the assignment" `Quick ring_map_digest;
+    Alcotest.test_case "ring membership: join/leave move only the member's arcs" `Quick
+      ring_dynamic_membership;
     Alcotest.test_case "frame round-trip" `Quick frame_roundtrip;
     Alcotest.test_case "frame CRC rejects corruption; Eof on close" `Quick frame_corrupt_and_eof;
+    QCheck_alcotest.to_alcotest prop_frame_decode_fuzz;
+    QCheck_alcotest.to_alcotest prop_proto_decode_fuzz;
     Alcotest.test_case "protocol messages round-trip" `Quick proto_roundtrip;
     Alcotest.test_case "job fingerprint tracks every parameter" `Quick fingerprint_sensitivity;
+    Alcotest.test_case "transport address parsing" `Quick transport_parse;
+    Alcotest.test_case "transport TCP listen/dial/frame; typed dial failure" `Quick
+      transport_tcp_dial;
+    Alcotest.test_case "auth hmac" `Quick auth_hmac;
+    Alcotest.test_case "auth handshake: matching keys accepted" `Quick auth_handshake_ok;
+    Alcotest.test_case "auth handshake: wrong key is typed E-AUTH" `Quick auth_wrong_key;
+    Alcotest.test_case "auth handshake: replay and version mismatch rejected" `Quick
+      auth_replay_and_version;
+    Alcotest.test_case "trace store round-trip; corruption is a miss" `Quick store_roundtrip;
     Alcotest.test_case "merged partials bit-identical to compute" `Quick
       partial_merge_bit_identity;
     Alcotest.test_case "3-worker run bit-identical to single-process" `Quick coord_bit_identity;
     Alcotest.test_case "worker kill: failover, no source lost" `Quick coord_kill_failover;
+    Alcotest.test_case "membership churn: joins and leaves keep bit-identity" `Quick
+      coord_membership;
+    Alcotest.test_case "signal storm: EINTR never kills a live worker" `Quick coord_signal_storm;
     QCheck_alcotest.to_alcotest prop_single_kill_schedules;
     Alcotest.test_case "exit-code precedence 124 > 3 > 0" `Quick exit_code_precedence;
     Alcotest.test_case "shard fault schedules deterministic" `Quick shard_schedule_properties;
