@@ -191,6 +191,12 @@ let curve_fields (c : Omn_core.Delay_cdf.curves) =
 let write_json path json =
   Omn_robust.Retry_io.write_string path (Omn_obs.Json.to_string ~pretty:true json ^ "\n")
 
+(* Telemetry pulled from shard workers during this run (set by the
+   delay-cdf driver after Shard.run returns); when non-empty the obs
+   artifacts become fleet-merged: one Perfetto process per worker and a
+   cross-process metrics snapshot with per-worker breakdowns. *)
+let fleet_telemetry : Omn_shard.Coord.telemetry list ref = ref []
+
 (* Enable the requested registries up front and emit on every exit path
    — a budget-truncated or failed run still leaves a snapshot and a
    trace of the work it did do. Both artifacts carry the manifest. *)
@@ -202,13 +208,49 @@ let with_obs ?metrics ?trace_out f =
     if trace_out <> None then Omn_obs.Timeline.set_enabled true;
     let emit () =
       let mjson = manifest_json () in
+      let view = Omn_obs.Timeline.snapshot () in
+      let fleet = !fleet_telemetry in
       Option.iter
         (fun path ->
-          Omn_obs.Trace_export.write ~manifest:mjson ~path (Omn_obs.Timeline.snapshot ()))
+          match fleet with
+          | [] -> Omn_obs.Trace_export.write ~manifest:mjson ~path view
+          | fleet ->
+            let workers =
+              List.map
+                (fun (t : Omn_shard.Coord.telemetry) ->
+                  {
+                    Omn_obs.Trace_export.fw_worker = t.tw_worker;
+                    fw_events = t.tw_events;
+                    fw_dropped = t.tw_dropped;
+                    fw_offset = t.tw_offset;
+                    fw_rtt = t.tw_rtt;
+                  })
+                fleet
+            in
+            Omn_obs.Trace_export.fleet_write ~manifest:mjson ~path ~coordinator:view workers)
         trace_out;
       Option.iter
         (fun path ->
-          match Omn_obs.Metrics.(snapshot_to_json (snapshot ())) with
+          (* the coordinator's own snapshot, with the timeline's drop
+             counters stamped in so --fail-dropped works from the
+             metrics file alone; under a fleet, merged with every
+             worker's final push (per-worker breakdown via tag_worker) *)
+          let own =
+            Omn_obs.Metrics.with_counter "timeline.dropped_events" view.dropped
+              (Omn_obs.Metrics.snapshot ())
+          in
+          let snap =
+            match fleet with
+            | [] -> own
+            | fleet ->
+              Omn_obs.Metrics.merge_all
+                (Omn_obs.Metrics.tag_worker ~worker:(-1) own
+                :: List.map
+                     (fun (t : Omn_shard.Coord.telemetry) ->
+                       Omn_obs.Metrics.tag_worker ~worker:t.tw_worker t.tw_metrics)
+                     fleet)
+          in
+          match Omn_obs.Metrics.snapshot_to_json snap with
           | Omn_obs.Json.Obj fields ->
             write_json path (Omn_obs.Json.Obj (("manifest", mjson) :: fields))
           | j -> write_json path j)
@@ -556,6 +598,15 @@ let worker_trace_cache_arg =
      worker whose store already holds the job's trace digest re-ships zero bytes."
   in
   Arg.(value & opt (some string) None & info [ "worker-trace-cache" ] ~docv:"DIR" ~doc)
+
+let stat_addr_arg =
+  let doc =
+    "Serve a live Prometheus text exposition of the fleet-merged metrics registry on \
+     $(b,host:port) (port $(b,0) picks a free one; the bound address is printed to \
+     stderr). The coordinator appears as $(b,worker=\"-1\") and each worker under its \
+     id. Requires $(b,--workers); implies per-worker telemetry pulls."
+  in
+  Arg.(value & opt (some addr_conv) None & info [ "stat-addr" ] ~docv:"ADDR" ~doc)
 
 let auth_key_resolve key =
   match key with Some _ -> key | None -> Sys.getenv_opt "OMN_SHARD_KEY"
@@ -949,7 +1000,7 @@ let delay_cdf_cmd =
   in
   let run path preset seed ingest lenient max_hops domains checkpoint resume every budget
       metrics trace_out progress retries task_deadline quarantine workers hb_timeout
-      worker_ckpt_dir shard_faults listen auth_key worker_trace_cache output =
+      worker_ckpt_dir shard_faults listen auth_key worker_trace_cache stat_addr output =
     protect_code @@ fun () ->
     if resume && checkpoint = None then usage_err "--resume requires --checkpoint FILE";
     if sharded workers && (checkpoint <> None || resume) then
@@ -958,9 +1009,11 @@ let delay_cdf_cmd =
          shard checkpoints; see --worker-ckpt-dir)";
     if shard_faults <> [] && not (sharded workers) then
       usage_err "--shard-fault requires --workers";
-    if (listen <> None || auth_key <> None || worker_trace_cache <> None)
+    if (listen <> None || auth_key <> None || worker_trace_cache <> None
+       || stat_addr <> None)
        && not (sharded workers)
-    then usage_err "--listen/--auth-key/--worker-trace-cache require --workers";
+    then
+      usage_err "--listen/--auth-key/--worker-trace-cache/--stat-addr require --workers";
     let domains = Omn_parallel.Pool.resolve domains in
     let supervise = supervise_policy retries task_deadline quarantine in
     with_obs ?metrics ?trace_out @@ fun () ->
@@ -1005,6 +1058,14 @@ let delay_cdf_cmd =
               List.sort
                 (fun (a : Faultgen.shard_event) b -> compare a.after_results b.after_results)
                 shard_faults;
+            (* pull worker telemetry whenever this run writes obs
+               artifacts or serves live stats; never affects results *)
+            telemetry = metrics <> None || trace_out <> None || stat_addr <> None;
+            stat_addr;
+            on_stat_bound =
+              Some
+                (fun a ->
+                  Format.eprintf "omn: fleet stats on %s@." (Transport.to_string a));
           }
         in
         (* a fault schedule needs the victim to still hold undispatched
@@ -1017,6 +1078,7 @@ let delay_cdf_cmd =
         match Shard.run ~max_hops ~grid cfg trace with
         | Error e -> Error e
         | Ok (curves, p, stats) ->
+          fleet_telemetry := stats.Shard.fleet;
           update_manifest (fun m ->
               {
                 m with
@@ -1067,7 +1129,8 @@ let delay_cdf_cmd =
       $ domains_arg $ checkpoint_arg $ resume_arg $ checkpoint_every_arg $ budget_arg
       $ metrics_arg $ trace_out_arg $ progress_arg $ retries_arg $ task_deadline_arg
       $ quarantine_arg $ workers_arg $ heartbeat_timeout_arg $ worker_ckpt_dir_arg
-      $ shard_fault_arg $ listen_arg $ auth_key_arg $ worker_trace_cache_arg $ output_arg)
+      $ shard_fault_arg $ listen_arg $ auth_key_arg $ worker_trace_cache_arg
+      $ stat_addr_arg $ output_arg)
 
 (* --- delivery --- *)
 
@@ -1696,12 +1759,22 @@ let report_cmd =
   in
   let fail_dropped =
     let doc =
-      "Exit with code 1 when the timeline dropped events (ring overflow) — the trace \
+      "Exit with code 1 when the run dropped timeline events (ring overflow, from the \
+       trace footer or the $(b,timeline.dropped_events) metrics counter) — the trace \
        is incomplete and CI should say so."
     in
     Arg.(value & flag & info [ "fail-dropped" ] ~doc)
   in
-  let run result metrics timeline json fail_dropped output =
+  let fleet_flag =
+    let doc =
+      "Require the per-worker fleet section (busy/idle, trace-ship bytes, cache hits, \
+       stragglers, clock offsets): error out unless $(b,--timeline) is a fleet-merged \
+       trace from a $(b,--workers) run. The section is also rendered without this \
+       flag whenever the input carries it."
+    in
+    Arg.(value & flag & info [ "fleet" ] ~doc)
+  in
+  let run result metrics timeline json fail_dropped fleet output =
     protect_code @@ fun () ->
     if result = None && metrics = None && timeline = None then
       usage_err "need at least one input: RESULT, --metrics FILE or --timeline FILE";
@@ -1717,6 +1790,10 @@ let report_cmd =
         ?result:(Option.map (parse "result") result)
         ()
     in
+    if fleet && Omn_obs.Json.member "fleet" report = Some Omn_obs.Json.Null then
+      usage_err
+        "--fleet: no per-worker telemetry in the input — pass a --timeline exported \
+         from a --workers run with --trace-out";
     (if json then begin
        match output with
        | Some f ->
@@ -1742,7 +1819,7 @@ let report_cmd =
           retry/quarantine summary")
     Term.(
       const run $ result_pos $ metrics_in $ timeline_in $ json_flag $ fail_dropped
-      $ output_arg)
+      $ fleet_flag $ output_arg)
 
 (* --- experiments passthrough --- *)
 
@@ -1766,11 +1843,31 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run one paper experiment (same engine as bench/main.exe)")
     Term.(const run $ exp_name $ quick)
 
+(* Cmdliner reads a bare negative option value (`--id -1`) as an
+   unknown flag; glue such pairs into `--id=-1` before parsing so both
+   spellings work (a joiner's id is -1 by design). *)
+let glue_negative_optargs argv =
+  let negative s = match int_of_string_opt s with Some v -> v < 0 | None -> false in
+  let n = Array.length argv in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if argv.(!i) = "--id" && !i + 1 < n && negative argv.(!i + 1) then begin
+      out := Printf.sprintf "--id=%s" argv.(!i + 1) :: !out;
+      i := !i + 2
+    end
+    else begin
+      out := argv.(!i) :: !out;
+      incr i
+    end
+  done;
+  Array.of_list (List.rev !out)
+
 let () =
   let doc = "The diameter of opportunistic mobile networks — toolkit" in
   let info = Cmd.info "omn" ~version:omn_version ~doc in
   exit
-    (Cmd.eval'
+    (Cmd.eval' ~argv:(glue_negative_optargs Sys.argv)
        (Cmd.group info
           [
             gen_cmd; stats_cmd; diameter_cmd; delay_cdf_cmd; delivery_cmd; transform_cmd;

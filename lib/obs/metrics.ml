@@ -278,6 +278,147 @@ let gauge_total snap name = Option.map fst (List.assoc_opt name snap.gauges)
 let find_histogram snap name = List.assoc_opt name snap.histograms
 let find_span snap path = List.find_opt (fun s -> s.sv_path = path) snap.spans
 
+(* --- cross-process merge ---------------------------------------------- *)
+
+let empty_snapshot = { counters = []; gauges = []; histograms = []; spans = [] }
+
+(* Merge two name-sorted association lists, combining values on a
+   shared key. Inputs sorted -> output sorted, so merged snapshots of
+   equal state stay structurally equal regardless of merge order. *)
+let rec merge_assoc combine a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | (ka, va) :: ra, (kb, vb) :: rb ->
+    if ka < kb then (ka, va) :: merge_assoc combine ra b
+    else if kb < ka then (kb, vb) :: merge_assoc combine a rb
+    else (ka, combine va vb) :: merge_assoc combine ra rb
+
+let merge_cells add a b = merge_assoc add a b
+
+let merge_counter (_, ca) (_, cb) =
+  let cells = merge_cells (fun x y -> x + y) ca cb in
+  (List.fold_left (fun acc (_, v) -> acc + v) 0 cells, cells)
+
+let merge_gauge (_, ca) (_, cb) =
+  let cells = merge_cells (fun x y -> x +. y) ca cb in
+  (List.fold_left (fun acc (_, v) -> acc +. v) 0. cells, cells)
+
+let merge_histo a b =
+  {
+    h_count = a.h_count + b.h_count;
+    h_sum = a.h_sum +. b.h_sum;
+    h_min = Float.min a.h_min b.h_min;
+    h_max = Float.max a.h_max b.h_max;
+    (* bucket lists are (le, n) ascending by le; merge bucket-wise *)
+    h_buckets = merge_assoc (fun x y -> x + y) a.h_buckets b.h_buckets;
+  }
+
+let merge_spans a b =
+  let keyed l = List.map (fun sv -> (sv.sv_path, sv)) l in
+  merge_assoc
+    (fun x y ->
+      {
+        x with
+        sv_count = x.sv_count + y.sv_count;
+        sv_wall = x.sv_wall +. y.sv_wall;
+        sv_cpu = x.sv_cpu +. y.sv_cpu;
+      })
+    (keyed a) (keyed b)
+  |> List.map snd
+
+let merge a b =
+  {
+    counters = merge_assoc merge_counter a.counters b.counters;
+    gauges = merge_assoc merge_gauge a.gauges b.gauges;
+    histograms = merge_assoc merge_histo a.histograms b.histograms;
+    spans = merge_spans a.spans b.spans;
+  }
+
+let merge_all = List.fold_left merge empty_snapshot
+
+(* Collapse a process-local snapshot's per-domain cells into a single
+   cell keyed by [worker], so a fleet-merged snapshot keeps a
+   per-worker (not per-domain) breakdown. Domain ids are process-local
+   and collide across machines; worker ids do not. *)
+let tag_worker ~worker snap =
+  {
+    snap with
+    counters =
+      List.map
+        (fun (name, (total, _)) -> (name, (total, if total = 0 then [] else [ (worker, total) ])))
+        snap.counters;
+    gauges =
+      List.map
+        (fun (name, (total, _)) -> (name, (total, if total = 0. then [] else [ (worker, total) ])))
+        snap.gauges;
+  }
+
+(* Pure injection: set counter [name] to exactly [cells] in the
+   snapshot (replacing any recorded value). Lets artifact writers stamp
+   side-channel totals — e.g. the timeline's per-domain dropped-event
+   counts — into the snapshot itself. *)
+let with_counter name cells snap =
+  let cells = List.sort by_fst cells in
+  let total = List.fold_left (fun acc (_, v) -> acc + v) 0 cells in
+  {
+    snap with
+    counters =
+      List.sort by_fst ((name, (total, cells)) :: List.remove_assoc name snap.counters);
+  }
+
+(* --- Prometheus text exposition --------------------------------------- *)
+
+(* Prometheus metric names allow [a-zA-Z0-9_:]; dots become
+   underscores under an `omn_` prefix. Floats use %.17g so the
+   exposition round-trips the snapshot exactly. *)
+let prom_name name =
+  "omn_"
+  ^ String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+
+let prom_float v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Printf.sprintf "%.17g" v
+
+let to_prometheus snap =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, (total, cells)) ->
+      let n = prom_name name in
+      line "# TYPE %s counter" n;
+      line "%s %d" n total;
+      List.iter (fun (w, v) -> line "%s{worker=\"%d\"} %d" n w v) cells)
+    snap.counters;
+  List.iter
+    (fun (name, (total, cells)) ->
+      let n = prom_name name in
+      line "# TYPE %s gauge" n;
+      line "%s %s" n (prom_float total);
+      List.iter (fun (w, v) -> line "%s{worker=\"%d\"} %s" n w (prom_float v)) cells)
+    snap.gauges;
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name name in
+      line "# TYPE %s histogram" n;
+      let cum = ref 0 in
+      List.iter
+        (fun (le, k) ->
+          cum := !cum + k;
+          line "%s_bucket{le=\"%s\"} %d" n (prom_float le) !cum)
+        h.h_buckets;
+      if List.for_all (fun (le, _) -> le <> infinity) h.h_buckets then
+        line "%s_bucket{le=\"+Inf\"} %d" n h.h_count;
+      line "%s_sum %s" n (prom_float h.h_sum);
+      line "%s_count %d" n h.h_count)
+    snap.histograms;
+  Buffer.contents b
+
 (* --- JSON --- *)
 
 let schema = "omn-metrics 1"

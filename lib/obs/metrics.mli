@@ -117,6 +117,41 @@ val gauge_total : snapshot -> string -> float option
 val find_histogram : snapshot -> string -> histo_view option
 val find_span : snapshot -> string -> span_view option
 
+(** {1 Cross-process merge} — fleet-wide aggregation.
+
+    Snapshots taken in different processes (e.g. one per shard worker)
+    combine with {!merge}: counters and gauges sum cell-wise, histograms
+    merge bucket-by-bucket (the bucket scheme is global, see
+    {!bucket_le}), spans aggregate by path. [merge] is associative and
+    commutative up to float rounding — exactly so for integer-valued
+    observations — and {!empty_snapshot} is its identity, so a fold over
+    workers in any order yields the same totals. *)
+
+val empty_snapshot : snapshot
+val merge : snapshot -> snapshot -> snapshot
+val merge_all : snapshot list -> snapshot
+
+val tag_worker : worker:int -> snapshot -> snapshot
+(** Collapse the per-domain cells of every counter and gauge into a
+    single cell keyed by [worker]. Apply to each process-local snapshot
+    before {!merge} so the fleet-wide snapshot keeps a per-{e worker}
+    breakdown — domain ids are process-local and collide across
+    machines; worker ids do not. Zero-total metrics keep empty cells. *)
+
+val with_counter : string -> (int * int) list -> snapshot -> snapshot
+(** [with_counter name cells snap] sets counter [name] to exactly
+    [cells] (total recomputed), replacing any recorded value. Used to
+    stamp side-channel totals — e.g. the timeline's per-domain dropped
+    event counts — into the snapshot before serialisation. *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition (format 0.0.4) of the snapshot: metric
+    names are the registry names with non-alphanumerics mapped to ['_']
+    under an [omn_] prefix; per-cell breakdowns become a
+    [{worker="id"}] label; histograms expose cumulative [_bucket{le}],
+    [_sum] and [_count] series. Pure — the [--stat-addr] endpoint and
+    tests share it. *)
+
 (** {1 JSON} — schema ["omn-metrics 1"], see README "Observability". *)
 
 val snapshot_to_json : snapshot -> Json.t

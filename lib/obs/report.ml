@@ -254,6 +254,125 @@ let resilience_section t counters =
       ("checkpoint_fallbacks", Json.Int (max t.fallbacks (c "delay_cdf.checkpoint_fallback")));
     ]
 
+(* ---- fleet section ---------------------------------------------------- *)
+
+type fleet_row = {
+  mutable fl_busy_us : float;
+  mutable fl_ship_bytes : int;
+  mutable fl_cache_hits : int;
+}
+
+(* Per-worker busy time comes from that worker's own track (its pid in
+   the merged trace); trace shipping and cache hits are coordinator-side
+   events carrying the target worker in [args.worker]. *)
+let fleet_tally tl pids =
+  let rows = Hashtbl.create 8 in
+  let row_of key =
+    match Hashtbl.find_opt rows key with
+    | Some r -> r
+    | None ->
+      let r = { fl_busy_us = 0.; fl_ship_bytes = 0; fl_cache_hits = 0 } in
+      Hashtbl.add rows key r;
+      r
+  in
+  let on_event ev =
+    let str k = Option.bind (Json.member k ev) Json.to_str in
+    let pid = Option.bind (Json.member "pid" ev) Json.to_int in
+    let arg_worker = Option.bind (mem [ "args"; "worker" ] ev) Json.to_int in
+    match (str "ph", str "name") with
+    | Some "X", Some ("shard.compute" | "pool.work") -> (
+      match Option.bind pid (fun p -> List.assoc_opt p pids) with
+      | Some worker ->
+        let dur = Option.value ~default:0. (Option.bind (Json.member "dur" ev) fnum) in
+        let r = row_of worker in
+        r.fl_busy_us <- r.fl_busy_us +. dur
+      | None -> ())
+    | _, Some "trace.ship" -> (
+      match arg_worker with
+      | Some w ->
+        let bytes = Option.value ~default:0 (Option.bind (mem [ "args"; "bytes" ] ev) Json.to_int) in
+        (row_of w).fl_ship_bytes <- (row_of w).fl_ship_bytes + bytes
+      | None -> ())
+    | _, Some "trace.cache_hit" -> (
+      match arg_worker with
+      | Some w -> (row_of w).fl_cache_hits <- (row_of w).fl_cache_hits + 1
+      | None -> ())
+    | _ -> ()
+  in
+  (match Option.bind (Json.member "traceEvents" tl) Json.to_list with
+  | Some evs -> List.iter on_event evs
+  | None -> ());
+  rows
+
+let fleet_section timeline wall_s =
+  match Option.bind timeline (fun tl -> mem [ "omn"; "fleet" ] tl) with
+  | Some (Json.List ((_ :: _) as fleet)) ->
+    let tl = Option.get timeline in
+    let footer =
+      List.filter_map
+        (fun w ->
+          match
+            ( Option.bind (Json.member "worker" w) Json.to_int,
+              Option.bind (Json.member "pid" w) Json.to_int )
+          with
+          | Some worker, Some pid -> Some (worker, pid, w)
+          | _ -> None)
+        fleet
+    in
+    let pids = List.map (fun (worker, pid, _) -> (pid, worker)) footer in
+    let rows = fleet_tally tl pids in
+    let busy_of worker =
+      match Hashtbl.find_opt rows worker with Some r -> secs r.fl_busy_us | None -> 0.
+    in
+    let busies = sorted_arr (List.map (fun (worker, _, _) -> busy_of worker) footer) in
+    let md = median busies in
+    let n = Array.length busies in
+    let mean = Array.fold_left ( +. ) 0. busies /. float_of_int n in
+    let mx = if n = 0 then nan else busies.(n - 1) in
+    let workers =
+      Json.Obj
+        (List.map
+           (fun (worker, pid, w) ->
+             let busy = busy_of worker in
+             let idle =
+               match wall_s with
+               | Some wall when Float.is_finite wall -> json_float (Float.max 0. (wall -. busy))
+               | _ -> Json.Null
+             in
+             let ship, hits =
+               match Hashtbl.find_opt rows worker with
+               | Some r -> (r.fl_ship_bytes, r.fl_cache_hits)
+               | None -> (0, 0)
+             in
+             let int_of k = Option.value ~default:0 (Option.bind (Json.member k w) Json.to_int) in
+             let float_of k = Option.bind (Json.member k w) fnum in
+             ( string_of_int worker,
+               Json.Obj
+                 [
+                   ("pid", Json.Int pid);
+                   ("busy_s", json_float busy);
+                   ("idle_s", idle);
+                   ("ship_bytes", Json.Int ship);
+                   ("cache_hits", Json.Int hits);
+                   ("events", Json.Int (int_of "events"));
+                   ("dropped", Json.Int (int_of "dropped"));
+                   ( "clock_offset_s",
+                     match float_of "clock_offset_s" with Some v -> json_float v | None -> Json.Null );
+                   ( "rtt_s",
+                     match float_of "rtt_s" with Some v -> json_float v | None -> Json.Null );
+                   ("straggler", Json.Bool (n >= 2 && md > 0. && busy > 3. *. md));
+                 ] ))
+           footer)
+    in
+    Json.Obj
+      [
+        ("workers", workers);
+        ("busy_max_s", json_float mx);
+        ("busy_mean_s", json_float mean);
+        ("imbalance", if mean > 0. then json_float (mx /. mean) else Json.Null);
+      ]
+  | _ -> Json.Null
+
 let build ?metrics ?timeline ?result () =
   let t =
     match timeline with
@@ -270,9 +389,22 @@ let build ?metrics ?timeline ?result () =
       ]
   in
   let dropped =
-    match Option.bind timeline (fun tl -> mem [ "omn"; "dropped_events" ] tl) with
-    | Some j -> Option.value ~default:0 (Json.to_int j)
-    | None -> 0
+    (* The trace footer and the metrics counter [timeline.dropped_events]
+       both record ring drops; a metrics file alone must be enough for
+       [--fail-dropped], so take whichever saw more. *)
+    let from_timeline =
+      match Option.bind timeline (fun tl -> mem [ "omn"; "dropped_events" ] tl) with
+      | Some j -> Option.value ~default:0 (Json.to_int j)
+      | None -> 0
+    in
+    let from_metrics =
+      match
+        Option.bind metrics (fun m -> mem [ "counters"; "timeline.dropped_events"; "total" ] m)
+      with
+      | Some j -> Option.value ~default:0 (Json.to_int j)
+      | None -> 0
+    in
+    max from_timeline from_metrics
   in
   let wall_s =
     if Float.is_finite t.t_min_us && Float.is_finite t.t_max_us then
@@ -295,6 +427,7 @@ let build ?metrics ?timeline ?result () =
       ("checkpoints", checkpoints_section t);
       ("resilience", resilience_section t counters);
       ("shard", shard_section t counters);
+      ("fleet", fleet_section timeline wall_s);
       ( "counters",
         Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) counters) );
     ]
@@ -376,4 +509,23 @@ let pp ppf report =
       pp_float (get "worker_spawns" s) pp_float (get "heartbeat_misses" s) pp_float
       (get "frame_corrupts" s) pp_float (get "reassigned_sources" s) pp_float
       (get "worker_rejoins" s) pp_float (get "duplicate_results_dropped" s)
+  | _ -> ());
+  (match Json.member "fleet" report with
+  | Some (Json.Obj _ as f) ->
+    line "  fleet    :@.";
+    (match Option.bind (Json.member "workers" f) Json.to_obj with
+    | Some workers ->
+      List.iter
+        (fun (w, row) ->
+          line
+            "    worker %s: busy %a s, idle %a s, shipped %a B, %a cache hits, %a events (%a dropped), clock offset %a s%s@."
+            w pp_float (get "busy_s" row) pp_float (get "idle_s" row) pp_float
+            (get "ship_bytes" row) pp_float (get "cache_hits" row) pp_float (get "events" row)
+            pp_float (get "dropped" row) pp_float (get "clock_offset_s" row)
+            (match Json.member "straggler" row with
+            | Some (Json.Bool true) -> "  ** STRAGGLER **"
+            | _ -> ""))
+        workers
+    | None -> ());
+    line "    fleet imbalance %a (max/mean busy)@." pp_float (get "imbalance" f)
   | _ -> ())

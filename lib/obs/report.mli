@@ -18,8 +18,18 @@ val build : ?metrics:Json.t -> ?timeline:Json.t -> ?result:Json.t -> unit -> Jso
     span, per-domain busy/idle/steal breakdown, chunk-duration
     straggler and load-imbalance statistics (max vs median), checkpoint
     write-latency percentiles, retry/quarantine/fallback summary, and
-    the timeline's [dropped_events] count (top-level key, [0] when no
-    timeline was given). *)
+    the [dropped_events] count (top-level key; the larger of the trace
+    footer and the metrics counter [timeline.dropped_events], so a
+    metrics file alone is enough for [--fail-dropped]).
+
+    When the timeline is a fleet-merged trace (an ["omn"."fleet"]
+    footer, see {!Trace_export.fleet_to_json}), the report also carries
+    a ["fleet"] section: per-worker busy/idle seconds (busy from that
+    worker's own [shard.compute]/[pool.work] track), trace bytes
+    shipped and digest-cache hits (from the coordinator's [trace.ship]
+    / [trace.cache_hit] instants), event and dropped counts, clock
+    offset, a straggler flag (busy > 3x median across workers), and
+    the cross-worker max/mean busy imbalance. *)
 
 val dropped_events : Json.t -> int
 (** The [dropped_events] count of a built report. *)

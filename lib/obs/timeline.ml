@@ -29,6 +29,7 @@ type event =
   | Trace_ship of { worker : int; bytes : int }
   | Trace_cache_hit of { worker : int }
   | Sample_round of { round : int; sampled : int; width : float }
+  | Shard_compute of { source : int; start : float }
 
 type entry = { ts : float; ev : event }
 

@@ -75,6 +75,10 @@ type event =
   | Sample_round of { round : int; sampled : int; width : float }
       (** one tightening round of the sampled diameter estimator:
           cumulative sources sampled and the CI width it achieved *)
+  | Shard_compute of { source : int; start : float }
+      (** a shard worker computed one source's partial delay-CDF
+          ([start]..[ts] span); the per-worker busy signal in merged
+          fleet traces *)
 
 type entry = { ts : float; ev : event }
 

@@ -45,6 +45,10 @@ type config = {
   auth_key : string option;
   worker_trace_cache : string option;
   on_partial : (Omn_temporal.Node.t -> Delay_cdf.partial -> unit) option;
+  telemetry : bool;
+  stats_interval : float;
+  stat_addr : Transport.addr option;
+  on_stat_bound : (Transport.addr -> unit) option;
 }
 
 let default ~workers =
@@ -68,7 +72,30 @@ let default ~workers =
     auth_key = None;
     worker_trace_cache = None;
     on_partial = None;
+    telemetry = false;
+    stats_interval = 1.;
+    stat_addr = None;
+    on_stat_bound = None;
   }
+
+type telemetry = {
+  tw_worker : int;
+  tw_metrics : Metrics.snapshot;
+  tw_events : (int * Timeline.entry) list;
+  tw_dropped : (int * int) list;
+  tw_offset : float;
+  tw_rtt : float;
+}
+
+(* coordinator-side accumulator for one worker's pushes *)
+type tel_acc = {
+  mutable ta_metrics : Metrics.snapshot;  (* latest full snapshot wins *)
+  mutable ta_segments : (int * Timeline.entry) list list;  (* newest first *)
+  mutable ta_dropped : (int * int) list;
+  mutable ta_offset : float;
+  mutable ta_rtt : float;  (* lowest-RTT sample keeps the offset *)
+  mutable ta_last_tcoord : float;  (* echo of the latest answered pull *)
+}
 
 type stats = {
   spawns : int;
@@ -84,6 +111,7 @@ type stats = {
   joins : int;
   leaves : int;
   shard_map_sha256 : string;
+  fleet : telemetry list;
 }
 
 type kind = Spawned | Dialed of Transport.addr
@@ -244,6 +272,7 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
         joins = 0;
         leaves = 0;
         shard_map_sha256;
+        fleet = [];
       }
     in
     if nslots = 0 then merge_result ~partial:false ~slot_state:[||] ~acked:0 ~stats_of:empty_stats
@@ -268,11 +297,37 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
         Err.errorf Io "shard: cannot bind %s: %s"
           (Transport.to_string listen_addr)
           (Unix.error_message e)
-      | listen_fd ->
+      | listen_fd -> (
+        let stat_bound =
+          match cfg.stat_addr with
+          | None -> Ok None
+          | Some addr -> (
+            match Transport.listen ~backlog:8 addr with
+            | fd ->
+              (match cfg.on_stat_bound with
+              | Some f -> f (Transport.bound_addr fd addr)
+              | None -> ());
+              Ok (Some fd)
+            | exception Unix.Unix_error (e, _, _) ->
+              Err.errorf Io "shard: cannot bind stat addr %s: %s"
+                (Transport.to_string addr) (Unix.error_message e))
+        in
+        match stat_bound with
+        | Error e ->
+          Sys.set_signal Sys.sigpipe old_sigpipe;
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          (match listen_addr with
+          | Transport.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+          | Transport.Tcp _ -> ());
+          Error e
+        | Ok stat_fd ->
         let connect_addr = Transport.bound_addr listen_fd listen_addr in
         let restore () =
           Sys.set_signal Sys.sigpipe old_sigpipe;
           (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          (match stat_fd with
+          | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+          | None -> ());
           match listen_addr with
           | Transport.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
           | Transport.Tcp _ -> ()
@@ -327,6 +382,37 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
         and st_cache_hits = ref 0
         and st_joins = ref 0
         and st_leaves = ref 0 in
+        let wtel : (int, tel_acc) Hashtbl.t = Hashtbl.create 8 in
+        let tel_acc_for id =
+          match Hashtbl.find_opt wtel id with
+          | Some ta -> ta
+          | None ->
+            let ta =
+              {
+                ta_metrics = Metrics.empty_snapshot;
+                ta_segments = [];
+                ta_dropped = [];
+                ta_offset = 0.;
+                ta_rtt = infinity;
+                ta_last_tcoord = neg_infinity;
+              }
+            in
+            Hashtbl.replace wtel id ta;
+            ta
+        in
+        let fleet_of () =
+          Hashtbl.fold (fun id ta acc -> (id, ta) :: acc) wtel []
+          |> List.sort (fun a b -> compare (fst a) (fst b))
+          |> List.map (fun (id, ta) ->
+                 {
+                   tw_worker = id;
+                   tw_metrics = ta.ta_metrics;
+                   tw_events = List.concat (List.rev ta.ta_segments);
+                   tw_dropped = ta.ta_dropped;
+                   tw_offset = (if ta.ta_rtt = infinity then 0. else ta.ta_offset);
+                   tw_rtt = (if ta.ta_rtt = infinity then 0. else ta.ta_rtt);
+                 })
+        in
         let stats_of () =
           {
             spawns = !st_spawns;
@@ -342,6 +428,7 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
             joins = !st_joins;
             leaves = !st_leaves;
             shard_map_sha256;
+            fleet = fleet_of ();
           }
         in
         let chaos = ref cfg.chaos in
@@ -365,6 +452,7 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
                   cfg.ckpt_dir;
               fingerprint;
               domains = cfg.worker_domains;
+              telemetry = cfg.telemetry;
             }
         in
         let ready_ids () =
@@ -579,6 +667,24 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
             end
             else handle_death w (* asking for some other trace: confused peer *)
           | Leave _ -> handle_leave w
+          | Stats_push { worker = _; t_coord; t_worker; metrics; events; dropped } ->
+            (* NTP-style offset: the worker stamped t_worker between our
+               send (t_coord, echoed back) and our receive; assuming a
+               symmetric link, worker_clock - coord_clock ~ t_worker -
+               midpoint. The lowest-RTT sample bounds the error
+               tightest, so it keeps the offset. Wall clocks on both
+               ends, deliberately not [clock ()] (tests fake that). *)
+            let t_recv = Unix.gettimeofday () in
+            let rtt = Float.max 0. (t_recv -. t_coord) in
+            let ta = tel_acc_for w.id in
+            ta.ta_metrics <- metrics;
+            if events <> [] then ta.ta_segments <- events :: ta.ta_segments;
+            ta.ta_dropped <- dropped;
+            ta.ta_last_tcoord <- Float.max ta.ta_last_tcoord t_coord;
+            if rtt <= ta.ta_rtt then begin
+              ta.ta_rtt <- rtt;
+              ta.ta_offset <- t_worker -. ((t_coord +. t_recv) /. 2.)
+            end
           | Ready { worker = _; resumed } ->
             let rejoin = (not w.ready) && w.had_ready in
             if not w.shipped then begin
@@ -786,6 +892,117 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
             iter_workers (fun w -> if w.ready then ignore (send_to w Proto.Ping))
           end
         in
+        let last_pull = ref 0. in
+        let stats_pulls () =
+          if cfg.telemetry then begin
+            let now = clock () in
+            if now -. !last_pull >= cfg.stats_interval then begin
+              last_pull := now;
+              iter_workers (fun w ->
+                  if w.ready && w.conn <> None && not w.left then
+                    ignore
+                      (send_to w (Proto.Stats_pull { t_coord = Unix.gettimeofday () })))
+            end
+          end
+        in
+        (* One last pull-and-drain before the results merge, so the
+           final artifacts see every worker's complete registry and
+           timeline tail. Bounded by the heartbeat timeout: a worker
+           dying here costs its tail, never the run. *)
+        let final_stats_pull () =
+          if cfg.telemetry then begin
+            let t_final = Unix.gettimeofday () in
+            let expected =
+              workers_sorted ()
+              |> List.filter_map (fun w ->
+                     if w.conn <> None && w.had_ready && not w.left then
+                       if send_to w (Proto.Stats_pull { t_coord = t_final }) then Some w.id
+                       else None
+                     else None)
+            in
+            let outstanding () =
+              List.filter
+                (fun id ->
+                  match Hashtbl.find_opt ws id with
+                  | Some w when w.conn <> None -> (
+                    match Hashtbl.find_opt wtel id with
+                    | Some ta -> ta.ta_last_tcoord < t_final
+                    | None -> true)
+                  | _ -> false)
+                expected
+            in
+            let deadline = clock () +. cfg.heartbeat_timeout in
+            let rec drain () =
+              match outstanding () with
+              | [] -> ()
+              | ids when clock () < deadline ->
+                let conns =
+                  List.filter_map
+                    (fun id -> Option.bind (Hashtbl.find_opt ws id) (fun w -> w.conn))
+                    ids
+                in
+                (match Retry_io.eintr (fun () -> Unix.select conns [] [] 0.05) with
+                | [], _, _ -> ()
+                | readable, _, _ ->
+                  iter_workers (fun w ->
+                      match w.conn with
+                      | Some fd when List.memq fd readable -> handle_fd w
+                      | _ -> ()));
+                drain ()
+              | _ -> ()
+            in
+            if expected <> [] then drain ()
+          end
+        in
+        (* Live Prometheus exposition: the coordinator's own registry
+           (worker -1) merged with each worker's latest pushed snapshot.
+           One short-deadline request per select round; a stuck client
+           can delay, never wedge, the run. *)
+        let live_exposition () =
+          let snaps =
+            Metrics.tag_worker ~worker:(-1) (Metrics.snapshot ())
+            :: (Hashtbl.fold (fun id ta acc -> (id, ta) :: acc) wtel []
+               |> List.sort (fun a b -> compare (fst a) (fst b))
+               |> List.map (fun (id, ta) -> Metrics.tag_worker ~worker:id ta.ta_metrics))
+          in
+          Metrics.to_prometheus (Metrics.merge_all snaps)
+        in
+        let serve_stat lfd =
+          match Retry_io.eintr (fun () -> Unix.accept lfd) with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ ->
+            (try Transport.set_deadline fd 1. with Unix.Unix_error _ -> ());
+            let buf = Bytes.create 1024 in
+            let rec drain_req acc =
+              if contains acc "\r\n\r\n" || String.length acc > 8192 then ()
+              else
+                match Unix.read fd buf 0 1024 with
+                | 0 -> ()
+                | n -> drain_req (acc ^ Bytes.sub_string buf 0 n)
+                | exception Unix.Unix_error _ -> ()
+            in
+            drain_req "";
+            let body = live_exposition () in
+            let resp =
+              Printf.sprintf
+                "HTTP/1.1 200 OK\r\n\
+                 Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                 Content-Length: %d\r\n\
+                 Connection: close\r\n\
+                 \r\n\
+                 %s"
+                (String.length body) body
+            in
+            let rec wr off len =
+              if len > 0 then
+                match Unix.write_substring fd resp off len with
+                | 0 -> ()
+                | n -> wr (off + n) (len - n)
+                | exception Unix.Unix_error _ -> ()
+            in
+            wr 0 (String.length resp);
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+        in
         let started = clock () in
         let budget_expired () =
           match cfg.budget_seconds with Some b -> clock () -. started > b | None -> false
@@ -837,10 +1054,13 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
         let rec loop () =
           if !acked + !degraded_n >= nslots then begin
             drain_bad_joiners ();
+            final_stats_pull ();
             finish (merge_result ~partial:false ~slot_state ~acked:!acked ~stats_of)
           end
-          else if budget_expired () then
+          else if budget_expired () then begin
+            final_stats_pull ();
             finish (merge_result ~partial:true ~slot_state ~acked:!acked ~stats_of)
+          end
           else
             match !fatal with
             | Some e -> finish (Error e)
@@ -856,24 +1076,29 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
               else begin
                 respawn_due ();
                 let conns = workers_sorted () |> List.filter_map (fun w -> w.conn) in
+                let stat_fds = match stat_fd with Some fd -> [ fd ] | None -> [] in
                 let readable =
                   (* EINTR must retry, not skip the poll: dropping a
                      round under a signal storm starves last_seen and
                      false-positives healthy workers *)
                   match
                     Retry_io.eintr (fun () ->
-                        Unix.select (listen_fd :: conns) [] []
+                        Unix.select ((listen_fd :: stat_fds) @ conns) [] []
                           (cfg.heartbeat_interval /. 2.))
                   with
                   | r, _, _ -> r
                 in
                 if List.memq listen_fd readable then accept_conn ();
+                (match stat_fd with
+                | Some fd when List.memq fd readable -> serve_stat fd
+                | _ -> ());
                 iter_workers (fun w ->
                     match w.conn with
                     | Some fd when List.memq fd readable -> handle_fd w
                     | _ -> ());
                 heartbeats ();
                 check_timeouts ();
+                stats_pulls ();
                 dispatch_pending ();
                 loop ()
               end
@@ -881,6 +1106,6 @@ let run ?(max_hops = 10) ?sources ?dests ?grid ?windows ?(clock = Unix.gettimeof
         (try loop ()
          with e ->
            shutdown_all ();
-           raise e)
+           raise e))
     end
   end

@@ -119,13 +119,48 @@ type config = {
           during the final merge) — the hook the sampled diameter
           estimator uses to collect partials from a sharded run;
           [None] = no observation. Must not mutate the computation. *)
+  telemetry : bool;
+      (** pull each worker's metrics snapshot and timeline segments
+          ([Stats_pull]/[Stats_push]) every [stats_interval] seconds and
+          once more before the final merge; results are bit-identical
+          on or off (telemetry frames ride the same links but the merge
+          is slot-ordered) *)
+  stats_interval : float;  (** seconds between telemetry pulls *)
+  stat_addr : Transport.addr option;
+      (** when set, serve a live Prometheus text exposition of the
+          merged registry (coordinator as [worker="-1"] plus every
+          worker's latest push) over HTTP on this address — the seed of
+          the [omnd] query surface. [Tcp (host, 0)] binds an ephemeral
+          port; see [on_stat_bound] *)
+  on_stat_bound : (Transport.addr -> unit) option;
+      (** called once with the actually-bound stat address *)
 }
 
 val default : workers:int -> config
 (** 1 domain per worker, 64 vnodes, a 32-source in-flight window,
     [Spawn_exec], 0.25 s heartbeat interval, 5 s timeout, 2 respawns
     with 0.1 s base backoff, no supervision retries, no checkpoints, no
-    budget, no chaos, no peers, no auth, Unix-domain listener. *)
+    budget, no chaos, no peers, no auth, Unix-domain listener, no
+    telemetry (1 s pull interval when enabled), no stat endpoint. *)
+
+type telemetry = {
+  tw_worker : int;
+  tw_metrics : Omn_obs.Metrics.snapshot;
+      (** the worker's last pushed snapshot (counters are cumulative,
+          so the last push is the total) *)
+  tw_events : (int * Omn_obs.Timeline.entry) list;
+      (** all pulled timeline segments concatenated, chronological,
+          worker-clock timestamps (correct with [tw_offset]) *)
+  tw_dropped : (int * int) list;  (** per-domain ring drops *)
+  tw_offset : float;
+      (** estimated worker_clock - coordinator_clock (seconds), from
+          the lowest-RTT pull round trip; [0.] if never estimated *)
+  tw_rtt : float;  (** that sample's round-trip time *)
+}
+(** One worker's accumulated telemetry, ready for
+    {!Omn_obs.Trace_export.fleet_to_json} ([tw_events]/[tw_dropped]/
+    [tw_offset]/[tw_rtt] map onto [fleet_worker]) and for
+    {!Omn_obs.Metrics.merge} after [tag_worker]. *)
 
 type stats = {
   spawns : int;
@@ -147,6 +182,9 @@ type stats = {
   leaves : int;  (** members departed gracefully mid-run *)
   shard_map_sha256 : string;
       (** digest of the initial source->worker assignment *)
+  fleet : telemetry list;
+      (** per-worker telemetry, ascending worker id; empty when
+          [config.telemetry] is off *)
 }
 
 val run :

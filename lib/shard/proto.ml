@@ -9,12 +9,14 @@ type job = {
   ckpt_path : string option;
   fingerprint : string;
   domains : int;
+  telemetry : bool;
 }
 
 type to_worker =
   | Job of job
   | Trace_data of { digest : string; text : string }
   | Compute of { slot : int; source : int }
+  | Stats_pull of { t_coord : float }
   | Ping
   | Shutdown
 
@@ -24,6 +26,14 @@ type from_worker =
   | Ready of { worker : int; resumed : int }
   | Result of { slot : int; source : int; partial : string }
   | Failed of { slot : int; source : int; attempts : int; reason : string }
+  | Stats_push of {
+      worker : int;
+      t_coord : float;
+      t_worker : float;
+      metrics : Omn_obs.Metrics.snapshot;
+      events : (int * Omn_obs.Timeline.entry) list;
+      dropped : (int * int) list;
+    }
   | Leave of { worker : int }
   | Pong
 

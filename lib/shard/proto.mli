@@ -42,6 +42,10 @@ type job = {
       (** digest of trace + parameters; a checkpoint from any other
           fingerprint is ignored on rejoin *)
   domains : int;  (** size of the worker's own domain pool *)
+  telemetry : bool;
+      (** enable the worker's local metrics registry and timeline so
+          [Stats_pull] has something to report; never affects computed
+          results (the PR 3/5 bit-identity contract) *)
 }
 
 type to_worker =
@@ -52,6 +56,12 @@ type to_worker =
   | Compute of { slot : int; source : int }
       (** [slot] is the position in the coordinator's merge order; the
           worker echoes it back untouched *)
+  | Stats_pull of { t_coord : float }
+      (** telemetry poll: report your metrics snapshot and new timeline
+          events. [t_coord] is the coordinator's send stamp, echoed back
+          in [Stats_push] so the coordinator can pair the reply with its
+          own receive stamp for an NTP-style clock-offset estimate even
+          with several pulls outstanding *)
   | Ping
   | Shutdown
 
@@ -66,6 +76,20 @@ type from_worker =
           here *)
   | Failed of { slot : int; source : int; attempts : int; reason : string }
       (** worker-side supervision exhausted its retries on this source *)
+  | Stats_push of {
+      worker : int;
+      t_coord : float;  (** echo of the pull's send stamp *)
+      t_worker : float;  (** the worker's clock when it replied *)
+      metrics : Omn_obs.Metrics.snapshot;
+          (** full current snapshot (replaces the previous one
+              coordinator-side — counters are monotonic) *)
+      events : (int * Omn_obs.Timeline.entry) list;
+          (** only timeline events recorded {e since the previous pull}
+              (per-domain watermarks worker-side), worker-clock stamps *)
+      dropped : (int * int) list;  (** cumulative per-domain ring drops *)
+    }
+      (** answer to [Stats_pull]; also sent once more right before
+          [Leave] so the final merged artifacts see the complete run *)
   | Leave of { worker : int }
       (** graceful departure: stop assigning to me, reassign my
           in-flight sources, don't respawn me *)

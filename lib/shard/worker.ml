@@ -39,7 +39,66 @@ let save_cache ~path ~fingerprint cache =
 type persist = {
   traces : (string, Omn_temporal.Trace.t * string) Hashtbl.t;
   results : (string, (int, string) Hashtbl.t) Hashtbl.t;
+  watermarks : (int, int) Hashtbl.t;
+      (** per-domain cumulative timeline events already shipped in a
+          [Stats_push] (dropped + sent), so each push carries only the
+          new segment *)
 }
+
+(* The new-segment slice of a timeline snapshot: for each domain,
+   events recorded since the watermark. Cumulative recorded =
+   ring-dropped + live; if more than a ring's worth arrived since the
+   last pull the oldest were lost — ship what the ring still holds (the
+   loss is visible in the dropped counters). Filtering the sorted view
+   preserves chronological order. Advances [watermarks]. *)
+let new_segment (view : Omn_obs.Timeline.view) watermarks =
+  let live = Hashtbl.create 8 in
+  List.iter
+    (fun (d, _) ->
+      Hashtbl.replace live d (1 + Option.value ~default:0 (Hashtbl.find_opt live d)))
+    view.events;
+  let skip = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun d live_d ->
+      let dropped_d = Option.value ~default:0 (List.assoc_opt d view.dropped) in
+      let total = dropped_d + live_d in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt watermarks d) in
+      let take = min (max 0 (total - prev)) live_d in
+      Hashtbl.replace skip d (live_d - take);
+      Hashtbl.replace watermarks d total)
+    live;
+  List.iter
+    (fun (d, n) -> if not (Hashtbl.mem live d) then Hashtbl.replace watermarks d n)
+    view.dropped;
+  List.filter
+    (fun (d, _) ->
+      match Hashtbl.find_opt skip d with
+      | Some n when n > 0 ->
+        Hashtbl.replace skip d (n - 1);
+        false
+      | _ -> true)
+    view.events
+
+(* Answer to a [Stats_pull]: current metrics (with the timeline's
+   per-domain drop counts stamped in as [timeline.dropped_events], so a
+   metrics file alone supports --fail-dropped) plus the new timeline
+   segment. Relaxed snapshot reads during a pool run are fine — the
+   coordinator takes a final quiescent pull before shutdown. *)
+let stats_push ~persist ~worker ~t_coord =
+  let view = Omn_obs.Timeline.snapshot () in
+  let metrics =
+    Omn_obs.Metrics.with_counter "timeline.dropped_events" view.dropped
+      (Omn_obs.Metrics.snapshot ())
+  in
+  Proto.Stats_push
+    {
+      worker;
+      t_coord;
+      t_worker = Unix.gettimeofday ();
+      metrics;
+      events = new_segment view persist.watermarks;
+      dropped = view.dropped;
+    }
 
 (* One coordinator session on a connected descriptor: Hello, Job,
    trace negotiation, Ready, then the compute/heartbeat serve loop.
@@ -63,6 +122,9 @@ let session ~persist ~trace_cache ~worker fd =
       | `Msg Proto.Ping ->
         send Proto.Pong;
         await_job ()
+      | `Msg (Proto.Stats_pull { t_coord }) ->
+        send (stats_push ~persist ~worker:!worker ~t_coord);
+        await_job ()
       | `Msg Proto.Shutdown -> `Done
       | `Msg _ | `Lost | `Timeout -> `Lost
     in
@@ -72,6 +134,13 @@ let session ~persist ~trace_cache ~worker fd =
     | `Job job -> (
       worker := job.Proto.worker;
       let id = job.Proto.worker in
+      (* Enabling never changes computed results (PR 3/5 contract); it
+         is one-way here so a redial with telemetry off keeps the
+         already-accumulated registry for the next pull. *)
+      if job.Proto.telemetry then begin
+        Omn_obs.Metrics.set_enabled true;
+        Omn_obs.Timeline.set_enabled true
+      end;
       let memoize text =
         let t = Trace_io.of_string text in
         Hashtbl.replace persist.traces job.trace_digest (t, text);
@@ -101,6 +170,9 @@ let session ~persist ~trace_cache ~worker fd =
                 else `Lost (* shipped bytes don't hash to the digest *)
               | `Msg Proto.Ping ->
                 send Proto.Pong;
+                await_trace ()
+              | `Msg (Proto.Stats_pull { t_coord }) ->
+                send (stats_push ~persist ~worker:id ~t_coord);
                 await_trace ()
               | `Msg Proto.Shutdown -> `Done
               | `Msg _ | `Lost | `Timeout -> `Lost
@@ -136,9 +208,15 @@ let session ~persist ~trace_cache ~worker fd =
           if job.domains > 1 then Some (Pool.create ~domains:job.domains ()) else None
         in
         let compute_source source =
-          Delay_cdf.source_partial ~max_hops:job.max_hops ?dests:job.dests
-            ?grid:job.grid ?windows:job.windows trace source
-          |> Delay_cdf.partial_to_string
+          let tl_on = Omn_obs.Timeline.enabled () in
+          let start = if tl_on then Unix.gettimeofday () else 0. in
+          let partial =
+            Delay_cdf.source_partial ~max_hops:job.max_hops ?dests:job.dests
+              ?grid:job.grid ?windows:job.windows trace source
+            |> Delay_cdf.partial_to_string
+          in
+          if tl_on then Omn_obs.Timeline.record (Shard_compute { source; start });
+          partial
         in
         (* Batch order = arrival order; the cache is read-only during the
            pool run and mutated only afterwards, on this domain. *)
@@ -221,6 +299,9 @@ let session ~persist ~trace_cache ~worker fd =
               | Ok (Compute { slot; source }) ->
                 pending := (slot, source) :: !pending;
                 loop ()
+              | Ok (Stats_pull { t_coord }) ->
+                send (stats_push ~persist ~worker:id ~t_coord);
+                loop ()
               | Ok (Job _ | Trace_data _) -> loop ())
         in
         let outcome = try loop () with Unix.Unix_error _ -> `Lost in
@@ -232,7 +313,9 @@ let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 let main ~worker ~mode ?auth_key ?trace_cache ?(once = false) () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let persist = { traces = Hashtbl.create 4; results = Hashtbl.create 4 } in
+  let persist =
+    { traces = Hashtbl.create 4; results = Hashtbl.create 4; watermarks = Hashtbl.create 8 }
+  in
   let id = ref worker in
   match mode with
   | Dial addr ->

@@ -21,13 +21,21 @@
 #      two-"machine" loopback-TCP fleet of pre-started authenticated
 #      workers must survive an induced network partition with identical
 #      bytes, and a wrong-key coordinator must exit 2 with E-AUTH;
-#   7. streaming + sampling: a sharded on-disk generation streamed back
+#   7. fleet telemetry: a 2-worker loopback-TCP run with --stat-addr,
+#      --metrics and --trace-out must serve a live Prometheus
+#      exposition mid-run, emit one merged Perfetto trace with
+#      offset-corrected per-worker tracks and a fleet footer, keep the
+#      result byte-identical (modulo manifest) to the single-process
+#      run, and render the per-worker table under `omn report --fleet
+#      --fail-dropped`; a bare `omn worker --id -1` must parse;
+#   8. streaming + sampling: a sharded on-disk generation streamed back
 #      through the sampled estimator with the sample covering every
 #      source must be byte-identical (modulo manifest and the sample
 #      block) to the exact in-memory engine, and every malformed
 #      sampling flag must be rejected with the usage exit code 2.
 # Run via `make check`. CI uploads $SMOKE_METRICS, $SMOKE_TRACE,
-# $SMOKE_REPORT, $SMOKE_SHARD_TRACE and $SMOKE_SHARD_REPORT as
+# $SMOKE_REPORT, $SMOKE_SHARD_TRACE, $SMOKE_SHARD_REPORT,
+# $SMOKE_FLEET_TRACE, $SMOKE_FLEET_METRICS and $SMOKE_FLEET_REPORT as
 # artifacts.
 set -eu
 
@@ -37,6 +45,9 @@ SMOKE_TRACE="${SMOKE_TRACE:-SMOKE_trace.json}"
 SMOKE_REPORT="${SMOKE_REPORT:-SMOKE_report.json}"
 SMOKE_SHARD_TRACE="${SMOKE_SHARD_TRACE:-SMOKE_shard_trace.json}"
 SMOKE_SHARD_REPORT="${SMOKE_SHARD_REPORT:-SMOKE_shard_report.json}"
+SMOKE_FLEET_TRACE="${SMOKE_FLEET_TRACE:-SMOKE_fleet_trace.json}"
+SMOKE_FLEET_METRICS="${SMOKE_FLEET_METRICS:-SMOKE_fleet_metrics.json}"
+SMOKE_FLEET_REPORT="${SMOKE_FLEET_REPORT:-SMOKE_fleet_report.json}"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -334,7 +345,102 @@ same_result "$tmp/full.json" "$tmp/tcp2.json" || {
 }
 kill "$w1" "$w2" 2>/dev/null || true
 
-# --- 7. streaming ingestion + sampled estimator -------------------------------
+# --- 7. fleet telemetry --------------------------------------------------------
+
+# A bare negative worker id must parse (Cmdliner cannot eat `--id -1`
+# unaided; the CLI glues it into `--id=-1`). The correct failure is the
+# missing-endpoint usage error, never "unknown option".
+rc=0
+"$OMN" worker --id -1 >/dev/null 2>"$tmp/id.err" || rc=$?
+if [ "$rc" -ne 2 ] || ! grep -q 'need one of' "$tmp/id.err"; then
+  echo "smoke FAIL: bare 'omn worker --id -1' did not parse (exit $rc)" >&2
+  cat "$tmp/id.err" >&2
+  exit 1
+fi
+
+# One telemetry-on fleet run: 2 spawned workers over loopback TCP, the
+# net-slow fault stretching the run enough to scrape the live stats
+# endpoint mid-flight. The stat port is announced on stderr.
+rc=0
+OMN_SHARD_KEY="$SHARD_KEY" "$OMN" delay-cdf "$tmp/clean.omn" --max-hops 6 \
+  --workers 2 --listen 127.0.0.1:0 --stat-addr 127.0.0.1:0 \
+  --shard-fault net-slow:1:0 \
+  --metrics "$SMOKE_FLEET_METRICS" --trace-out "$SMOKE_FLEET_TRACE" \
+  -o "$tmp/fleet.json" >/dev/null 2>"$tmp/fleet.err" &
+fleet=$!
+scrape=""
+if command -v curl >/dev/null 2>&1; then
+  i=0
+  while [ "$i" -lt 200 ]; do
+    sp=$(sed -n 's/^omn: fleet stats on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmp/fleet.err")
+    if [ -n "$sp" ]; then
+      if scrape=$(curl -fsS --max-time 2 "http://127.0.0.1:$sp/metrics" 2>/dev/null) \
+        && [ -n "$scrape" ]; then
+        break
+      fi
+    fi
+    if ! kill -0 "$fleet" 2>/dev/null; then
+      break
+    fi
+    sleep 0.05
+    i=$((i + 1))
+  done
+fi
+wait "$fleet" || {
+  echo "smoke FAIL: fleet telemetry run failed" >&2
+  cat "$tmp/fleet.err" >&2
+  exit 1
+}
+if command -v curl >/dev/null 2>&1; then
+  case "$scrape" in
+  *"# TYPE omn_"*) : ;;
+  *)
+    echo "smoke FAIL: live stats endpoint served no Prometheus exposition" >&2
+    exit 1
+    ;;
+  esac
+fi
+# telemetry never changes the result
+same_result "$tmp/full.json" "$tmp/fleet.json" || {
+  echo "smoke FAIL: fleet telemetry run differs from single-process run" >&2
+  exit 1
+}
+# the merged trace has the coordinator track, both worker tracks,
+# shard.compute spans and the offset-bearing fleet footer
+for key in 'omn coordinator' '"worker 0"' '"worker 1"' 'shard.compute' \
+  '"fleet"' 'clock_offset_s' 'rtt_s'; do
+  grep -q "$key" "$SMOKE_FLEET_TRACE" || {
+    echo "smoke FAIL: merged fleet trace lacks $key" >&2
+    exit 1
+  }
+done
+# the pulled worker metrics carry the stamped dropped counter, so
+# --fail-dropped works from metrics alone
+grep -q 'timeline.dropped_events' "$SMOKE_FLEET_METRICS" || {
+  echo "smoke FAIL: fleet metrics lack the stamped dropped counter" >&2
+  exit 1
+}
+# the per-worker table renders, and the JSON report carries the rows
+"$OMN" report "$tmp/fleet.json" --timeline "$SMOKE_FLEET_TRACE" \
+  --metrics "$SMOKE_FLEET_METRICS" --fleet --fail-dropped >"$tmp/fleet-report.txt" || {
+  echo "smoke FAIL: omn report --fleet rejected the fleet run" >&2
+  exit 1
+}
+grep -q 'fleet imbalance' "$tmp/fleet-report.txt" || {
+  echo "smoke FAIL: fleet report printed no imbalance line" >&2
+  exit 1
+}
+"$OMN" report "$tmp/fleet.json" --timeline "$SMOKE_FLEET_TRACE" \
+  --metrics "$SMOKE_FLEET_METRICS" --fleet --fail-dropped --json \
+  -o "$SMOKE_FLEET_REPORT" >/dev/null
+for key in '"fleet"' '"busy_s"' '"imbalance"' '"clock_offset_s"'; do
+  grep -q "$key" "$SMOKE_FLEET_REPORT" || {
+    echo "smoke FAIL: fleet report JSON lacks $key" >&2
+    exit 1
+  }
+done
+
+# --- 8. streaming ingestion + sampled estimator -------------------------------
 
 # Sharded on-disk generation: the conference preset streams straight to
 # disk, so the index + shards must exist and stream back losslessly.

@@ -300,6 +300,241 @@ let test_snapshot_roundtrip () =
     | Ok snap2 ->
       Alcotest.(check bool) "snapshot round-trips through JSON" true (snap = snap2))
 
+(* -- cross-process merge --------------------------------------------------- *)
+
+let test_merge_basic () =
+  let reg_a = fresh_enabled () in
+  let reg_b = fresh_enabled () in
+  Metrics.add (Metrics.counter ~reg:reg_a "jobs") 5;
+  Metrics.add (Metrics.counter ~reg:reg_a "only_a") 2;
+  Metrics.gadd (Metrics.gauge ~reg:reg_a "busy") 1.5;
+  Metrics.observe (Metrics.histogram ~reg:reg_a "lat") 0.25;
+  Metrics.observe (Metrics.histogram ~reg:reg_a "lat") 4.0;
+  Metrics.span_record reg_a ~path:"work" ~wall:1.0 ~cpu:0.5;
+  Metrics.add (Metrics.counter ~reg:reg_b "jobs") 3;
+  Metrics.add (Metrics.counter ~reg:reg_b "only_b") 7;
+  Metrics.gadd (Metrics.gauge ~reg:reg_b "busy") 2.5;
+  Metrics.observe (Metrics.histogram ~reg:reg_b "lat") 0.25;
+  Metrics.span_record reg_b ~path:"work" ~wall:2.0 ~cpu:1.0;
+  let a = Metrics.snapshot ~reg:reg_a () in
+  let b = Metrics.snapshot ~reg:reg_b () in
+  let m = Metrics.merge a b in
+  Alcotest.(check (option int)) "shared counter sums" (Some 8) (Metrics.counter_total m "jobs");
+  Alcotest.(check (option int)) "a-only kept" (Some 2) (Metrics.counter_total m "only_a");
+  Alcotest.(check (option int)) "b-only kept" (Some 7) (Metrics.counter_total m "only_b");
+  Util.check_float "gauge sums" 4.0 (Option.get (Metrics.gauge_total m "busy"));
+  let hv = Option.get (Metrics.find_histogram m "lat") in
+  Alcotest.(check int) "histogram count" 3 hv.Metrics.h_count;
+  Util.check_float "histogram sum" 4.5 hv.Metrics.h_sum;
+  Util.check_float "histogram min" 0.25 hv.Metrics.h_min;
+  Util.check_float "histogram max" 4.0 hv.Metrics.h_max;
+  (let bucket le =
+     match List.assoc_opt le hv.Metrics.h_buckets with Some n -> n | None -> 0
+   in
+   let total = List.fold_left (fun acc (_, n) -> acc + n) 0 hv.Metrics.h_buckets in
+   Alcotest.(check int) "bucket counts sum to h_count" 3 total;
+   let le_of v =
+     let rec go i = if Metrics.bucket_le i >= v then Metrics.bucket_le i else go (i + 1) in
+     go 0
+   in
+   Alcotest.(check int) "0.25 bucket holds both observations" 2 (bucket (le_of 0.25)));
+  let sv = Option.get (Metrics.find_span m "work") in
+  Alcotest.(check int) "span counts add" 2 sv.Metrics.sv_count;
+  Util.check_float "span wall adds" 3.0 sv.Metrics.sv_wall;
+  (* identity element *)
+  Alcotest.(check bool) "empty is a left identity" true
+    (Metrics.merge Metrics.empty_snapshot a = a);
+  Alcotest.(check bool) "empty is a right identity" true
+    (Metrics.merge a Metrics.empty_snapshot = a)
+
+let test_tag_worker () =
+  let reg = fresh_enabled () in
+  let c = Metrics.counter ~reg "tasks" in
+  Metrics.add c 4;
+  let d = Domain.spawn (fun () -> Metrics.add c 6) in
+  Domain.join d;
+  let z = Metrics.counter ~reg "zero" in
+  ignore z;
+  Metrics.gadd (Metrics.gauge ~reg "busy") 2.5;
+  let snap = Metrics.snapshot ~reg () in
+  (match List.assoc_opt "tasks" snap.Metrics.counters with
+  | Some (_, cells) -> Alcotest.(check int) "two domain cells before tagging" 2 (List.length cells)
+  | None -> Alcotest.fail "counter missing");
+  let tagged = Metrics.tag_worker ~worker:3 snap in
+  (match List.assoc_opt "tasks" tagged.Metrics.counters with
+  | Some (total, cells) ->
+    Alcotest.(check int) "total preserved" 10 total;
+    Alcotest.(check (list (pair int int))) "one cell keyed by worker" [ (3, 10) ] cells
+  | None -> Alcotest.fail "counter missing after tagging");
+  (match List.assoc_opt "zero" tagged.Metrics.counters with
+  | Some (0, []) -> ()
+  | Some _ -> Alcotest.fail "zero-total counter should keep empty cells"
+  | None -> Alcotest.fail "zero counter missing");
+  (match List.assoc_opt "busy" tagged.Metrics.gauges with
+  | Some (total, [ (3, v) ]) ->
+    Util.check_float "gauge total preserved" 2.5 total;
+    Util.check_float "gauge cell is the total" 2.5 v
+  | _ -> Alcotest.fail "gauge not collapsed to one worker cell");
+  (* tagging two workers and merging keeps both breakdowns *)
+  let m = Metrics.merge (Metrics.tag_worker ~worker:0 snap) (Metrics.tag_worker ~worker:1 snap) in
+  match List.assoc_opt "tasks" m.Metrics.counters with
+  | Some (20, [ (0, 10); (1, 10) ]) -> ()
+  | Some (t, cells) ->
+    Alcotest.failf "merged tagged counter: total %d, %d cells" t (List.length cells)
+  | None -> Alcotest.fail "merged tagged counter missing"
+
+let test_with_counter () =
+  let reg = fresh_enabled () in
+  Metrics.add (Metrics.counter ~reg "b") 1;
+  let snap = Metrics.snapshot ~reg () in
+  (* replace an existing counter: total recomputed from the cells *)
+  let s1 = Metrics.with_counter "b" [ (1, 4); (0, 2) ] snap in
+  (match List.assoc_opt "b" s1.Metrics.counters with
+  | Some (6, [ (0, 2); (1, 4) ]) -> ()
+  | _ -> Alcotest.fail "replacement cells not sorted or total wrong");
+  (* insert a new one: the assoc list stays name-sorted *)
+  let s2 = Metrics.with_counter "a" [ (0, 3) ] s1 in
+  let names = List.map fst s2.Metrics.counters in
+  Alcotest.(check (list string)) "sorted after insert" (List.sort compare names) names;
+  Alcotest.(check (option int)) "inserted total" (Some 3) (Metrics.counter_total s2 "a");
+  (* round-trips through JSON like any recorded counter *)
+  match Metrics.snapshot_of_json (Metrics.snapshot_to_json s2) with
+  | Ok s2' -> Alcotest.(check bool) "stamped snapshot round-trips" true (s2 = s2')
+  | Error e -> Alcotest.failf "stamped snapshot JSON: %s" e
+
+let test_prometheus () =
+  let reg = fresh_enabled () in
+  Metrics.add (Metrics.counter ~reg "shard.jobs") 5;
+  Metrics.gadd (Metrics.gauge ~reg "pool.busy") 2.5;
+  let h = Metrics.histogram ~reg "lat" in
+  Metrics.observe h 0.25;
+  Metrics.observe h 4.0;
+  let snap = Metrics.tag_worker ~worker:0 (Metrics.snapshot ~reg ()) in
+  let text = Metrics.to_prometheus snap in
+  let has needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  List.iter
+    (fun line -> if not (has line) then Alcotest.failf "exposition missing %S in:\n%s" line text)
+    [
+      "# TYPE omn_shard_jobs counter";
+      "omn_shard_jobs 5";
+      "omn_shard_jobs{worker=\"0\"} 5";
+      "# TYPE omn_pool_busy gauge";
+      "omn_pool_busy{worker=\"0\"} 2.5";
+      "# TYPE omn_lat histogram";
+      "omn_lat_bucket{le=\"+Inf\"} 2";
+      "omn_lat_sum 4.25";
+      "omn_lat_count 2";
+    ];
+  (* every counter total in the snapshot appears as a total line *)
+  List.iter
+    (fun (name, (total, _)) ->
+      let mapped =
+        "omn_"
+        ^ String.map
+            (fun ch ->
+              match ch with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> ch | _ -> '_')
+            name
+      in
+      if not (has (Printf.sprintf "%s %d" mapped total)) then
+        Alcotest.failf "no total line for %s" name)
+    snap.Metrics.counters;
+  (* cumulative buckets: counts are non-decreasing in le *)
+  Alcotest.(check bool) "ends with newline" true (String.length text > 0 && text.[String.length text - 1] = '\n')
+
+(* QCheck: merge is associative, commutative and order-insensitive.
+   Snapshots are built from generated observation scripts with
+   integer-valued floats, so float addition is exact and the algebraic
+   laws hold structurally, not just approximately. *)
+
+type mop = MC of int * int | MG of int * int | MH of int * int | MS of int * int
+
+let snap_of_script ops =
+  let reg = fresh_enabled () in
+  List.iter
+    (fun op ->
+      match op with
+      | MC (i, n) -> Metrics.add (Metrics.counter ~reg (Printf.sprintf "c%d" i)) n
+      | MG (i, n) -> Metrics.gadd (Metrics.gauge ~reg (Printf.sprintf "g%d" i)) (float_of_int n)
+      | MH (i, n) ->
+        Metrics.observe (Metrics.histogram ~reg (Printf.sprintf "h%d" i)) (float_of_int n)
+      | MS (i, n) ->
+        Metrics.span_record reg
+          ~path:(Printf.sprintf "s%d" i)
+          ~wall:(float_of_int n) ~cpu:(float_of_int n))
+    ops;
+  Metrics.snapshot ~reg ()
+
+let mop_gen =
+  QCheck2.Gen.(
+    let idx = int_range 0 3 and v = int_range 0 1000 in
+    oneof
+      [
+        map2 (fun i n -> MC (i, n)) idx v;
+        map2 (fun i n -> MG (i, n)) idx v;
+        map2 (fun i n -> MH (i, n)) idx v;
+        map2 (fun i n -> MS (i, n)) idx v;
+      ])
+
+let script_gen = QCheck2.Gen.(list_size (int_range 0 30) mop_gen)
+
+let prop_merge_assoc_comm =
+  QCheck2.Test.make ~count:150 ~name:"metrics merge is associative and commutative"
+    QCheck2.Gen.(triple script_gen script_gen script_gen)
+    (fun (sa, sb, sc) ->
+      let a = snap_of_script sa and b = snap_of_script sb and c = snap_of_script sc in
+      if Metrics.merge (Metrics.merge a b) c <> Metrics.merge a (Metrics.merge b c) then
+        QCheck2.Test.fail_report "merge not associative";
+      if Metrics.merge a b <> Metrics.merge b a then
+        QCheck2.Test.fail_report "merge not commutative";
+      if Metrics.merge a Metrics.empty_snapshot <> a then
+        QCheck2.Test.fail_report "empty_snapshot not a right identity";
+      true)
+
+let prop_merge_order_insensitive =
+  QCheck2.Test.make ~count:100 ~name:"merge_all is order-insensitive; totals add up"
+    QCheck2.Gen.(pair (list_size (int_range 0 5) script_gen) int)
+    (fun (scripts, seed) ->
+      let snaps = List.mapi (fun w s -> Metrics.tag_worker ~worker:w (snap_of_script s)) scripts in
+      let merged = Metrics.merge_all snaps in
+      let rng = Rng.create seed in
+      let shuffled =
+        List.map snd
+          (List.sort compare (List.map (fun s -> (Rng.int rng 1_000_000, s)) snaps))
+      in
+      if Metrics.merge_all shuffled <> merged then
+        QCheck2.Test.fail_report "merge_all depends on worker order";
+      (* each counter's merged total is the sum over the inputs *)
+      List.iter
+        (fun (name, (total, _)) ->
+          let expect =
+            List.fold_left
+              (fun acc s -> acc + Option.value ~default:0 (Metrics.counter_total s name))
+              0 snaps
+          in
+          if total <> expect then
+            QCheck2.Test.fail_reportf "counter %s: merged %d <> summed %d" name total expect)
+        merged.Metrics.counters;
+      true)
+
+let prop_prometheus_totals =
+  QCheck2.Test.make ~count:80 ~name:"prometheus exposition totals match the snapshot"
+    script_gen
+    (fun script ->
+      let snap = Metrics.tag_worker ~worker:1 (snap_of_script script) in
+      let text = Metrics.to_prometheus snap in
+      let lines = String.split_on_char '\n' text in
+      List.iter
+        (fun (name, (total, _)) ->
+          let want = Printf.sprintf "omn_%s %d" name total in
+          if not (List.mem want lines) then
+            QCheck2.Test.fail_reportf "missing %S" want)
+        snap.Metrics.counters;
+      true)
+
 (* -- bit-identity: metrics must not perturb results ----------------------- *)
 
 let test_bit_identity () =
@@ -327,5 +562,11 @@ let suite =
     Alcotest.test_case "json non-finite sentinels" `Quick test_json_nonfinite;
     Alcotest.test_case "spans aggregate across pool workers" `Quick test_span_across_pool;
     Alcotest.test_case "snapshot JSON round trip" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "cross-process merge" `Quick test_merge_basic;
+    Alcotest.test_case "tag_worker collapses cells" `Quick test_tag_worker;
+    Alcotest.test_case "with_counter stamps cells" `Quick test_with_counter;
+    Alcotest.test_case "prometheus exposition" `Quick test_prometheus;
     Alcotest.test_case "bit-identity under instrumentation" `Quick test_bit_identity;
   ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_merge_assoc_comm; prop_merge_order_insensitive; prop_prometheus_totals ]

@@ -218,6 +218,7 @@ let proto_roundtrip () =
       Proto.trace_digest = String.make 64 'a'; worker = 1; max_hops = 4;
       dests = Some [ 1; 2 ]; grid = Some [| 1.; 2. |]; windows = Some [ (0., 10.) ];
       supervise = Some (2, 0.05, 1., 0); ckpt_path = None; fingerprint = "fp"; domains = 2;
+      telemetry = true;
     }
   in
   List.iter
@@ -228,6 +229,7 @@ let proto_roundtrip () =
     [
       Proto.Job job; Proto.Compute { slot = 3; source = 7 }; Proto.Ping; Proto.Shutdown;
       Proto.Trace_data { digest = String.make 64 'b'; text = "0 1 0 1\n" };
+      Proto.Stats_pull { t_coord = 1234.5 };
     ];
   List.iter
     (fun m ->
@@ -240,6 +242,16 @@ let proto_roundtrip () =
       Proto.Result { slot = 0; source = 5; partial = "bytes" };
       Proto.Failed { slot = 1; source = 6; attempts = 3; reason = "poison" }; Proto.Pong;
       Proto.Need_trace { digest = String.make 64 'c' }; Proto.Leave { worker = 2 };
+      Proto.Stats_push
+        {
+          worker = 1;
+          t_coord = 1234.5;
+          t_worker = 1234.25;
+          metrics = Omn_obs.Metrics.empty_snapshot;
+          events =
+            [ (0, { Omn_obs.Timeline.ts = 2.5; ev = Shard_compute { source = 3; start = 2. } }) ];
+          dropped = [ (0, 7) ];
+        };
     ];
   match Proto.decode_to_worker "not a marshal payload" with
   | Error _ -> ()
@@ -618,6 +630,129 @@ let prop_single_kill_schedules =
             p.Delay_cdf.sources_done st.Coord.duplicates;
         curves_equal curves reference)
 
+(* --- fleet telemetry --- *)
+
+(* A 2-worker telemetry run against a single-process reference: the
+   merged cross-worker counter totals must equal the single-process
+   run's (both count the same deterministic per-source work), every
+   worker must have shipped timeline segments with [Shard_compute]
+   spans and a stamped dropped counter, and a live scrape of the
+   [--stat-addr] endpoint while the run is up must return a Prometheus
+   text exposition. Results stay bit-identical with telemetry on. *)
+let coord_fleet_telemetry () =
+  let f_trace = Util.random_trace (Rng.create 523) ~n:40 ~m:200 ~horizon:200 in
+  let f_sources = Delay_cdf.uniform_order (List.init 40 Fun.id) in
+  let module M = Omn_obs.Metrics in
+  let was = M.enabled () in
+  M.reset ();
+  M.set_enabled true;
+  let f_reference = Delay_cdf.compute ~max_hops ~grid ~sources:f_sources f_trace in
+  let solo = M.snapshot () in
+  M.reset ();
+  M.set_enabled was;
+  (* the scraper polls from another domain while the coordinator runs *)
+  let stat_addr = Atomic.make None in
+  let scraper =
+    Domain.spawn (fun () ->
+        let rec wait n =
+          match Atomic.get stat_addr with
+          | Some a -> Some a
+          | None -> if n = 0 then None else (Unix.sleepf 0.005; wait (n - 1))
+        in
+        match wait 2000 with
+        | None -> Error "stat endpoint never bound"
+        | Some a ->
+          let rec scrape tries =
+            match Transport.dial ~attempts:1 a with
+            | Error e ->
+              if tries = 0 then Error (Err.to_string e)
+              else (
+                Unix.sleepf 0.01;
+                scrape (tries - 1))
+            | Ok fd ->
+              Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              @@ fun () ->
+              let req = "GET /metrics HTTP/1.1\r\nHost: omn\r\n\r\n" in
+              ignore (Unix.write_substring fd req 0 (String.length req));
+              let buf = Buffer.create 4096 in
+              let chunk = Bytes.create 4096 in
+              let rec drain () =
+                match Unix.read fd chunk 0 4096 with
+                | 0 -> ()
+                | n ->
+                  Buffer.add_subbytes buf chunk 0 n;
+                  drain ()
+                | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+              in
+              drain ();
+              Ok (Buffer.contents buf)
+          in
+          scrape 400)
+  in
+  let cfg =
+    {
+      (shard_cfg ~workers:2) with
+      Coord.telemetry = true;
+      stats_interval = 0.05;
+      stat_addr = Some (Transport.Tcp ("127.0.0.1", 0));
+      on_stat_bound = Some (fun a -> Atomic.set stat_addr (Some a));
+    }
+  in
+  let curves, p, st =
+    match Coord.run ~max_hops ~grid ~sources:f_sources cfg f_trace with
+    | Ok v -> v
+    | Error e ->
+      Atomic.set stat_addr (Some (Transport.Tcp ("127.0.0.1", 1)));
+      ignore (Domain.join scraper);
+      Alcotest.failf "telemetry run failed: %s" (Err.to_string e)
+  in
+  let scraped = Domain.join scraper in
+  Alcotest.(check bool) "complete" false p.Delay_cdf.partial;
+  Alcotest.(check bool) "bit-identical with telemetry on" true (curves_equal curves f_reference);
+  Alcotest.(check (list int)) "telemetry from both workers, ascending" [ 0; 1 ]
+    (List.map (fun t -> t.Coord.tw_worker) st.Coord.fleet);
+  let merged =
+    M.merge_all
+      (List.map (fun t -> M.tag_worker ~worker:t.Coord.tw_worker t.Coord.tw_metrics) st.Coord.fleet)
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "merged %s equals single-process" name)
+        (M.counter_total solo name) (M.counter_total merged name))
+    [ "frontier.points_kept"; "frontier.points_pruned" ];
+  List.iter
+    (fun t ->
+      let computes =
+        List.filter
+          (fun (_, (e : Omn_obs.Timeline.entry)) ->
+            match e.Omn_obs.Timeline.ev with Omn_obs.Timeline.Shard_compute _ -> true | _ -> false)
+          t.Coord.tw_events
+      in
+      if computes = [] then
+        Alcotest.failf "worker %d shipped no shard.compute events" t.Coord.tw_worker;
+      Alcotest.(check bool) "rtt measured" true (t.Coord.tw_rtt >= 0.);
+      match M.counter_total t.Coord.tw_metrics "timeline.dropped_events" with
+      | Some _ -> ()
+      | None -> Alcotest.failf "worker %d: dropped counter not stamped" t.Coord.tw_worker)
+    st.Coord.fleet;
+  let text = M.to_prometheus merged in
+  let contains hay needle =
+    let n = String.length needle and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "merged exposition has both worker labels" true
+    (contains text "{worker=\"0\"}" && contains text "{worker=\"1\"}");
+  match scraped with
+  | Error e -> Alcotest.failf "live scrape failed: %s" e
+  | Ok body ->
+    Alcotest.(check bool) "HTTP 200" true (contains body "HTTP/1.1 200");
+    Alcotest.(check bool) "prometheus content type" true
+      (contains body "text/plain; version=0.0.4");
+    Alcotest.(check bool) "exposition body served live" true
+      (contains body "# TYPE omn_shard_worker_spawns counter")
+
 (* --- exit-code precedence --- *)
 
 let exit_code_precedence () =
@@ -690,6 +825,8 @@ let suite =
       coord_membership;
     Alcotest.test_case "signal storm: EINTR never kills a live worker" `Quick coord_signal_storm;
     QCheck_alcotest.to_alcotest prop_single_kill_schedules;
+    Alcotest.test_case "fleet telemetry: merged totals, segments, live scrape" `Quick
+      coord_fleet_telemetry;
     Alcotest.test_case "exit-code precedence 124 > 3 > 0" `Quick exit_code_precedence;
     Alcotest.test_case "shard fault schedules deterministic" `Quick shard_schedule_properties;
   ]

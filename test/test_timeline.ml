@@ -159,6 +159,111 @@ let test_export_roundtrip () =
   | Some m -> Alcotest.(check (list string)) "manifest rides along" [ "omn"; "test" ] m.cmdline
   | None -> Alcotest.fail "manifest missing or unreadable in omn block"
 
+(* -- fleet merge ----------------------------------------------------------- *)
+
+let test_fleet_export () =
+  let tl = fresh () in
+  Timeline.record ~tl ~ts:10.0 (Timeline.Mark { name = "coord-mark" });
+  let coordinator = Timeline.snapshot ~tl () in
+  (* worker 0's clock runs 5 s ahead of the coordinator's: every shipped
+     timestamp (including the embedded span start) must come back
+     shifted onto the coordinator clock *)
+  let worker =
+    {
+      Trace_export.fw_worker = 0;
+      fw_events =
+        [ (0, { Timeline.ts = 15.5; ev = Timeline.Shard_compute { source = 3; start = 15.0 } }) ];
+      fw_dropped = [ (0, 2) ];
+      fw_offset = 5.0;
+      fw_rtt = 0.001;
+    }
+  in
+  let json = Trace_export.fleet_to_json ~coordinator [ worker ] in
+  let json =
+    match Json.of_string (Json.to_string ~pretty:true json) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "fleet trace does not reparse: %s" e
+  in
+  (match events_named "shard.compute" json with
+  | [ c ] ->
+    Alcotest.(check (option int)) "worker track is pid 2" (Some 2)
+      (Option.bind (Json.member "pid" c) Json.to_int);
+    (* corrected start 10.0 coincides with the coordinator mark -> t0,
+       so the event lands at ts 0 with its 0.5 s duration intact *)
+    Alcotest.(check (option (float 1e-3))) "offset-corrected onto t0" (Some 0.)
+      (Option.bind (Json.member "ts" c) Json.to_float);
+    Alcotest.(check (option (float 1e-3))) "duration preserved (us)" (Some 5e5)
+      (Option.bind (Json.member "dur" c) Json.to_float)
+  | l -> Alcotest.failf "expected 1 shard.compute event, got %d" (List.length l));
+  (match events_named "coord-mark" json with
+  | [ m ] ->
+    Alcotest.(check (option int)) "coordinator track is pid 1" (Some 1)
+      (Option.bind (Json.member "pid" m) Json.to_int)
+  | l -> Alcotest.failf "expected 1 coordinator mark, got %d" (List.length l));
+  let pname pid =
+    List.find_map
+      (fun e ->
+        if Option.bind (Json.member "pid" e) Json.to_int = Some pid then
+          Option.bind (Json.member "args" e) (fun a -> Option.bind (Json.member "name" a) Json.to_str)
+        else None)
+      (events_named "process_name" json)
+  in
+  Alcotest.(check (option string)) "pid 1 named" (Some "omn coordinator") (pname 1);
+  Alcotest.(check (option string)) "pid 2 named" (Some "worker 0") (pname 2);
+  let omn = Option.get (Json.member "omn" json) in
+  Alcotest.(check (option int)) "fleet drops counted" (Some 2)
+    (Option.bind (Json.member "dropped_events" omn) Json.to_int);
+  match Option.bind (Json.member "fleet" omn) Json.to_list with
+  | Some [ f ] ->
+    let get k = Json.member k f in
+    Alcotest.(check (option int)) "footer worker" (Some 0) (Option.bind (get "worker") Json.to_int);
+    Alcotest.(check (option int)) "footer pid" (Some 2) (Option.bind (get "pid") Json.to_int);
+    Alcotest.(check (option (float 1e-9))) "footer offset" (Some 5.0)
+      (Option.bind (get "clock_offset_s") Json.to_float);
+    Alcotest.(check (option (float 1e-9))) "footer rtt" (Some 0.001)
+      (Option.bind (get "rtt_s") Json.to_float);
+    Alcotest.(check (option int)) "footer events" (Some 1) (Option.bind (get "events") Json.to_int);
+    Alcotest.(check (option int)) "footer dropped" (Some 2) (Option.bind (get "dropped") Json.to_int)
+  | _ -> Alcotest.fail "omn.fleet footer missing or wrong arity"
+
+let test_report_fleet () =
+  let coordinator = Timeline.snapshot ~tl:(fresh ()) () in
+  let mk_worker id busy =
+    {
+      Trace_export.fw_worker = id;
+      fw_events =
+        [ (0, { Timeline.ts = 10.0 +. busy; ev = Timeline.Shard_compute { source = id; start = 10.0 } }) ];
+      fw_dropped = [];
+      fw_offset = 0.;
+      fw_rtt = 0.0005;
+    }
+  in
+  let timeline = Trace_export.fleet_to_json ~coordinator [ mk_worker 0 2.0; mk_worker 1 0.5 ] in
+  let report = Report.build ~timeline () in
+  (match Json.member "fleet" report with
+  | Some (Json.Obj _ as f) ->
+    let worker w k = Option.bind (Json.member "workers" f) (fun ws -> Option.bind (Json.member w ws) (Json.member k)) in
+    Alcotest.(check (option (float 1e-6))) "worker 0 busy from its track" (Some 2.0)
+      (Option.bind (worker "0" "busy_s") Json.to_float);
+    Alcotest.(check (option (float 1e-6))) "worker 1 busy from its track" (Some 0.5)
+      (Option.bind (worker "1" "busy_s") Json.to_float);
+    Alcotest.(check (option int)) "events counted" (Some 1)
+      (Option.bind (worker "0" "events") Json.to_int);
+    Alcotest.(check (option (float 1e-6))) "imbalance = max/mean" (Some 1.6)
+      (Option.bind (Json.member "imbalance" f) Json.to_float)
+  | _ -> Alcotest.fail "fleet section missing from report");
+  let buf = Buffer.create 256 in
+  Report.pp (Format.formatter_of_buffer buf) report;
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "pp renders the fleet table" true
+    (let n = String.length s in
+     let rec go i = i + 5 <= n && (String.sub s i 5 = "fleet" || go (i + 1)) in
+     go 0);
+  (* a single-process trace has no fleet section *)
+  let solo = Report.build ~timeline:(Trace_export.to_json coordinator) () in
+  Alcotest.(check bool) "no fleet section without a fleet footer" true
+    (Json.member "fleet" solo = Some Json.Null)
+
 (* -- end-to-end: the instrumented driver ---------------------------------- *)
 
 (* Run the real resumable driver on 2 domains with metrics and timeline
@@ -332,6 +437,8 @@ let suite =
     Alcotest.test_case "4-domain concurrent recording, no tearing" `Quick
       test_concurrent_no_tearing;
     Alcotest.test_case "chrome trace export round trip" `Quick test_export_roundtrip;
+    Alcotest.test_case "fleet merge: offset-corrected per-worker tracks" `Quick test_fleet_export;
+    Alcotest.test_case "report fleet section" `Quick test_report_fleet;
     Alcotest.test_case "e2e: spans cover measured busy time" `Quick test_e2e_coverage;
     Alcotest.test_case "bit-identity under tracing" `Quick test_bit_identity_timeline;
     Alcotest.test_case "manifest JSON round trip" `Quick test_manifest_roundtrip;
